@@ -1,0 +1,27 @@
+//! Ablation benches for the calibration choices documented in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{ablate_noise_mean, ablate_sender_warps, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("noise_mean_sweep", |b| {
+        b.iter(|| {
+            let sweep = ablate_noise_mean(&cfg, Scale::Quick);
+            // Zero noise decodes perfectly at any iteration count.
+            assert!(sweep[0].1 < 0.02 && sweep[0].2 < 0.02);
+            sweep
+        })
+    });
+    group.bench_function("sender_warp_sweep", |b| {
+        b.iter(|| ablate_sender_warps(&cfg, Scale::Quick))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

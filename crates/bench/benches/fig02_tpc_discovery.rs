@@ -1,0 +1,24 @@
+//! Bench: regenerate Fig 2 (TPC channel discovery sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{fig02, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig02");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("tpc_discovery_sweep", |b| {
+        b.iter(|| {
+            let sweep = fig02(&cfg, Scale::Quick);
+            // Shape check: only the TPC sibling shows ~2x.
+            assert!(sweep.iter().filter(|p| p.normalized > 1.5).count() == 1);
+            sweep
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench: regenerate Fig 3 (GPC membership scan, probe TPC0).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{platform, Scale};
+use gnc_covert::reverse::gpc_scan;
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig03");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("gpc_scan_probe0", |b| {
+        b.iter(|| {
+            let scan = gpc_scan(&cfg, 0, 12, 12, 3);
+            let _ = Scale::Quick;
+            scan.same_gpc_candidates()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Fig 5 (read/write contention at TPC and GPC level).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{fig05, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig05");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("contention_characterisation", |b| {
+        b.iter(|| {
+            let f = fig05(&cfg, Scale::Quick);
+            assert!(f.tpc.write_slowdown > 1.5);
+            f
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

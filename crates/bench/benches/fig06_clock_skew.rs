@@ -1,0 +1,23 @@
+//! Bench: regenerate Fig 6 (clock register snapshot + skew statistics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{fig06, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("clock_snapshot_and_skew", |b| {
+        b.iter(|| {
+            let f = fig06(&cfg, Scale::Quick);
+            assert!(f.stats.avg_tpc_skew < 5.0);
+            f
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Fig 8 (interconnect channel leakage sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{fig08, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("leakage_sweep", |b| {
+        b.iter(|| {
+            let f = fig08(&cfg, Scale::Quick);
+            assert!(f.sibling.last().unwrap().normalized > f.distant.last().unwrap().normalized);
+            f
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

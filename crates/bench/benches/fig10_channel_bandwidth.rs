@@ -1,0 +1,41 @@
+//! Bench: regenerate Fig 10 operating points (single-TPC and multi-TPC
+//! transmissions at the paper's iteration counts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::platform;
+use gnc_common::bits::BitVec;
+use gnc_common::rng::experiment_rng;
+use gnc_covert::channel::ChannelPlan;
+use gnc_covert::protocol::ProtocolConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("tpc_channel_k4_24bits", |b| {
+        let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+        let mut rng = experiment_rng("bench-fig10", 0);
+        let payload = BitVec::random(&mut rng, 24);
+        b.iter(|| {
+            let report = plan.transmit(&cfg, &payload, 1);
+            assert!(report.error_rate < 0.1);
+            report.bandwidth_bps
+        })
+    });
+    group.bench_function("multi_tpc_k5_400bits", |b| {
+        let plan = ChannelPlan::multi_tpc(&cfg, ProtocolConfig::tpc(5));
+        let mut rng = experiment_rng("bench-fig10", 1);
+        let payload = BitVec::random(&mut rng, 400);
+        b.iter(|| {
+            let report = plan.transmit(&cfg, &payload, 2);
+            assert!(report.error_rate < 0.05);
+            report.bandwidth_bps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Bench: regenerate Fig 13 (coalescing error matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{fig13, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("coalescing_matrix", |b| {
+        b.iter(|| {
+            let m = fig13(&cfg, Scale::Quick);
+            assert!(m.coalesced_both > m.uncoalesced_both);
+            m
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbench: raw fabric throughput (simulator ablation — cost of the
+//! arbitration policies on the hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnc_common::config::{Arbitration, NocConfig};
+use gnc_common::ids::{SliceId, SmId, WarpId};
+use gnc_noc::mux::ConcentratorMux;
+use gnc_noc::packet::{Packet, PacketId, PacketKind};
+
+fn saturate(policy: Arbitration, cycles: u64) -> u64 {
+    let noc = NocConfig::default();
+    let mut mux = ConcentratorMux::new(2, 1, 0, 8, policy, &noc);
+    let mut next = 0u64;
+    let mut delivered = 0u64;
+    for now in 0..cycles {
+        for input in 0..2 {
+            if mux.can_accept(input) {
+                let p = Packet {
+                    id: PacketId(next),
+                    kind: PacketKind::WriteRequest,
+                    sm: SmId::new(input),
+                    warp: WarpId::new(0),
+                    slice: SliceId::new(0),
+                    addr: next * 128,
+                    data_bytes: 4,
+                    injected_at: now,
+                    group: next,
+                };
+                if mux.try_push(input, p).is_ok() {
+                    next += 1;
+                }
+            }
+        }
+        mux.tick(now);
+        while mux.pop_delivered(now).is_some() {
+            delivered += 1;
+        }
+    }
+    delivered
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_throughput");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    for policy in Arbitration::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("mux_saturated", policy.label()),
+            &policy,
+            |b, &policy| b.iter(|| saturate(policy, 10_000)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

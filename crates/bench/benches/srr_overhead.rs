@@ -1,0 +1,23 @@
+//! Bench: the §6 SRR performance-cost measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{platform, srr_cost, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("srr_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("memory_vs_compute", |b| {
+        b.iter(|| {
+            let r = srr_cost(&cfg, Scale::Quick);
+            assert!(r.memory_intensive_slowdown > r.compute_intensive_slowdown);
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,410 @@
+//! Regenerates the paper's tables and figures on the simulator.
+//!
+//! ```text
+//! figures [--full] [--json DIR] [--fig N]... [--table N]... [--srr-overhead] [--all]
+//! ```
+//!
+//! With no selection flags, everything is produced. `--full` uses
+//! paper-fidelity trial counts (slow); the default quick scale keeps the
+//! whole run in minutes. `--json DIR` additionally writes each result as
+//! a JSON series for plotting.
+
+use gnc_bench::*;
+use serde::Serialize;
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+struct Args {
+    scale: Scale,
+    json_dir: Option<PathBuf>,
+    figs: BTreeSet<u32>,
+    tables: BTreeSet<u32>,
+    srr: bool,
+    ablation: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Quick,
+        json_dir: None,
+        figs: BTreeSet::new(),
+        tables: BTreeSet::new(),
+        srr: false,
+        ablation: false,
+    };
+    let mut all = true;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--full" => args.scale = Scale::Full,
+            "--json" => {
+                args.json_dir = Some(PathBuf::from(
+                    iter.next().expect("--json requires a directory"),
+                ));
+            }
+            "--fig" => {
+                all = false;
+                args.figs.insert(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--fig requires a number"),
+                );
+            }
+            "--table" => {
+                all = false;
+                args.tables.insert(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--table requires a number"),
+                );
+            }
+            "--srr-overhead" => {
+                all = false;
+                args.srr = true;
+            }
+            "--ablation" => {
+                all = false;
+                args.ablation = true;
+            }
+            "--all" => all = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    if all {
+        args.figs.extend([2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15]);
+        args.tables.extend([1, 2]);
+        args.srr = true;
+        args.ablation = true;
+    }
+    args
+}
+
+fn emit<T: Serialize>(args: &Args, name: &str, value: &T) {
+    if let Some(dir) = &args.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
+            .expect("write json");
+        println!("  [json] {}", path.display());
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args = parse_args();
+    let cfg = platform();
+    println!(
+        "platform: {} ({} SMs / {} TPCs / {} GPCs), scale: {:?}\n",
+        cfg.name,
+        cfg.num_sms(),
+        cfg.num_tpcs(),
+        cfg.num_gpcs,
+        args.scale
+    );
+
+    if args.tables.contains(&1) {
+        println!("== Table 1: simulation configuration ==");
+        let t = table1(&cfg);
+        println!(
+            "  core {} MHz, SIMT {}, {} TPCs x {} SMs",
+            t.core_clock_hz / 1_000_000,
+            t.simt_width,
+            t.num_tpcs(),
+            t.sms_per_tpc
+        );
+        println!(
+            "  L1 {} KB/SM, {} L2 slices x {} KB, {} MCs, HBM2 tCL={} tRP={} tRC={} tRAS={} tRCD={} tRRD={}",
+            t.mem.l1_kb_per_sm,
+            t.mem.num_l2_slices,
+            t.mem.l2_slice_kb,
+            t.mem.num_mcs,
+            t.mem.dram.t_cl,
+            t.mem.dram.t_rp,
+            t.mem.dram.t_rc,
+            t.mem.dram.t_ras,
+            t.mem.dram.t_rcd,
+            t.mem.dram.t_rrd
+        );
+        println!(
+            "  NoC: crossbar, flit {} B, {} VC, {} subnets\n",
+            t.noc.flit_size_bytes, t.noc.num_vcs, t.noc.subnets
+        );
+        emit(&args, "table1", &t);
+    }
+
+    if args.figs.contains(&2) {
+        println!("== Fig 2: SM0 + one other SM (write benchmark) ==");
+        let f = fig02(&cfg, args.scale);
+        for p in f.iter().take(8) {
+            println!("  SM{:<2} -> {:.2}x", p.other_sm, p.normalized);
+        }
+        let over: Vec<usize> = f
+            .iter()
+            .filter(|p| p.normalized > 1.5)
+            .map(|p| p.other_sm)
+            .collect();
+        println!("  SMs with ~2x impact: {over:?} (paper: only the TPC sibling)\n");
+        emit(&args, "fig02", &f);
+    }
+
+    if args.figs.contains(&3) {
+        println!("== Fig 3: GPC membership scans (probe TPC0 and TPC5) ==");
+        let f = fig03(&cfg, args.scale);
+        for scan in [&f.probe0, &f.probe5] {
+            let flagged = scan.same_gpc_candidates();
+            println!(
+                "  probe TPC{}: elevated-mean candidates {flagged:?}",
+                scan.probe_tpc
+            );
+        }
+        println!();
+        emit(&args, "fig03", &f);
+    }
+
+    if args.figs.contains(&4) {
+        println!("== Fig 4: recovered logical->physical mapping ==");
+        let f = fig04(&cfg, args.scale);
+        for (g, group) in f.groups.iter().enumerate() {
+            println!("  GPC group {g}: TPCs {group:?}");
+        }
+        println!(
+            "  ground-truth match: {}\n",
+            if f.matches_ground_truth { "YES" } else { "NO" }
+        );
+        emit(&args, "fig04", &f);
+    }
+
+    if args.figs.contains(&5) {
+        println!("== Fig 5: contention by access type ==");
+        let f = fig05(&cfg, args.scale);
+        println!(
+            "  (a) TPC channel: write {:.2}x, read {:.2}x  (paper: ~2x / ~1x)",
+            f.tpc.write_slowdown, f.tpc.read_slowdown
+        );
+        println!("  (b) GPC channel by active TPCs:");
+        for (n, (w, r)) in f
+            .gpc
+            .write_slowdown
+            .iter()
+            .zip(&f.gpc.read_slowdown)
+            .enumerate()
+        {
+            println!("      n={} write {:.2}x read {:.2}x", n + 1, w, r);
+        }
+        println!("      (paper: writes <=~1.15x, reads 2.14x at 7)\n");
+        emit(&args, "fig05", &f);
+    }
+
+    if args.figs.contains(&6) {
+        println!("== Fig 6: clock() distribution across SMs ==");
+        let f = fig06(&cfg, args.scale);
+        for sm in (0..f.snapshot.values.len()).step_by(8) {
+            println!("  SM{sm:<2} clock {:>12}", f.snapshot.values[sm]);
+        }
+        println!(
+            "  skew: TPC avg {:.1} (max {:.0}) | GPC avg {:.1} (max {:.0}) | epoch spread {:.1}x",
+            f.stats.avg_tpc_skew,
+            f.stats.max_tpc_skew,
+            f.stats.avg_gpc_skew,
+            f.stats.max_gpc_skew,
+            f.stats.gpc_epoch_ratio
+        );
+        println!("  (paper: <5 / <15 cycles, ~4x epoch spread)\n");
+        emit(&args, "fig06", &f);
+    }
+
+    if args.figs.contains(&8) {
+        println!("== Fig 8: SM0 slowdown vs SM1/SM12 traffic fraction ==");
+        let f = fig08(&cfg, args.scale);
+        println!("  fraction   SM1(shared)   SM12(isolated)");
+        for ((fr, s), d) in f.fractions.iter().zip(&f.sibling).zip(&f.distant) {
+            println!("  {fr:>7.2}   {:>10.2}x   {:>12.2}x", s.normalized, d.normalized);
+        }
+        println!();
+        emit(&args, "fig08", &f);
+    }
+
+    if args.figs.contains(&9) {
+        println!("== Fig 9: '0101..' latency trace, slot-only vs resync ==");
+        let f = fig09(&cfg, args.scale);
+        println!("  slot-only    : {:?}", f.slot_only);
+        println!("  clock-aligned: {:?}\n", f.clock_aligned);
+        emit(&args, "fig09", &f);
+    }
+
+    if args.figs.contains(&10) {
+        println!("== Fig 10: bitrate / error vs iterations ==");
+        let f = fig10(&cfg, args.scale);
+        for (name, series, paper) in [
+            ("TPC", &f.tpc, "~1 Mbps @ 4 iters"),
+            ("multi-TPC", &f.multi_tpc, "~24 Mbps @ 5 iters"),
+            ("GPC", &f.gpc, "~0.8 Mbps @ 4 iters"),
+            ("multi-GPC", &f.multi_gpc, "~4 Mbps"),
+        ] {
+            println!("  {name} (paper: {paper})");
+            for p in series {
+                println!(
+                    "    k={} -> {:>10.1} kbps, error {:>6.2} %",
+                    p.iterations,
+                    p.bitrate_bps / 1e3,
+                    p.error_rate * 100.0
+                );
+            }
+        }
+        println!();
+        emit(&args, "fig10", &f);
+    }
+
+    if args.figs.contains(&11) {
+        println!("== Fig 11: GPC leakage, same vs different GPC ==");
+        let f = fig11(&cfg, args.scale);
+        println!("  fraction   same-GPC   different-GPC");
+        for ((fr, s), d) in f.fractions.iter().zip(&f.same_gpc).zip(&f.different_gpc) {
+            println!("  {fr:>7.2}   {:>7.3}x   {:>10.3}x", s.normalized, d.normalized);
+        }
+        println!();
+        emit(&args, "fig11", &f);
+    }
+
+    if args.figs.contains(&12) {
+        println!("== Fig 12: robustness vs requests per access (misaligned) ==");
+        let f = fig12(&cfg, args.scale);
+        for (r, e) in &f {
+            println!("  {r:>2} requests -> error {:>6.2} %", e * 100.0);
+        }
+        println!();
+        emit(&args, "fig12", &f);
+    }
+
+    if args.figs.contains(&13) {
+        println!("== Fig 13: coalescing error matrix ==");
+        let f = fig13(&cfg, args.scale);
+        println!("  sender coalesced,   receiver coalesced  : {:>6.2} %", f.coalesced_both * 100.0);
+        println!("  sender coalesced,   receiver uncoalesced: {:>6.2} %", f.coalesced_sender_only * 100.0);
+        println!("  sender uncoalesced, receiver coalesced  : {:>6.2} %", f.coalesced_receiver_only * 100.0);
+        println!("  sender uncoalesced, receiver uncoalesced: {:>6.2} %", f.uncoalesced_both * 100.0);
+        println!("  (paper: >50 %, >50 %, ~10 %, ~0.1 %)\n");
+        emit(&args, "fig13", &f);
+    }
+
+    if args.figs.contains(&14) {
+        println!("== Fig 14: multi-level '01020301..' staircase ==");
+        let f = fig14(&cfg, args.scale);
+        println!("  latencies: {:?}", f.latencies);
+        println!(
+            "  thresholds {:?} | symbol error {:.2} % | {:.1} kbps ({}x bits/slot)",
+            f.thresholds.map(|t| t.round()),
+            f.symbol_error_rate * 100.0,
+            f.bandwidth_bps / 1e3,
+            f.gain_over_binary
+        );
+        println!();
+        emit(&args, "fig14", &f);
+    }
+
+    if args.figs.contains(&15) {
+        println!("== Fig 15: arbitration comparison ==");
+        let f = fig15(&cfg, args.scale);
+        for (policy, points) in &f.sweep.curves {
+            let series: Vec<String> = points.iter().map(|p| format!("{:.2}", p.normalized)).collect();
+            println!("  {:<4}: {}", policy.label(), series.join(" "));
+        }
+        println!("  end-to-end channel error:");
+        for (policy, err) in &f.channel_error {
+            println!("    {:<4} -> {:>6.2} %", policy.label(), err * 100.0);
+        }
+        println!("  (paper: RR/CRR linear, SRR flat and channel dead)\n");
+        emit(&args, "fig15", &f);
+    }
+
+    if args.srr {
+        println!("== SRR overhead (Section 6 text) ==");
+        let f = srr_cost(&cfg, args.scale);
+        println!(
+            "  memory-intensive {:.2}x, compute-intensive {:.2}x (paper: up to ~60 % loss / negligible)\n",
+            f.memory_intensive_slowdown, f.compute_intensive_slowdown
+        );
+        emit(&args, "srr_overhead", &f);
+
+        println!("== Section 5: third-kernel noise ==");
+        let n = noise_impact(&cfg, args.scale);
+        println!(
+            "  clean error {:.2} % -> noisy error {:.2} % ({} L2 misses during noisy run)\n",
+            n.clean_error * 100.0,
+            n.noisy_error * 100.0,
+            n.noisy_l2_misses
+        );
+        emit(&args, "noise_impact", &n);
+
+        println!("== Section 5: side channel (victim activity metering) ==");
+        let sc = side_channel(&cfg, args.scale);
+        for (i, p) in sc.phases.iter().enumerate() {
+            println!(
+                "  phase {i}: intensity {} -> {:.1} cycles",
+                p.true_intensity, p.observed_latency
+            );
+        }
+        println!("  correlation {:.3} (paper: 'linear correlation')\n", sc.correlation);
+        emit(&args, "side_channel", &sc);
+
+        println!("== Section 6: scheduler partitioning countermeasure ==");
+        for (name, err) in scheduler_isolation(&cfg, args.scale) {
+            println!("  {name:<18} -> channel error {:.2} %", err * 100.0);
+        }
+        println!();
+
+        println!("== Section 5: other GPU architectures ==");
+        let arches = cross_architecture(args.scale);
+        for a in &arches {
+            println!(
+                "  {:<14} ({} TPCs / {} GPCs): TPC-channel error {:.2} %, multi-TPC {:.2} Mbps",
+                a.arch,
+                a.tpcs,
+                a.gpcs,
+                a.tpc_error * 100.0,
+                a.multi_tpc_bandwidth_bps / 1e6
+            );
+        }
+        emit(&args, "cross_architecture", &arches);
+        println!();
+    }
+
+    if args.ablation {
+        println!("== Ablations (DESIGN.md calibration sensitivity) ==");
+        let bw = ablate_gpc_reply_bw(&cfg, args.scale);
+        println!("  GPC reply bandwidth vs Fig 5b read slowdowns (1..7 TPCs):");
+        for (b, series) in &bw {
+            let s: Vec<String> = series.iter().map(|v| format!("{v:.2}")).collect();
+            println!("    bw={b}: {}", s.join(" "));
+        }
+        emit(&args, "ablation_gpc_reply_bw", &bw);
+        let noise = ablate_noise_mean(&cfg, args.scale);
+        println!("  noise mean vs error (k=1, k=4):");
+        for (m, e1, e4) in &noise {
+            println!("    mean={m:<2} -> {:.2} % / {:.2} %", e1 * 100.0, e4 * 100.0);
+        }
+        emit(&args, "ablation_noise_mean", &noise);
+        let warps = ablate_sender_warps(&cfg, args.scale);
+        println!("  sender warps vs error:");
+        for (w, e) in &warps {
+            println!("    warps={w} -> {:.2} %", e * 100.0);
+        }
+        emit(&args, "ablation_sender_warps", &warps);
+        let slots = ablate_slot_length(&cfg, args.scale);
+        println!("  slot length vs error:");
+        for (t, e) in &slots {
+            println!("    T={t} -> {:.2} %", e * 100.0);
+        }
+        emit(&args, "ablation_slot_length", &slots);
+        println!();
+    }
+
+    if args.tables.contains(&2) {
+        println!("== Table 2: covert channel comparison ==");
+        let rows = table_2(&cfg, args.scale);
+        for row in &rows {
+            println!("  {row}");
+        }
+        emit(&args, "table2", &rows);
+    }
+}

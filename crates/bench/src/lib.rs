@@ -1,0 +1,578 @@
+//! Experiment runners regenerating every table and figure of the paper's
+//! evaluation, shared between the `figures` binary and the Criterion
+//! benches.
+//!
+//! Each `figNN` function returns a serde-serializable result whose rows /
+//! series mirror the corresponding figure; [`Scale`] trades trial counts
+//! for runtime (benches use [`Scale::Quick`], the `figures --full` run
+//! uses [`Scale::Full`], which matches the paper's trial counts where
+//! stated).
+
+use gnc_common::bits::{BitVec, SymbolVec};
+use gnc_common::config::Arbitration;
+use gnc_common::ids::GpcId;
+use gnc_common::rng::experiment_rng;
+use gnc_common::GpuConfig;
+use gnc_covert::channel::ChannelPlan;
+use gnc_covert::characterize::{
+    alignment_sweep, coalescing_matrix, gpc_contention, leakage_sweep, leakage_sweep_kind,
+    third_kernel_noise, tpc_contention, CoalescingMatrix, GpcContention, LeakagePoint,
+    NoiseImpact, TpcContention,
+};
+use gnc_covert::sidechannel::{spy_on_victim, SpyReport};
+use gnc_covert::countermeasure::{
+    arbitration_sweep, channel_error_under, channel_error_under_scheduler, srr_overhead,
+    ArbitrationSweep, OverheadReport,
+};
+use gnc_covert::encoding::{MultiLevelChannel, MultiLevelReport};
+use gnc_covert::metrics::{ground_truth_membership, table2, ComparisonRow};
+use gnc_covert::protocol::{ProtocolConfig, SyncMode};
+use gnc_covert::reverse::{gpc_scan, recover_mapping, tpc_pairing_sweep, GpcScan, TpcSweepPoint};
+use gnc_covert::sync::{clock_snapshot, skew_stats, ClockSnapshot, SkewStats};
+use gnc_sim::kernel::AccessKind;
+use serde::Serialize;
+
+/// Experiment scale: `Quick` for benches and smoke runs, `Full` for
+/// paper-fidelity trial counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced trials/bits for fast iteration.
+    Quick,
+    /// Paper-fidelity trials (e.g. 200 evaluations in Fig 3).
+    Full,
+}
+
+impl Scale {
+    fn pick(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The default platform: the Table 1 Volta-like GPU.
+pub fn platform() -> GpuConfig {
+    GpuConfig::volta_v100()
+}
+
+/// Fig 2: probe SM0 against every other SM.
+pub fn fig02(cfg: &GpuConfig, scale: Scale) -> Vec<TpcSweepPoint> {
+    tpc_pairing_sweep(cfg, 0, scale.pick(24, 60) as u32, 2)
+}
+
+/// Fig 3: the GPC scan for probes TPC0 and TPC5 (the two panels).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig03 {
+    /// Panel (a,b): probe TPC0.
+    pub probe0: GpcScan,
+    /// Panel (c,d): probe TPC5.
+    pub probe5: GpcScan,
+}
+
+/// Fig 3: scatter + averages for probes TPC0 and TPC5.
+pub fn fig03(cfg: &GpuConfig, scale: Scale) -> Fig03 {
+    let trials = scale.pick(30, 200);
+    Fig03 {
+        probe0: gpc_scan(cfg, 0, trials, 16, 3),
+        probe5: gpc_scan(cfg, 5, trials, 16, 3),
+    }
+}
+
+/// Fig 4: the fully recovered mapping plus the ground-truth check.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig04 {
+    /// Recovered TPC groups (one per GPC).
+    pub groups: Vec<Vec<usize>>,
+    /// Whether they match the simulator's hidden ground truth.
+    pub matches_ground_truth: bool,
+}
+
+/// Fig 4: blind mapping recovery.
+pub fn fig04(cfg: &GpuConfig, scale: Scale) -> Fig04 {
+    // The co-activation matrix needs a few hundred trials for reliable
+    // top-partner ranking even at quick scale (the directed phase then
+    // verifies deterministically).
+    let mapping = recover_mapping(cfg, scale.pick(300, 800), 10, 4);
+    Fig04 {
+        matches_ground_truth: mapping.matches_ground_truth(cfg),
+        groups: mapping
+            .groups
+            .iter()
+            .map(|g| g.iter().map(|t| t.index()).collect())
+            .collect(),
+    }
+}
+
+/// Fig 5: read/write contention at both hierarchy levels.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig05 {
+    /// Panel (a): TPC channel.
+    pub tpc: TpcContention,
+    /// Panel (b): GPC channel, 1–7 active TPCs.
+    pub gpc: GpcContention,
+}
+
+/// Fig 5: contention characterisation.
+pub fn fig05(cfg: &GpuConfig, scale: Scale) -> Fig05 {
+    let batches = scale.pick(24, 60) as u32;
+    let members = cfg.tpcs_of_gpc(GpcId::new(0));
+    Fig05 {
+        tpc: tpc_contention(cfg, batches, 5),
+        gpc: gpc_contention(cfg, &members, batches, 5),
+    }
+}
+
+/// Fig 6: the clock snapshot plus §4.1 skew statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig06 {
+    /// One Fig 6 run: per-SM clock values.
+    pub snapshot: ClockSnapshot,
+    /// Aggregate over the re-runs (paper: 100).
+    pub stats: SkewStats,
+}
+
+/// Fig 6: clock register distribution and skew.
+pub fn fig06(cfg: &GpuConfig, scale: Scale) -> Fig06 {
+    Fig06 {
+        snapshot: clock_snapshot(cfg, 6),
+        stats: skew_stats(cfg, scale.pick(20, 100), 6),
+    }
+}
+
+/// Fig 8: SM0 slowdown vs the traffic fraction of SM1 (shared mux) and
+/// SM12 (different TPC).
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig08 {
+    /// x-axis fractions.
+    pub fractions: Vec<f64>,
+    /// SM1 series (linear).
+    pub sibling: Vec<LeakagePoint>,
+    /// SM12 series (flat).
+    pub distant: Vec<LeakagePoint>,
+}
+
+/// Fig 8: interconnect channel leakage.
+pub fn fig08(cfg: &GpuConfig, scale: Scale) -> Fig08 {
+    let fractions: Vec<f64> = (0..=8).map(|i| f64::from(i) * 0.12).collect();
+    let batches = scale.pick(30, 80) as u32;
+    Fig08 {
+        sibling: leakage_sweep(cfg, 1, &fractions, batches, 8),
+        distant: leakage_sweep(cfg, 12, &fractions, batches, 8),
+        fractions,
+    }
+}
+
+/// Fig 9: the receiver's per-bit latency trace for an alternating
+/// pattern, with and without periodic clock resynchronisation.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig09 {
+    /// Panel (a): timing-slot-only pacing (drift accumulates).
+    pub slot_only: Vec<u64>,
+    /// Panel (b): with local synchronization (stable).
+    pub clock_aligned: Vec<u64>,
+}
+
+/// Fig 9: drift vs resynchronisation traces.
+///
+/// The slot is deliberately halved so a contended measurement overruns
+/// it — the paper's error-accumulation scenario: under slot-only pacing
+/// each overrun pushes every later slot further off the sender's
+/// schedule until `1`s read as no-contention (panel a), while periodic
+/// clock re-alignment resets the drift (panel b).
+pub fn fig09(cfg: &GpuConfig, scale: Scale) -> Fig09 {
+    let bits = scale.pick(30, 60);
+    let run = |mode: SyncMode| -> Vec<u64> {
+        let mut proto = ProtocolConfig::tpc(4);
+        // Model a sender whose busy-wait pacing loop is crude (one
+        // iteration ≈ 48 cycles): under slot-only pacing the
+        // sender-vs-receiver differential lateness accumulates ~20
+        // cycles per bit — Fig 9(a)'s drift — while periodic clock
+        // re-alignment (panel b) keeps resetting it.
+        proto.sender_pacing_quantum = 48;
+        proto.mode = mode;
+        proto.preamble_bits = 0; // raw trace, like the figure
+        proto.jitter_cycles = 0;
+        let plan = ChannelPlan::tpc(cfg, proto, &[0]);
+        let payload = BitVec::alternating(bits);
+        let report = plan.transmit(cfg, &payload, 9);
+        report.per_channel[0].latencies.clone()
+    };
+    Fig09 {
+        slot_only: run(SyncMode::SlotOnly),
+        clock_aligned: run(SyncMode::ClockAligned { sync_period: 2 }),
+    }
+}
+
+/// One Fig 10 operating point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10Point {
+    /// Memory operations per bit.
+    pub iterations: u32,
+    /// Aggregate bit rate, bits/s.
+    pub bitrate_bps: f64,
+    /// Payload error rate.
+    pub error_rate: f64,
+}
+
+/// Fig 10: bitrate and error rate vs iterations for the four channel
+/// configurations.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig10 {
+    /// Panel (a): single TPC channel.
+    pub tpc: Vec<Fig10Point>,
+    /// Panel (b): all 40 TPC channels.
+    pub multi_tpc: Vec<Fig10Point>,
+    /// Panel (c): single GPC channel.
+    pub gpc: Vec<Fig10Point>,
+    /// Panel (d): all 6 GPC channels.
+    pub multi_gpc: Vec<Fig10Point>,
+}
+
+/// Fig 10: the headline bandwidth/error sweeps.
+pub fn fig10(cfg: &GpuConfig, scale: Scale) -> Fig10 {
+    let bits_per_channel = scale.pick(24, 96);
+    let membership = ground_truth_membership(cfg);
+    let sweep = |mk: &dyn Fn(u32) -> ChannelPlan, channels: usize| -> Vec<Fig10Point> {
+        (1..=5u32)
+            .map(|k| {
+                let plan = mk(k);
+                let mut rng = experiment_rng("fig10", u64::from(k) ^ (channels as u64) << 8);
+                let payload = BitVec::random(&mut rng, bits_per_channel * channels);
+                let report = plan.transmit(cfg, &payload, u64::from(k));
+                Fig10Point {
+                    iterations: k,
+                    bitrate_bps: report.bandwidth_bps,
+                    error_rate: report.error_rate,
+                }
+            })
+            .collect()
+    };
+    let all_gpcs: Vec<usize> = (0..cfg.num_gpcs).collect();
+    Fig10 {
+        tpc: sweep(&|k| ChannelPlan::tpc(cfg, ProtocolConfig::tpc(k), &[0]), 1),
+        multi_tpc: sweep(&|k| ChannelPlan::multi_tpc(cfg, ProtocolConfig::tpc(k)), 40),
+        gpc: sweep(
+            &|k| ChannelPlan::gpc(cfg, ProtocolConfig::gpc(k), &membership, &[0]),
+            1,
+        ),
+        multi_gpc: sweep(
+            &|k| ChannelPlan::gpc(cfg, ProtocolConfig::gpc(k), &membership, &all_gpcs),
+            6,
+        ),
+    }
+}
+
+/// Fig 11: GPC-level leakage, same-GPC vs different-GPC senders.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig11 {
+    /// x-axis fractions.
+    pub fractions: Vec<f64>,
+    /// Senders in the probe's GPC.
+    pub same_gpc: Vec<LeakagePoint>,
+    /// Senders in other GPCs.
+    pub different_gpc: Vec<LeakagePoint>,
+}
+
+/// Fig 11: GPC channel information leakage.
+pub fn fig11(cfg: &GpuConfig, scale: Scale) -> Fig11 {
+    let fractions: Vec<f64> = (0..=8).map(|i| f64::from(i) * 0.12).collect();
+    let batches = scale.pick(30, 80) as u32;
+    let members = cfg.tpcs_of_gpc(GpcId::new(0));
+    let same: Vec<usize> = members[1..6].iter().map(|t| 2 * t.index()).collect();
+    let different: Vec<usize> = [1usize, 7, 13, 19, 25].iter().map(|&t| 2 * t).collect();
+    Fig11 {
+        same_gpc: leakage_sweep_kind(
+            cfg,
+            0,
+            AccessKind::Read,
+            &same,
+            AccessKind::Read,
+            &fractions,
+            batches,
+            11,
+        ),
+        different_gpc: leakage_sweep_kind(
+            cfg,
+            0,
+            AccessKind::Read,
+            &different,
+            AccessKind::Read,
+            &fractions,
+            batches,
+            11,
+        ),
+        fractions,
+    }
+}
+
+/// Fig 12 (operationalised): error rate vs requests per access under
+/// intra-slot misalignment.
+pub fn fig12(cfg: &GpuConfig, scale: Scale) -> Vec<(u32, f64)> {
+    alignment_sweep(cfg, &[1, 2, 4, 8, 16, 32], scale.pick(32, 128), 12)
+}
+
+/// Fig 13: the coalescing error matrix.
+pub fn fig13(cfg: &GpuConfig, scale: Scale) -> CoalescingMatrix {
+    coalescing_matrix(cfg, 4, scale.pick(48, 192), 13)
+}
+
+/// Fig 14: the multi-level staircase trace and its report.
+pub fn fig14(cfg: &GpuConfig, scale: Scale) -> MultiLevelReport {
+    let chan = MultiLevelChannel::tpc(ProtocolConfig::tpc(4), 0);
+    let symbols = SymbolVec::staircase(scale.pick(16, 32));
+    chan.transmit(cfg, &symbols, 14)
+}
+
+/// Fig 15 plus the end-to-end channel kill check.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig15 {
+    /// The Fig 15 sweep itself.
+    pub sweep: ArbitrationSweep,
+    /// Covert-channel payload error under each policy.
+    pub channel_error: Vec<(Arbitration, f64)>,
+}
+
+/// Fig 15: arbitration comparison.
+pub fn fig15(cfg: &GpuConfig, scale: Scale) -> Fig15 {
+    let fractions: Vec<f64> = (0..=10).map(|i| f64::from(i) * 0.1).collect();
+    let batches = scale.pick(30, 80) as u32;
+    let sweep = arbitration_sweep(cfg, &Arbitration::ALL, &fractions, batches, 15);
+    let channel_error = Arbitration::ALL
+        .iter()
+        .map(|&p| (p, channel_error_under(cfg, p, scale.pick(32, 96), 15)))
+        .collect();
+    Fig15 {
+        sweep,
+        channel_error,
+    }
+}
+
+/// §6 text: the SRR performance cost.
+pub fn srr_cost(cfg: &GpuConfig, scale: Scale) -> OverheadReport {
+    srr_overhead(cfg, scale.pick(40, 100) as u32, 16)
+}
+
+/// §5 "Impact of Noise": channel error with and without a third kernel.
+pub fn noise_impact(cfg: &GpuConfig, scale: Scale) -> NoiseImpact {
+    third_kernel_noise(cfg, scale.pick(32, 96), 18)
+}
+
+/// §5 side-channel sketch: spy meters a victim's activity profile.
+pub fn side_channel(cfg: &GpuConfig, _scale: Scale) -> SpyReport {
+    spy_on_victim(cfg, &[0, 24, 8, 32, 16], 19)
+}
+
+/// §6 scheduler countermeasure: channel error under placement isolation.
+pub fn scheduler_isolation(cfg: &GpuConfig, scale: Scale) -> Vec<(&'static str, f64)> {
+    use gnc_common::config::SchedulerPolicy;
+    vec![
+        (
+            "paper-interleaved",
+            channel_error_under_scheduler(
+                cfg,
+                SchedulerPolicy::PaperInterleaved,
+                scale.pick(32, 96),
+                20,
+            ),
+        ),
+        (
+            "stream-isolated",
+            channel_error_under_scheduler(
+                cfg,
+                SchedulerPolicy::StreamIsolated,
+                scale.pick(32, 96),
+                20,
+            ),
+        ),
+    ]
+}
+
+/// §5 "Other GPU Architectures": the same attack on the Pascal and
+/// Turing presets (the paper confirmed the channel on both, differing
+/// only in hierarchy sizes and scheduling details).
+#[derive(Debug, Clone, Serialize)]
+pub struct CrossArchPoint {
+    /// Architecture name.
+    pub arch: String,
+    /// TPC/GPC counts of the preset.
+    pub tpcs: usize,
+    /// GPCs of the preset.
+    pub gpcs: usize,
+    /// Single-TPC-channel error rate at 4 iterations.
+    pub tpc_error: f64,
+    /// Aggregate multi-TPC bandwidth in bits/s.
+    pub multi_tpc_bandwidth_bps: f64,
+}
+
+/// §5: runs the TPC channel on every architecture preset.
+pub fn cross_architecture(scale: Scale) -> Vec<CrossArchPoint> {
+    [
+        GpuConfig::volta_v100(),
+        GpuConfig::pascal_p100(),
+        GpuConfig::turing_tu102(),
+    ]
+    .into_iter()
+    .map(|cfg| {
+        let bits = scale.pick(24, 64);
+        let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+        let mut rng = experiment_rng("cross-arch", cfg.num_tpcs() as u64);
+        let payload = BitVec::random(&mut rng, bits);
+        let report = plan.transmit(&cfg, &payload, 22);
+        let multi = ChannelPlan::multi_tpc(&cfg, ProtocolConfig::tpc(5));
+        let payload = BitVec::random(&mut rng, bits * cfg.num_tpcs());
+        let multi_report = multi.transmit(&cfg, &payload, 23);
+        CrossArchPoint {
+            arch: cfg.name.clone(),
+            tpcs: cfg.num_tpcs(),
+            gpcs: cfg.num_gpcs,
+            tpc_error: report.error_rate,
+            multi_tpc_bandwidth_bps: multi_report.bandwidth_bps,
+        }
+    })
+    .collect()
+}
+
+/// Table 1: the simulation configuration (serialisable verbatim).
+pub fn table1(cfg: &GpuConfig) -> GpuConfig {
+    cfg.clone()
+}
+
+/// Table 2: the covert-channel comparison with measured "this work" rows.
+pub fn table_2(cfg: &GpuConfig, scale: Scale) -> Vec<ComparisonRow> {
+    let membership = ground_truth_membership(cfg);
+    table2(cfg, &membership, scale.pick(16, 64), 17)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_picks() {
+        assert_eq!(Scale::Quick.pick(1, 2), 1);
+        assert_eq!(Scale::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn fig09_slot_only_drifts_clock_aligned_does_not() {
+        let cfg = platform();
+        let f = fig09(&cfg, Scale::Quick);
+        assert_eq!(f.slot_only.len(), 30);
+        assert_eq!(f.clock_aligned.len(), 30);
+        // Contrast of the loud (odd) vs quiet (even) positions in the
+        // final third of each trace: re-alignment keeps the alternation
+        // alive; slot-only pacing has drifted off the sender's schedule.
+        let contrast = |trace: &[u64]| -> f64 {
+            let tail = &trace[20..30];
+            let mean = |par: usize| -> f64 {
+                let vals: Vec<u64> = tail
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == par)
+                    .map(|(_, &v)| v)
+                    .collect();
+                vals.iter().sum::<u64>() as f64 / vals.len() as f64
+            };
+            mean(1) - mean(0)
+        };
+        let aligned = contrast(&f.clock_aligned);
+        let drifted = contrast(&f.slot_only);
+        assert!(aligned > 100.0, "aligned tail contrast {aligned} (trace {:?})", f.clock_aligned);
+        assert!(
+            drifted < aligned / 2.0,
+            "slot-only should have decayed: {drifted} vs aligned {aligned}\n{:?}",
+            f.slot_only
+        );
+    }
+
+    #[test]
+    fn fig12_series_is_monotone_enough() {
+        let cfg = platform();
+        let sweep = fig12(&cfg, Scale::Quick);
+        let first = sweep.first().unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(first > last, "error must fall with more requests: {sweep:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations: sensitivity of the reproduction to its calibration choices
+// (DESIGN.md §4). Each returns (setting, observable) series.
+// ---------------------------------------------------------------------
+
+/// Ablation: the GPC reply-channel bandwidth sets where the Fig 5(b)
+/// read-contention knee falls. The paper's shape (flat to 3 TPCs,
+/// ≈2.14× at 7) pins it to 3 flits/cycle.
+pub fn ablate_gpc_reply_bw(cfg: &GpuConfig, scale: Scale) -> Vec<(u32, Vec<f64>)> {
+    let batches = scale.pick(20, 48) as u32;
+    [2u32, 3, 4, 6]
+        .iter()
+        .map(|&bw| {
+            let mut cfg = cfg.clone();
+            cfg.noc.gpc_reply_bw = bw;
+            let members = cfg.tpcs_of_gpc(GpcId::new(0));
+            let c = gpc_contention(&cfg, &members, batches, 21);
+            (bw, c.read_slowdown)
+        })
+        .collect()
+}
+
+/// Ablation: the measurement-noise mean sets the error floor; the
+/// decode error follows ≈ e^(−margin/mean), so iteration count buys
+/// reliability exactly as Fig 10(a) shows.
+pub fn ablate_noise_mean(cfg: &GpuConfig, scale: Scale) -> Vec<(u32, f64, f64)> {
+    let bits = scale.pick(48, 192);
+    [0u32, 8, 16, 32]
+        .iter()
+        .map(|&mean| {
+            let run = |k: u32| -> f64 {
+                let mut proto = ProtocolConfig::tpc(k);
+                proto.noise_mean_cycles = mean;
+                let plan = ChannelPlan::tpc(cfg, proto, &[0]);
+                let mut rng = experiment_rng("ablate-noise", u64::from(mean) ^ u64::from(k));
+                let payload = BitVec::random(&mut rng, bits);
+                plan.transmit(cfg, &payload, u64::from(mean)).error_rate
+            };
+            (mean, run(1), run(4))
+        })
+        .collect()
+}
+
+/// Ablation: sender warp count vs channel error. One warp already
+/// saturates the TPC channel in this model; more warps only lengthen the
+/// sender's burst.
+pub fn ablate_sender_warps(cfg: &GpuConfig, scale: Scale) -> Vec<(usize, f64)> {
+    let bits = scale.pick(32, 96);
+    [1usize, 2, 4]
+        .iter()
+        .map(|&warps| {
+            let mut proto = ProtocolConfig::tpc(4);
+            proto.sender_warps = warps;
+            // Keep the slot large enough for the longest sender burst.
+            proto.slot_cycles = (proto.slot_cycles * warps.next_power_of_two() as u32).max(1024);
+            let plan = ChannelPlan::tpc(cfg, proto, &[0]);
+            let mut rng = experiment_rng("ablate-warps", warps as u64);
+            let payload = BitVec::random(&mut rng, bits);
+            (warps, plan.transmit(cfg, &payload, warps as u64).error_rate)
+        })
+        .collect()
+}
+
+/// Ablation: slot length vs error — a slot too small for the contended
+/// burst causes slips; larger slots only cost bandwidth.
+pub fn ablate_slot_length(cfg: &GpuConfig, scale: Scale) -> Vec<(u32, f64)> {
+    let bits = scale.pick(32, 96);
+    let base = ProtocolConfig::tpc(4);
+    [base.slot_cycles / 2, base.slot_cycles, base.slot_cycles * 2]
+        .iter()
+        .map(|&slot| {
+            let mut proto = base.clone();
+            proto.slot_cycles = slot;
+            let plan = ChannelPlan::tpc(cfg, proto, &[0]);
+            let mut rng = experiment_rng("ablate-slot", u64::from(slot));
+            let payload = BitVec::random(&mut rng, bits);
+            (slot, plan.transmit(cfg, &payload, u64::from(slot)).error_rate)
+        })
+        .collect()
+}

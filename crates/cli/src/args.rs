@@ -1,0 +1,318 @@
+//! Hand-rolled argument parsing for the `gnc` binary (no extra
+//! dependencies; the grammar is small).
+
+use gnc_common::config::{Arbitration, GpuConfig};
+use std::fmt;
+
+/// A parsed `gnc` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Print the simulated GPU's topology and Table-1 parameters.
+    Info {
+        /// Selected architecture preset.
+        arch: Arch,
+    },
+    /// Reverse-engineer the TPC/GPC topology blind and print the map.
+    Reverse {
+        /// Architecture preset.
+        arch: Arch,
+        /// Co-activation matrix trials.
+        trials: usize,
+    },
+    /// Transmit a message over the covert channel and report the result.
+    Send {
+        /// Architecture preset.
+        arch: Arch,
+        /// The message bytes.
+        message: String,
+        /// Use every TPC in parallel (the ~24 Mbps configuration).
+        all_tpcs: bool,
+        /// Memory operations per bit.
+        iterations: u32,
+        /// Interconnect arbitration policy (the §6 countermeasure knob).
+        arbitration: Arbitration,
+        /// Protect the payload with Hamming(7,4).
+        fec: bool,
+        /// Deterministic seed.
+        seed: u64,
+    },
+    /// Meter a victim's activity profile through the side channel.
+    SideChannel {
+        /// Architecture preset.
+        arch: Arch,
+        /// Per-phase L2 access counts (0–32 each).
+        profile: Vec<u32>,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Architecture preset selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// The paper's platform (default).
+    Volta,
+    /// Pascal P100 preset.
+    Pascal,
+    /// Turing TU102 preset.
+    Turing,
+}
+
+impl Arch {
+    /// Materialises the preset.
+    pub fn config(self) -> GpuConfig {
+        match self {
+            Arch::Volta => GpuConfig::volta_v100(),
+            Arch::Pascal => GpuConfig::pascal_p100(),
+            Arch::Turing => GpuConfig::turing_tu102(),
+        }
+    }
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `gnc help`.
+pub const USAGE: &str = "\
+gnc — GPU NoC covert channel reproduction (MICRO'21)
+
+USAGE:
+    gnc <COMMAND> [OPTIONS]
+
+COMMANDS:
+    info                         print the simulated GPU topology
+    reverse                      reverse-engineer TPC/GPC placement blind
+    send --message <TEXT>        exfiltrate a message over the channel
+    sidechannel --profile <CSV>  meter a victim's per-phase L2 activity
+    help                         show this text
+
+COMMON OPTIONS:
+    --arch <volta|pascal|turing>   architecture preset   [default: volta]
+
+OPTIONS (reverse):
+    --trials <N>                   co-activation trials  [default: 400]
+
+OPTIONS (send):
+    --all-tpcs                     stripe across all TPC channels
+    --iterations <K>               memory ops per bit    [default: 4]
+    --arbitration <rr|crr|srr|age> NoC arbitration       [default: rr]
+    --fec                          Hamming(7,4) protection
+    --seed <N>                     deterministic seed    [default: 42]
+
+OPTIONS (sidechannel):
+    --profile <a,b,c,...>          per-phase access counts (0-32)
+";
+
+fn parse_arch(value: &str) -> Result<Arch, ParseError> {
+    match value {
+        "volta" => Ok(Arch::Volta),
+        "pascal" => Ok(Arch::Pascal),
+        "turing" => Ok(Arch::Turing),
+        other => Err(ParseError(format!("unknown architecture '{other}'"))),
+    }
+}
+
+fn parse_arbitration(value: &str) -> Result<Arbitration, ParseError> {
+    match value {
+        "rr" => Ok(Arbitration::RoundRobin),
+        "crr" => Ok(Arbitration::CoarseRoundRobin),
+        "srr" => Ok(Arbitration::StrictRoundRobin),
+        "age" => Ok(Arbitration::AgeBased),
+        other => Err(ParseError(format!("unknown arbitration '{other}'"))),
+    }
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending argument.
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut iter = args.iter();
+    let Some(cmd) = iter.next() else {
+        return Ok(Command::Help);
+    };
+    let mut arch = Arch::Volta;
+    let mut trials = 400usize;
+    let mut message: Option<String> = None;
+    let mut all_tpcs = false;
+    let mut iterations = 4u32;
+    let mut arbitration = Arbitration::RoundRobin;
+    let mut fec = false;
+    let mut seed = 42u64;
+    let mut profile: Option<Vec<u32>> = None;
+
+    let take_value = |iter: &mut std::slice::Iter<String>, flag: &str| {
+        iter.next()
+            .cloned()
+            .ok_or_else(|| ParseError(format!("{flag} requires a value")))
+    };
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--arch" => arch = parse_arch(&take_value(&mut iter, "--arch")?)?,
+            "--trials" => {
+                trials = take_value(&mut iter, "--trials")?
+                    .parse()
+                    .map_err(|_| ParseError("--trials requires a number".into()))?;
+            }
+            "--message" => message = Some(take_value(&mut iter, "--message")?),
+            "--all-tpcs" => all_tpcs = true,
+            "--iterations" => {
+                iterations = take_value(&mut iter, "--iterations")?
+                    .parse()
+                    .map_err(|_| ParseError("--iterations requires a number".into()))?;
+            }
+            "--arbitration" => {
+                arbitration = parse_arbitration(&take_value(&mut iter, "--arbitration")?)?;
+            }
+            "--fec" => fec = true,
+            "--seed" => {
+                seed = take_value(&mut iter, "--seed")?
+                    .parse()
+                    .map_err(|_| ParseError("--seed requires a number".into()))?;
+            }
+            "--profile" => {
+                let csv = take_value(&mut iter, "--profile")?;
+                let parsed: Result<Vec<u32>, _> =
+                    csv.split(',').map(|v| v.trim().parse()).collect();
+                profile = Some(parsed.map_err(|_| {
+                    ParseError("--profile requires comma-separated numbers".into())
+                })?);
+            }
+            other => return Err(ParseError(format!("unknown option '{other}'"))),
+        }
+    }
+
+    match cmd.as_str() {
+        "info" => Ok(Command::Info { arch }),
+        "reverse" => Ok(Command::Reverse { arch, trials }),
+        "send" => {
+            let message =
+                message.ok_or_else(|| ParseError("send requires --message".into()))?;
+            Ok(Command::Send {
+                arch,
+                message,
+                all_tpcs,
+                iterations,
+                arbitration,
+                fec,
+                seed,
+            })
+        }
+        "sidechannel" => {
+            let profile =
+                profile.ok_or_else(|| ParseError("sidechannel requires --profile".into()))?;
+            if profile.iter().any(|&p| p > 32) {
+                return Err(ParseError("--profile values must be 0-32".into()));
+            }
+            Ok(Command::SideChannel { arch, profile })
+        }
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn info_with_arch() {
+        assert_eq!(
+            parse(&argv("info --arch pascal")).unwrap(),
+            Command::Info { arch: Arch::Pascal }
+        );
+    }
+
+    #[test]
+    fn reverse_defaults_and_override() {
+        assert_eq!(
+            parse(&argv("reverse")).unwrap(),
+            Command::Reverse {
+                arch: Arch::Volta,
+                trials: 400
+            }
+        );
+        assert_eq!(
+            parse(&argv("reverse --trials 99 --arch turing")).unwrap(),
+            Command::Reverse {
+                arch: Arch::Turing,
+                trials: 99
+            }
+        );
+    }
+
+    #[test]
+    fn send_full_form() {
+        let cmd = parse(&argv(
+            "send --message hi --all-tpcs --iterations 5 --arbitration srr --fec --seed 7",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Send {
+                arch: Arch::Volta,
+                message: "hi".into(),
+                all_tpcs: true,
+                iterations: 5,
+                arbitration: Arbitration::StrictRoundRobin,
+                fec: true,
+                seed: 7,
+            }
+        );
+    }
+
+    #[test]
+    fn send_requires_message() {
+        assert!(parse(&argv("send")).is_err());
+    }
+
+    #[test]
+    fn sidechannel_profile_parsing() {
+        assert_eq!(
+            parse(&argv("sidechannel --profile 0,24,8")).unwrap(),
+            Command::SideChannel {
+                arch: Arch::Volta,
+                profile: vec![0, 24, 8]
+            }
+        );
+        assert!(parse(&argv("sidechannel --profile 0,99")).is_err());
+        assert!(parse(&argv("sidechannel")).is_err());
+    }
+
+    #[test]
+    fn unknown_bits_are_rejected() {
+        assert!(parse(&argv("launch")).is_err());
+        assert!(parse(&argv("info --bogus")).is_err());
+        assert!(parse(&argv("send --message")).is_err());
+        assert!(parse(&argv("send --message x --arbitration lifo")).is_err());
+    }
+
+    #[test]
+    fn arch_materialises_presets() {
+        assert_eq!(Arch::Volta.config().num_sms(), 80);
+        assert_eq!(Arch::Pascal.config().name, "Pascal P100");
+        assert_eq!(Arch::Turing.config().name, "Turing TU102");
+    }
+}

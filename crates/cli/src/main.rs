@@ -1,0 +1,171 @@
+//! `gnc` — command-line driver for the GPU NoC covert-channel
+//! reproduction.
+//!
+//! ```text
+//! gnc info
+//! gnc reverse --trials 400
+//! gnc send --message "secret" --all-tpcs
+//! gnc send --message "secret" --arbitration srr   # watch SRR kill it
+//! gnc sidechannel --profile 0,24,8,32,16
+//! ```
+
+mod args;
+
+use args::{Arch, Command, USAGE};
+use gnc_common::bits::BitVec;
+use gnc_common::fec::{fec_decode, fec_encode};
+use gnc_common::ids::GpcId;
+use gnc_covert::channel::ChannelPlan;
+use gnc_covert::protocol::ProtocolConfig;
+use gnc_covert::reverse::recover_mapping;
+use gnc_covert::sidechannel::spy_on_victim;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Command::Info { arch } => info(arch),
+        Command::Reverse { arch, trials } => reverse(arch, trials),
+        Command::Send {
+            arch,
+            message,
+            all_tpcs,
+            iterations,
+            arbitration,
+            fec,
+            seed,
+        } => send(arch, &message, all_tpcs, iterations, arbitration, fec, seed),
+        Command::SideChannel { arch, profile } => sidechannel(arch, &profile),
+    }
+}
+
+fn info(arch: Arch) -> ExitCode {
+    let cfg = arch.config();
+    println!(
+        "{}: {} SMs / {} TPCs / {} GPCs @ {} MHz",
+        cfg.name,
+        cfg.num_sms(),
+        cfg.num_tpcs(),
+        cfg.num_gpcs,
+        cfg.core_clock_hz / 1_000_000
+    );
+    println!(
+        "L2: {} slices x {} KB ({} MCs, HBM2) | NoC: {} B flits, {} subnets, TPC ch {} f/c, GPC ch {} f/c (req) / {} f/c (reply)",
+        cfg.mem.num_l2_slices,
+        cfg.mem.l2_slice_kb,
+        cfg.mem.num_mcs,
+        cfg.noc.flit_size_bytes,
+        cfg.noc.subnets,
+        cfg.noc.tpc_request_bw,
+        cfg.noc.gpc_request_bw,
+        cfg.noc.gpc_reply_bw,
+    );
+    println!("ground-truth TPC->GPC map (what `gnc reverse` recovers blind):");
+    for g in 0..cfg.num_gpcs {
+        let tpcs: Vec<usize> = cfg
+            .tpcs_of_gpc(GpcId::new(g))
+            .iter()
+            .map(|t| t.index())
+            .collect();
+        println!("  GPC{g}: {tpcs:?}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn reverse(arch: Arch, trials: usize) -> ExitCode {
+    let cfg = arch.config();
+    println!(
+        "reverse-engineering {} ({} TPCs) with {} co-activation trials...",
+        cfg.name,
+        cfg.num_tpcs(),
+        trials
+    );
+    let mapping = recover_mapping(&cfg, trials, 10, 0);
+    for (g, group) in mapping.groups.iter().enumerate() {
+        let tpcs: Vec<usize> = group.iter().map(|t| t.index()).collect();
+        println!("  recovered group {g}: {tpcs:?}");
+    }
+    if mapping.matches_ground_truth(&cfg) {
+        println!("ground-truth check: EXACT MATCH");
+        ExitCode::SUCCESS
+    } else {
+        println!("ground-truth check: MISMATCH (try more --trials)");
+        ExitCode::FAILURE
+    }
+}
+
+fn send(
+    arch: Arch,
+    message: &str,
+    all_tpcs: bool,
+    iterations: u32,
+    arbitration: gnc_common::config::Arbitration,
+    fec: bool,
+    seed: u64,
+) -> ExitCode {
+    let mut cfg = arch.config();
+    cfg.noc.arbitration = arbitration;
+    let proto = ProtocolConfig::tpc(iterations);
+    let plan = if all_tpcs {
+        ChannelPlan::multi_tpc(&cfg, proto)
+    } else {
+        ChannelPlan::tpc(&cfg, proto, &[0])
+    };
+    let payload = BitVec::from_bytes(message.as_bytes());
+    let coded = if fec { fec_encode(&payload) } else { payload.clone() };
+    println!(
+        "transmitting {} payload bits ({} on the wire{}) over {} channel(s) under {} arbitration...",
+        payload.len(),
+        coded.len(),
+        if fec { ", FEC-protected" } else { "" },
+        plan.channels().len(),
+        arbitration.label(),
+    );
+    let report = plan.transmit(&cfg, &coded, seed);
+    let recovered_bits = if fec {
+        fec_decode(&report.received, payload.len()).payload
+    } else {
+        report.received.clone()
+    };
+    let recovered = recovered_bits.to_bytes();
+    println!(
+        "channel: {:.2} kbps over a {}-cycle window, {} raw bit errors ({:.2} %)",
+        report.bandwidth_bps / 1e3,
+        report.elapsed_cycles,
+        report.errors,
+        report.error_rate * 100.0
+    );
+    println!("received: {:?}", String::from_utf8_lossy(&recovered));
+    if recovered == message.as_bytes() {
+        println!("message recovered exactly.");
+        ExitCode::SUCCESS
+    } else {
+        println!("message corrupted (as expected under an effective countermeasure).");
+        ExitCode::FAILURE
+    }
+}
+
+fn sidechannel(arch: Arch, profile: &[u32]) -> ExitCode {
+    let cfg = arch.config();
+    println!("spying on a victim with secret profile {profile:?}...");
+    let report = spy_on_victim(&cfg, profile, 0);
+    for (i, p) in report.phases.iter().enumerate() {
+        println!(
+            "  phase {i}: intensity {:>2} -> observed {:>6.1} cycles",
+            p.true_intensity, p.observed_latency
+        );
+    }
+    println!("correlation: {:.3}", report.correlation);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,353 @@
+//! Payload and bit-vector utilities for the covert channel.
+//!
+//! The channel transmits a sequence of binary symbols (`0` / `1`), or — in
+//! the multi-level extension of §5 — 2-bit symbols encoded as four
+//! distinct contention intensities. This module holds the payload
+//! representation, byte packing, and error accounting shared by the
+//! encoder, decoder, and harness.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A sequence of bits, most-significant bit of each byte first.
+///
+/// ```
+/// use gnc_common::bits::BitVec;
+///
+/// let bits = BitVec::from_bytes(b"\xA5");
+/// assert_eq!(bits.to_string(), "10100101");
+/// assert_eq!(bits.to_bytes(), vec![0xA5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BitVec {
+    bits: Vec<bool>,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector from explicit bits.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        Self {
+            bits: bits.into_iter().collect(),
+        }
+    }
+
+    /// Unpacks bytes MSB-first.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let mut bits = Vec::with_capacity(bytes.len() * 8);
+        for &byte in bytes {
+            for shift in (0..8).rev() {
+                bits.push((byte >> shift) & 1 == 1);
+            }
+        }
+        Self { bits }
+    }
+
+    /// Generates `len` uniformly random bits.
+    pub fn random(rng: &mut impl Rng, len: usize) -> Self {
+        Self {
+            bits: (0..len).map(|_| rng.gen()).collect(),
+        }
+    }
+
+    /// The classic alternating pattern `0101…` used for Fig 9's traces.
+    pub fn alternating(len: usize) -> Self {
+        Self {
+            bits: (0..len).map(|i| i % 2 == 1).collect(),
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Bit at `index`, or `None` past the end.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        self.bits.get(index).copied()
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        self.bits.push(bit);
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Borrows the raw bits.
+    pub fn as_slice(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Packs back into bytes MSB-first; a trailing partial byte is
+    /// zero-padded on the right.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.bits.len().div_ceil(8));
+        for chunk in self.bits.chunks(8) {
+            let mut byte = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                if bit {
+                    byte |= 1 << (7 - i);
+                }
+            }
+            bytes.push(byte);
+        }
+        bytes
+    }
+
+    /// Number of positions where `self` and `other` differ, over the
+    /// shorter common prefix, **plus** the length difference (missing bits
+    /// count as errors).
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        let common = self.bits.len().min(other.bits.len());
+        let diff = self.bits[..common]
+            .iter()
+            .zip(&other.bits[..common])
+            .filter(|(a, b)| a != b)
+            .count();
+        diff + self.bits.len().abs_diff(other.bits.len())
+    }
+
+    /// Bit error rate relative to `sent` — Hamming distance over the sent
+    /// length. Returns 0 for empty `sent`.
+    pub fn bit_error_rate(&self, sent: &BitVec) -> f64 {
+        if sent.is_empty() {
+            return 0.0;
+        }
+        self.hamming_distance(sent) as f64 / sent.len() as f64
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits.is_empty() {
+            return write!(f, "<empty>");
+        }
+        for &bit in &self.bits {
+            write!(f, "{}", u8::from(bit))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Self::from_bits(iter)
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        self.bits.extend(iter);
+    }
+}
+
+/// A sequence of 2-bit symbols (values 0–3) for the multi-level channel
+/// of §5 / Fig 14.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SymbolVec {
+    symbols: Vec<u8>,
+}
+
+impl SymbolVec {
+    /// Creates a symbol vector, validating every value is 0–3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol exceeds 3.
+    pub fn from_symbols(symbols: impl IntoIterator<Item = u8>) -> Self {
+        let symbols: Vec<u8> = symbols.into_iter().collect();
+        assert!(
+            symbols.iter().all(|&s| s < 4),
+            "multi-level symbols must be 2-bit values"
+        );
+        Self { symbols }
+    }
+
+    /// Packs a bit vector into 2-bit symbols, first bit = high bit of the
+    /// first symbol; a trailing odd bit is padded with 0.
+    pub fn from_bits(bits: &BitVec) -> Self {
+        let mut symbols = Vec::with_capacity(bits.len().div_ceil(2));
+        let raw = bits.as_slice();
+        let mut i = 0;
+        while i < raw.len() {
+            let hi = u8::from(raw[i]);
+            let lo = if i + 1 < raw.len() {
+                u8::from(raw[i + 1])
+            } else {
+                0
+            };
+            symbols.push((hi << 1) | lo);
+            i += 2;
+        }
+        Self { symbols }
+    }
+
+    /// The repeating `0 1 0 2 0 3…` staircase transmitted in Fig 14.
+    pub fn staircase(len: usize) -> Self {
+        let pattern = [0u8, 1, 0, 2, 0, 3];
+        Self {
+            symbols: (0..len).map(|i| pattern[i % pattern.len()]).collect(),
+        }
+    }
+
+    /// Generates `len` uniformly random symbols.
+    pub fn random(rng: &mut impl Rng, len: usize) -> Self {
+        Self {
+            symbols: (0..len).map(|_| rng.gen_range(0..4u8)).collect(),
+        }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the vector holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The raw symbol values.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Unpacks back into bits (2 per symbol, high bit first).
+    pub fn to_bits(&self) -> BitVec {
+        let mut bits = BitVec::new();
+        for &s in &self.symbols {
+            bits.push(s & 0b10 != 0);
+            bits.push(s & 0b01 != 0);
+        }
+        bits
+    }
+
+    /// Symbol error rate relative to `sent` (mismatches plus length
+    /// difference, over the sent length). Returns 0 for empty `sent`.
+    pub fn symbol_error_rate(&self, sent: &SymbolVec) -> f64 {
+        if sent.is_empty() {
+            return 0.0;
+        }
+        let common = self.symbols.len().min(sent.symbols.len());
+        let diff = self.symbols[..common]
+            .iter()
+            .zip(&sent.symbols[..common])
+            .filter(|(a, b)| a != b)
+            .count();
+        let missing = self.symbols.len().abs_diff(sent.symbols.len());
+        (diff + missing) as f64 / sent.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::experiment_rng;
+
+    #[test]
+    fn bytes_round_trip() {
+        let original = b"covert channel".to_vec();
+        let bits = BitVec::from_bytes(&original);
+        assert_eq!(bits.len(), original.len() * 8);
+        assert_eq!(bits.to_bytes(), original);
+    }
+
+    #[test]
+    fn msb_first_ordering() {
+        let bits = BitVec::from_bytes(&[0b1000_0001]);
+        assert_eq!(bits.get(0), Some(true));
+        assert_eq!(bits.get(7), Some(true));
+        assert!(!bits.get(1).unwrap());
+        assert_eq!(bits.get(8), None);
+    }
+
+    #[test]
+    fn partial_byte_pads_right() {
+        let bits = BitVec::from_bits([true, false, true]);
+        assert_eq!(bits.to_bytes(), vec![0b1010_0000]);
+    }
+
+    #[test]
+    fn alternating_pattern() {
+        let bits = BitVec::alternating(6);
+        assert_eq!(bits.to_string(), "010101");
+    }
+
+    #[test]
+    fn hamming_counts_length_mismatch() {
+        let a = BitVec::from_bits([true, true, false]);
+        let b = BitVec::from_bits([true, false]);
+        assert_eq!(a.hamming_distance(&b), 2); // one flip + one missing
+        assert_eq!(b.hamming_distance(&a), 2); // symmetric
+    }
+
+    #[test]
+    fn ber_basics() {
+        let sent = BitVec::from_bits([true, false, true, false]);
+        let recv = BitVec::from_bits([true, true, true, false]);
+        assert!((recv.bit_error_rate(&sent) - 0.25).abs() < 1e-12);
+        assert_eq!(recv.bit_error_rate(&BitVec::new()), 0.0);
+        assert_eq!(sent.bit_error_rate(&sent), 0.0);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut r1 = experiment_rng("bits", 0);
+        let mut r2 = experiment_rng("bits", 0);
+        assert_eq!(BitVec::random(&mut r1, 64), BitVec::random(&mut r2, 64));
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        assert_eq!(BitVec::from_bits([false, true]).to_string(), "01");
+        assert_eq!(BitVec::new().to_string(), "<empty>");
+    }
+
+    #[test]
+    fn symbols_round_trip_bits() {
+        let bits = BitVec::from_bytes(b"\x1B\xE4");
+        let syms = SymbolVec::from_bits(&bits);
+        assert_eq!(syms.len(), 8);
+        assert_eq!(syms.to_bits(), bits);
+    }
+
+    #[test]
+    fn odd_bit_count_pads_symbol() {
+        let bits = BitVec::from_bits([true]);
+        let syms = SymbolVec::from_bits(&bits);
+        assert_eq!(syms.as_slice(), &[0b10]);
+    }
+
+    #[test]
+    fn staircase_matches_fig14_sequence() {
+        let s = SymbolVec::staircase(8);
+        assert_eq!(s.as_slice(), &[0, 1, 0, 2, 0, 3, 0, 1]);
+    }
+
+    #[test]
+    fn symbol_error_rate_counts_mismatches() {
+        let sent = SymbolVec::from_symbols([0, 1, 2, 3]);
+        let recv = SymbolVec::from_symbols([0, 1, 3, 3]);
+        assert!((recv.symbol_error_rate(&sent) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-bit")]
+    fn symbols_reject_out_of_range() {
+        let _ = SymbolVec::from_symbols([4]);
+    }
+}

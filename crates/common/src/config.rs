@@ -1,0 +1,612 @@
+//! Simulated GPU configuration.
+//!
+//! The defaults follow Table 1 of the paper ("Simulation configuration
+//! parameters"): a Volta-V100-like GPU at 1200 MHz with SIMT width 32,
+//! 40 TPCs of 2 SMs each, 48 L2 slices of 96 KiB, 24 memory controllers
+//! with HBM2 timing, a crossbar interconnect with 40 B flits, one virtual
+//! channel, and two subnets (request + reply).
+//!
+//! In addition to the counts, the configuration carries the **ground-truth
+//! physical mapping** of logical TPCs onto GPCs. On real silicon this
+//! mapping is undocumented and had to be reverse-engineered by the paper
+//! (§3.3, Fig 4); in the simulator it is instantiated here and the
+//! reverse-engineering code in `gnc-covert` must recover it without
+//! looking, exactly as the paper does. The default Volta mapping is
+//! interleaved with two disabled TPCs so that GPC4 and GPC5 hold six TPCs
+//! while the rest hold seven, and GPC5 contains TPC39 in place of TPC35 —
+//! the specific irregularity reported in §3.3.
+
+use crate::error::{ConfigError, Result};
+use crate::ids::{GpcId, McId, SliceId, SmId, TpcId};
+use serde::{Deserialize, Serialize};
+
+/// Arbitration policy used at every concentrating mux in the NoC (§2.3, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Arbitration {
+    /// Locally-fair round-robin; grants the lone requester immediately.
+    /// This is the baseline GPU behaviour the covert channel exploits.
+    #[default]
+    RoundRobin,
+    /// Coarse-grain round-robin: arbitrates once per warp's worth of
+    /// packets instead of per packet ("network coalescing", §6). Does not
+    /// stop the channel.
+    CoarseRoundRobin,
+    /// Strict round-robin: time-division multiplexing that grants each
+    /// input its slot even when idle. The paper's effective countermeasure.
+    StrictRoundRobin,
+    /// Globally-fair age-based arbitration [Abts & Weisser]; §6 argues it
+    /// does *not* mitigate the channel.
+    AgeBased,
+}
+
+impl Arbitration {
+    /// All policies studied in §6, in presentation order of Fig 15.
+    pub const ALL: [Arbitration; 4] = [
+        Arbitration::RoundRobin,
+        Arbitration::CoarseRoundRobin,
+        Arbitration::StrictRoundRobin,
+        Arbitration::AgeBased,
+    ];
+
+    /// Short label used by the figure harness ("RR", "CRR", "SRR", "AGE").
+    pub fn label(self) -> &'static str {
+        match self {
+            Arbitration::RoundRobin => "RR",
+            Arbitration::CoarseRoundRobin => "CRR",
+            Arbitration::StrictRoundRobin => "SRR",
+            Arbitration::AgeBased => "AGE",
+        }
+    }
+}
+
+/// Thread-block placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// The behaviour reverse-engineered in §4.3: interleave across GPCs,
+    /// then TPCs, then TPC siblings. This is what lets the attacker
+    /// co-locate trojan and spy pairwise on every TPC.
+    #[default]
+    PaperInterleaved,
+    /// GPUGuard-style spatial partitioning (§6): blocks of different
+    /// streams never share a TPC, removing the co-location the TPC
+    /// covert channel requires — at the cost of lower SM utilisation
+    /// under multiprogramming.
+    StreamIsolated,
+}
+
+/// HBM2 DRAM timing parameters in memory-clock cycles (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// CAS latency.
+    pub t_cl: u32,
+    /// Row precharge time.
+    pub t_rp: u32,
+    /// Row cycle time (minimum time between ACT commands to one bank).
+    pub t_rc: u32,
+    /// Row active time (ACT to PRE minimum).
+    pub t_ras: u32,
+    /// RAS-to-CAS delay (ACT to column command).
+    pub t_rcd: u32,
+    /// Activate-to-activate delay across banks in the same bank group.
+    pub t_rrd: u32,
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        // Table 1: tCL = 12, tRP = 12, tRC = 40, tRAS = 28, tRCD = 12, tRRD = 3.
+        Self {
+            t_cl: 12,
+            t_rp: 12,
+            t_rc: 40,
+            t_ras: 28,
+            t_rcd: 12,
+            t_rrd: 3,
+        }
+    }
+}
+
+/// Interconnect parameters (Table 1 plus the calibrated channel widths
+/// justified in DESIGN.md §4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Flit size in bytes (Table 1: 40).
+    pub flit_size_bytes: u32,
+    /// Number of virtual channels per port (Table 1: 1).
+    pub num_vcs: u32,
+    /// Number of physical subnets; 2 = separate request and reply networks
+    /// (Table 1: subnet = 2).
+    pub subnets: u32,
+    /// Bandwidth of one TPC's request channel, flits per cycle. The two
+    /// SMs of a TPC share this — the root cause of the TPC covert channel.
+    pub tpc_request_bw: u32,
+    /// Bandwidth of one GPC's request channel, flits per cycle. Seven TPC
+    /// channels concentrate into this with speedup (§2.3), so writes are
+    /// throttled at the TPC mux before GPC contention matters (§3.4).
+    pub gpc_request_bw: u32,
+    /// Bandwidth of one GPC's reply channel, flits per cycle. Calibrated
+    /// to 3 so that up to three reading TPCs see no contention and seven
+    /// see ≈2.2×, matching Fig 5(b)'s read series.
+    pub gpc_reply_bw: u32,
+    /// Per-SM reply ejection bandwidth, flits per cycle. One per SM means
+    /// read replies do not contend inside a TPC, matching Fig 5(a).
+    pub sm_reply_bw: u32,
+    /// Pipeline latency (cycles) from SM output to TPC mux.
+    pub sm_to_tpc_latency: u32,
+    /// Pipeline latency (cycles) from TPC mux to GPC mux.
+    pub tpc_to_gpc_latency: u32,
+    /// Pipeline latency (cycles) from GPC mux through the crossbar to an
+    /// L2 slice input (and symmetrically on the reply path).
+    pub gpc_to_slice_latency: u32,
+    /// Arbitration policy at the TPC-level muxes — the SM-pair
+    /// concentration point the §6 countermeasure secures. The GPC mux,
+    /// crossbar, and reply subnet always arbitrate round-robin (see
+    /// `gnc_noc::fabric` for why time-slicing the speedup'd GPC mux
+    /// would itself create a demand-dependent observable).
+    pub arbitration: Arbitration,
+    /// Depth of each input FIFO at a mux, in packets.
+    pub input_queue_depth: usize,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self {
+            flit_size_bytes: 40,
+            num_vcs: 1,
+            subnets: 2,
+            tpc_request_bw: 1,
+            gpc_request_bw: 6,
+            gpc_reply_bw: 3,
+            sm_reply_bw: 1,
+            sm_to_tpc_latency: 2,
+            tpc_to_gpc_latency: 5,
+            gpc_to_slice_latency: 15,
+            arbitration: Arbitration::RoundRobin,
+            input_queue_depth: 8,
+        }
+    }
+}
+
+/// Memory-system parameters (Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// L1 cache + shared memory per SM in KiB (Table 1: 128).
+    pub l1_kb_per_sm: u32,
+    /// Number of L2 slices (Table 1: 48).
+    pub num_l2_slices: usize,
+    /// Capacity of one L2 slice in KiB (Table 1: 96).
+    pub l2_slice_kb: u32,
+    /// L2 set associativity.
+    pub l2_assoc: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// L2 slice access (tag + data) latency in core cycles.
+    pub l2_access_latency: u32,
+    /// Number of MSHR entries per L2 slice.
+    pub l2_mshrs: usize,
+    /// Number of memory controllers (Table 1: 24).
+    pub num_mcs: usize,
+    /// DRAM banks per memory controller.
+    pub banks_per_mc: usize,
+    /// HBM2 timing parameters.
+    pub dram: DramTiming,
+    /// Core-clock cycles per memory-clock cycle (HBM2 runs slower than the
+    /// 1200 MHz core; 1.4 ≈ 850 MHz is folded into an integer factor).
+    pub mem_clock_ratio: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        Self {
+            l1_kb_per_sm: 128,
+            num_l2_slices: 48,
+            l2_slice_kb: 96,
+            l2_assoc: 16,
+            line_bytes: 128,
+            l2_access_latency: 150,
+            l2_mshrs: 32,
+            num_mcs: 24,
+            banks_per_mc: 16,
+            dram: DramTiming::default(),
+            mem_clock_ratio: 2,
+        }
+    }
+}
+
+/// Parameters of the per-SM `clock()` register model (§4.1, Fig 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    /// Maximum absolute skew, in cycles, between the two SMs of a TPC.
+    /// The paper measured an average difference under 5 cycles.
+    pub max_tpc_skew: u32,
+    /// Maximum absolute skew, in cycles, between SMs of the same GPC.
+    /// The paper measured an average difference under 15 cycles.
+    pub max_gpc_skew: u32,
+    /// Spread of the per-GPC clock epoch offsets. Fig 6 shows ~4× spread
+    /// between GPC base values on the order of 10⁹ cycles.
+    pub gpc_epoch_spread: u64,
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        Self {
+            max_tpc_skew: 2,
+            max_gpc_skew: 7,
+            gpc_epoch_spread: 4_000_000_000,
+        }
+    }
+}
+
+/// Complete configuration of the simulated GPU.
+///
+/// Construct one with a preset ([`GpuConfig::volta_v100`] is the paper's
+/// platform) and customise fields before building a
+/// `gnc_sim::gpu::Gpu` from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Human-readable architecture name.
+    pub name: String,
+    /// Core clock in Hz (Table 1: 1200 MHz).
+    pub core_clock_hz: u64,
+    /// SIMT width — threads per warp (Table 1: 32).
+    pub simt_width: u32,
+    /// Number of GPCs.
+    pub num_gpcs: usize,
+    /// Number of SMs in each TPC (2 on every NVIDIA part the paper studies).
+    pub sms_per_tpc: usize,
+    /// Ground-truth physical GPC of each logical TPC. Logical TPC `t`
+    /// contains SMs `2t` and `2t + 1`. Length = number of TPCs.
+    pub tpc_to_gpc: Vec<GpcId>,
+    /// Maximum number of resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum thread blocks resident per SM. The paper's attacker pads
+    /// per-block resource usage so only one block fits per SM (§5,
+    /// "manipulate the resource usage … to ensure that co-location does
+    /// not occur within SM"), so 1 is the default.
+    pub max_blocks_per_sm: usize,
+    /// Thread-block placement policy (§4.3 baseline vs the §6
+    /// partitioning countermeasure).
+    pub scheduler: SchedulerPolicy,
+    /// Maximum outstanding memory requests per warp before it stalls.
+    pub max_outstanding_per_warp: usize,
+    /// Interconnect parameters.
+    pub noc: NocConfig,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// Clock-register model parameters.
+    pub clock: ClockConfig,
+}
+
+impl GpuConfig {
+    /// The paper's platform: a Volta-V100-like GPU per Table 1, with the
+    /// irregular TPC→GPC mapping reported in §3.3 / Fig 4 (GPC4 and GPC5
+    /// hold six TPCs; GPC5 = {5, 11, 17, 23, 29, 39}).
+    pub fn volta_v100() -> Self {
+        let mut tpc_to_gpc: Vec<GpcId> = (0..40).map(|t| GpcId::new(t % 6)).collect();
+        // GV100 has 42 TPCs; V100 fuses two off. The surviving parts are
+        // renumbered so that the interleaving breaks exactly as §3.3
+        // observed: TPC35 lands in GPC3 and TPC36..38 fill GPC0..2, while
+        // TPC39 takes the GPC5 slot that plain interleaving would have
+        // given TPC35.
+        tpc_to_gpc[35] = GpcId::new(3);
+        tpc_to_gpc[36] = GpcId::new(0);
+        tpc_to_gpc[37] = GpcId::new(1);
+        tpc_to_gpc[38] = GpcId::new(2);
+        tpc_to_gpc[39] = GpcId::new(5);
+        Self {
+            name: "Volta V100".to_owned(),
+            core_clock_hz: 1_200_000_000,
+            simt_width: 32,
+            num_gpcs: 6,
+            sms_per_tpc: 2,
+            tpc_to_gpc,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 1,
+            scheduler: SchedulerPolicy::PaperInterleaved,
+            max_outstanding_per_warp: 32,
+            noc: NocConfig::default(),
+            mem: MemConfig::default(),
+            clock: ClockConfig::default(),
+        }
+    }
+
+    /// A Pascal-P100-like preset (56 SMs / 28 TPCs / 6 GPCs): the paper
+    /// reports the same covert channel works on Pascal (§5).
+    pub fn pascal_p100() -> Self {
+        let tpc_to_gpc = (0..28).map(|t| GpcId::new(t % 6)).collect();
+        Self {
+            name: "Pascal P100".to_owned(),
+            num_gpcs: 6,
+            tpc_to_gpc,
+            ..Self::volta_v100()
+        }
+    }
+
+    /// A Turing-TU102-like preset (72 SMs / 36 TPCs / 6 GPCs), also
+    /// confirmed vulnerable in §5.
+    pub fn turing_tu102() -> Self {
+        let tpc_to_gpc = (0..36).map(|t| GpcId::new(t % 6)).collect();
+        Self {
+            name: "Turing TU102".to_owned(),
+            num_gpcs: 6,
+            tpc_to_gpc,
+            ..Self::volta_v100()
+        }
+    }
+
+    /// A small debug preset (4 TPCs over 2 GPCs) for fast unit tests.
+    pub fn tiny() -> Self {
+        let tpc_to_gpc = (0..4).map(|t| GpcId::new(t % 2)).collect();
+        let mut cfg = Self {
+            name: "Tiny (test)".to_owned(),
+            num_gpcs: 2,
+            tpc_to_gpc,
+            ..Self::volta_v100()
+        };
+        cfg.mem.num_l2_slices = 8;
+        cfg.mem.num_mcs = 4;
+        cfg
+    }
+
+    /// Number of TPCs.
+    #[inline]
+    pub fn num_tpcs(&self) -> usize {
+        self.tpc_to_gpc.len()
+    }
+
+    /// Number of SMs.
+    #[inline]
+    pub fn num_sms(&self) -> usize {
+        self.num_tpcs() * self.sms_per_tpc
+    }
+
+    /// The TPC containing `sm`.
+    #[inline]
+    pub fn tpc_of_sm(&self, sm: SmId) -> TpcId {
+        TpcId::new(sm.index() / self.sms_per_tpc)
+    }
+
+    /// The ground-truth GPC containing `tpc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tpc` is out of range for this configuration.
+    #[inline]
+    pub fn gpc_of_tpc(&self, tpc: TpcId) -> GpcId {
+        self.tpc_to_gpc[tpc.index()]
+    }
+
+    /// The ground-truth GPC containing `sm`.
+    #[inline]
+    pub fn gpc_of_sm(&self, sm: SmId) -> GpcId {
+        self.gpc_of_tpc(self.tpc_of_sm(sm))
+    }
+
+    /// The SMs of `tpc`, lowest id first.
+    pub fn sms_of_tpc(&self, tpc: TpcId) -> Vec<SmId> {
+        let base = tpc.index() * self.sms_per_tpc;
+        (base..base + self.sms_per_tpc).map(SmId::new).collect()
+    }
+
+    /// The logical TPCs that the ground truth places in `gpc`, ascending.
+    pub fn tpcs_of_gpc(&self, gpc: GpcId) -> Vec<TpcId> {
+        self.tpc_to_gpc
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| **g == gpc)
+            .map(|(t, _)| TpcId::new(t))
+            .collect()
+    }
+
+    /// The L2 slices attached to memory controller `mc` (slices are
+    /// distributed evenly across MCs).
+    pub fn slices_of_mc(&self, mc: McId) -> Vec<SliceId> {
+        let per = self.mem.num_l2_slices / self.mem.num_mcs;
+        (mc.index() * per..(mc.index() + 1) * per)
+            .map(SliceId::new)
+            .collect()
+    }
+
+    /// The memory controller owning L2 slice `slice`.
+    #[inline]
+    pub fn mc_of_slice(&self, slice: SliceId) -> McId {
+        let per = self.mem.num_l2_slices / self.mem.num_mcs;
+        McId::new(slice.index() / per)
+    }
+
+    /// Converts a duration in core cycles to seconds.
+    #[inline]
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.core_clock_hz as f64
+    }
+
+    /// Converts a bit rate expressed in bits per core cycle to bits/s.
+    #[inline]
+    pub fn bits_per_cycle_to_bps(&self, bits_per_cycle: f64) -> f64 {
+        bits_per_cycle * self.core_clock_hz as f64
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when counts are zero, the TPC→GPC map
+    /// references a GPC out of range, or the L2 slices do not divide
+    /// evenly among the memory controllers.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_gpcs == 0 {
+            return Err(ConfigError::new("num_gpcs must be nonzero"));
+        }
+        if self.sms_per_tpc == 0 {
+            return Err(ConfigError::new("sms_per_tpc must be nonzero"));
+        }
+        if self.tpc_to_gpc.is_empty() {
+            return Err(ConfigError::new("tpc_to_gpc must not be empty"));
+        }
+        if let Some(bad) = self
+            .tpc_to_gpc
+            .iter()
+            .find(|g| g.index() >= self.num_gpcs)
+        {
+            return Err(ConfigError::new(format!(
+                "tpc_to_gpc references {bad} but num_gpcs = {}",
+                self.num_gpcs
+            )));
+        }
+        if self.mem.num_mcs == 0 || self.mem.num_l2_slices == 0 {
+            return Err(ConfigError::new("memory system must have slices and MCs"));
+        }
+        if self.mem.num_l2_slices % self.mem.num_mcs != 0 {
+            return Err(ConfigError::new(format!(
+                "{} L2 slices do not divide evenly among {} MCs",
+                self.mem.num_l2_slices, self.mem.num_mcs
+            )));
+        }
+        if !self.mem.line_bytes.is_power_of_two() {
+            return Err(ConfigError::new("line_bytes must be a power of two"));
+        }
+        if self.noc.subnets != 2 {
+            return Err(ConfigError::new(
+                "the model requires separate request and reply subnets (subnets = 2)",
+            ));
+        }
+        if self.max_outstanding_per_warp == 0 {
+            return Err(ConfigError::new("max_outstanding_per_warp must be nonzero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self::volta_v100()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volta_matches_table1_counts() {
+        let cfg = GpuConfig::volta_v100();
+        assert_eq!(cfg.num_sms(), 80);
+        assert_eq!(cfg.num_tpcs(), 40);
+        assert_eq!(cfg.num_gpcs, 6);
+        assert_eq!(cfg.mem.num_l2_slices, 48);
+        assert_eq!(cfg.mem.num_mcs, 24);
+        assert_eq!(cfg.noc.flit_size_bytes, 40);
+        assert_eq!(cfg.noc.num_vcs, 1);
+        assert_eq!(cfg.noc.subnets, 2);
+        assert_eq!(cfg.core_clock_hz, 1_200_000_000);
+        assert_eq!(cfg.simt_width, 32);
+        cfg.validate().expect("volta preset must validate");
+    }
+
+    #[test]
+    fn volta_gpc_sizes_match_section_3_3() {
+        let cfg = GpuConfig::volta_v100();
+        let sizes: Vec<usize> = (0..6)
+            .map(|g| cfg.tpcs_of_gpc(GpcId::new(g)).len())
+            .collect();
+        // Four GPCs of 7 TPCs, two of 6 (§3.3).
+        assert_eq!(sizes.iter().filter(|&&s| s == 7).count(), 4);
+        assert_eq!(sizes.iter().filter(|&&s| s == 6).count(), 2);
+        assert_eq!(sizes.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn volta_gpc5_contains_tpc39_not_tpc35() {
+        let cfg = GpuConfig::volta_v100();
+        let gpc5: Vec<usize> = cfg
+            .tpcs_of_gpc(GpcId::new(5))
+            .iter()
+            .map(|t| t.index())
+            .collect();
+        assert_eq!(gpc5, vec![5, 11, 17, 23, 29, 39]);
+    }
+
+    #[test]
+    fn sm_tpc_gpc_mapping_is_consistent() {
+        let cfg = GpuConfig::volta_v100();
+        for sm_idx in 0..cfg.num_sms() {
+            let sm = SmId::new(sm_idx);
+            let tpc = cfg.tpc_of_sm(sm);
+            assert!(cfg.sms_of_tpc(tpc).contains(&sm));
+            let gpc = cfg.gpc_of_sm(sm);
+            assert!(cfg.tpcs_of_gpc(gpc).contains(&tpc));
+        }
+    }
+
+    #[test]
+    fn slices_partition_across_mcs() {
+        let cfg = GpuConfig::volta_v100();
+        let mut seen = vec![false; cfg.mem.num_l2_slices];
+        for mc_idx in 0..cfg.mem.num_mcs {
+            for slice in cfg.slices_of_mc(McId::new(mc_idx)) {
+                assert!(!seen[slice.index()], "slice assigned twice");
+                seen[slice.index()] = true;
+                assert_eq!(cfg.mc_of_slice(slice), McId::new(mc_idx));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn validation_rejects_bad_gpc_reference() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.tpc_to_gpc[0] = GpcId::new(99);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_uneven_slice_split() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.mem.num_l2_slices = 7;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_single_subnet() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.noc.subnets = 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [
+            GpuConfig::volta_v100(),
+            GpuConfig::pascal_p100(),
+            GpuConfig::turing_tu102(),
+            GpuConfig::tiny(),
+        ] {
+            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+        }
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let cfg = GpuConfig::volta_v100();
+        assert!((cfg.cycles_to_seconds(1_200_000_000) - 1.0).abs() < 1e-12);
+        // 1 bit every 50 cycles at 1.2 GHz = 24 Mbps — the headline number.
+        let bps = cfg.bits_per_cycle_to_bps(1.0 / 50.0);
+        assert!((bps - 24_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn arbitration_labels() {
+        assert_eq!(Arbitration::RoundRobin.label(), "RR");
+        assert_eq!(Arbitration::CoarseRoundRobin.label(), "CRR");
+        assert_eq!(Arbitration::StrictRoundRobin.label(), "SRR");
+        assert_eq!(Arbitration::AgeBased.label(), "AGE");
+        assert_eq!(Arbitration::default(), Arbitration::RoundRobin);
+    }
+
+    #[test]
+    fn config_round_trips_through_serde() {
+        let cfg = GpuConfig::volta_v100();
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: GpuConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error types shared across the workspace.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Result alias used by fallible configuration and setup paths.
+pub type Result<T> = std::result::Result<T, ConfigError>;
+
+/// An invalid or internally inconsistent configuration.
+///
+/// Returned by [`crate::config::GpuConfig::validate`] and by constructors
+/// throughout the workspace that take a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The human-readable description of what was invalid.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl StdError for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let err = ConfigError::new("zero SMs");
+        assert_eq!(err.to_string(), "invalid configuration: zero SMs");
+        assert_eq!(err.message(), "zero SMs");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err = ConfigError::new("x");
+        let dyn_err: &dyn StdError = &err;
+        assert!(dyn_err.source().is_none());
+    }
+}

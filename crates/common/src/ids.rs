@@ -1,0 +1,173 @@
+//! Strongly-typed identifiers for the GPU hierarchy.
+//!
+//! The paper's attack depends on *exact* placement knowledge (which SM sits
+//! in which TPC, which TPC in which GPC), so the rest of the workspace
+//! refuses to pass bare `usize` values around: each level of the hierarchy
+//! gets its own newtype, and cross-level conversions live in
+//! [`crate::config::GpuConfig`] where the topology is known.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index of this identifier.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A streaming multiprocessor (SM). Volta V100 exposes 80 of these.
+    SmId,
+    "SM"
+);
+id_type!(
+    /// A texture processing cluster (TPC): a pair of SMs sharing one
+    /// injection channel into the on-chip network. V100 exposes 40.
+    TpcId,
+    "TPC"
+);
+id_type!(
+    /// A graphics processing cluster (GPC): a group of TPCs sharing one
+    /// concentrated channel toward the crossbar. V100 exposes 6.
+    GpcId,
+    "GPC"
+);
+id_type!(
+    /// An L2 cache slice. Table 1 models 48 slices of 96 KiB each.
+    SliceId,
+    "L2S"
+);
+id_type!(
+    /// A memory controller / memory partition. Table 1 models 24.
+    McId,
+    "MC"
+);
+id_type!(
+    /// A warp within a thread block (32 threads, SIMT width from Table 1).
+    WarpId,
+    "W"
+);
+id_type!(
+    /// A thread block within a kernel grid.
+    BlockId,
+    "B"
+);
+id_type!(
+    /// A kernel launched onto the GPU.
+    KernelId,
+    "K"
+);
+id_type!(
+    /// A CUDA-stream-like launch queue; kernels in different streams may
+    /// run concurrently (the paper's multiprogramming vector, §2.1).
+    StreamId,
+    "S"
+);
+
+impl SmId {
+    /// Returns the identifier of the *other* SM in the same TPC, under the
+    /// paper's reverse-engineered rule that SMs `2i` and `2i + 1` are
+    /// TPC-siblings (§3.2).
+    ///
+    /// ```
+    /// use gnc_common::ids::SmId;
+    /// assert_eq!(SmId::new(4).tpc_sibling(), SmId::new(5));
+    /// assert_eq!(SmId::new(5).tpc_sibling(), SmId::new(4));
+    /// ```
+    #[inline]
+    pub const fn tpc_sibling(self) -> SmId {
+        SmId(self.0 ^ 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_hierarchy_prefixes() {
+        assert_eq!(SmId::new(7).to_string(), "SM7");
+        assert_eq!(TpcId::new(3).to_string(), "TPC3");
+        assert_eq!(GpcId::new(0).to_string(), "GPC0");
+        assert_eq!(SliceId::new(47).to_string(), "L2S47");
+        assert_eq!(McId::new(23).to_string(), "MC23");
+        assert_eq!(WarpId::new(1).to_string(), "W1");
+    }
+
+    #[test]
+    fn round_trips_through_usize() {
+        let sm = SmId::from(12usize);
+        assert_eq!(usize::from(sm), 12);
+        assert_eq!(sm.index(), 12);
+    }
+
+    #[test]
+    fn sibling_is_an_involution() {
+        for i in 0..80 {
+            let sm = SmId::new(i);
+            assert_eq!(sm.tpc_sibling().tpc_sibling(), sm);
+            assert_ne!(sm.tpc_sibling(), sm);
+        }
+    }
+
+    #[test]
+    fn sibling_pairs_are_even_odd() {
+        assert_eq!(SmId::new(0).tpc_sibling(), SmId::new(1));
+        assert_eq!(SmId::new(1).tpc_sibling(), SmId::new(0));
+        assert_eq!(SmId::new(78).tpc_sibling(), SmId::new(79));
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(SmId::new(1) < SmId::new(2));
+        assert_eq!(SmId::new(5), SmId::new(5));
+    }
+
+    #[test]
+    fn ids_are_usable_as_map_keys() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(TpcId::new(4), "hello");
+        assert_eq!(m[&TpcId::new(4)], "hello");
+    }
+}

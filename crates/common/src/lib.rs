@@ -1,0 +1,48 @@
+//! Shared foundations for the GPU NoC covert-channel reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — strongly-typed identifiers for the GPU hierarchy
+//!   (SM / TPC / GPC / L2 slice / memory controller / warp / block).
+//! * [`config`] — the simulated GPU configuration, with defaults matching
+//!   Table 1 of the paper (a Volta-V100-like part) plus presets for the
+//!   other architectures the paper discusses.
+//! * [`stats`] — small online statistics and histogram helpers used by the
+//!   instrumentation and the experiment harness.
+//! * [`bits`] — payload/bit-vector utilities for the covert channel
+//!   (packing, unpacking, bit-error-rate computation).
+//! * [`fec`] — Hamming(7,4) forward error correction, so fast-but-noisy
+//!   channel operating points still deliver byte-exact payloads.
+//! * [`rng`] — deterministic random number generation so experiments are
+//!   reproducible run-to-run.
+//!
+//! # Example
+//!
+//! ```
+//! use gnc_common::config::GpuConfig;
+//! use gnc_common::ids::SmId;
+//!
+//! let cfg = GpuConfig::volta_v100();
+//! assert_eq!(cfg.num_sms(), 80);
+//! let sm = SmId::new(3);
+//! assert_eq!(cfg.tpc_of_sm(sm).index(), 1);
+//! ```
+
+pub mod bits;
+pub mod config;
+pub mod error;
+pub mod fec;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+
+/// A simulation timestamp measured in core clock cycles.
+///
+/// The whole simulator is synchronous to the 1.2 GHz core clock from
+/// Table 1 of the paper; converting cycles to seconds is the harness's
+/// job (see [`config::GpuConfig::core_clock_hz`]).
+pub type Cycle = u64;
+
+pub use config::GpuConfig;
+pub use error::{ConfigError, Result};

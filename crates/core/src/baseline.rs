@@ -1,0 +1,406 @@
+//! Baseline: a serial, cache-based prime+probe covert channel.
+//!
+//! Table 2 contrasts the paper's parallel/local/direct interconnect
+//! channel with prior serial/global/indirect cache channels (e.g.
+//! Naghibijouybari et al.'s L1/L2 channels). To make that comparison
+//! measurable on equal footing, this module implements the classic
+//! L2-set prime+probe covert channel *on the same simulator*:
+//!
+//! 1. the receiver primes half the ways of one L2 set with its lines;
+//! 2. the sender transmits `1` by touching enough conflicting lines to
+//!    evict them (or stays idle for `0`);
+//! 3. the receiver probes its lines and times them: hits stay on-chip,
+//!    evictions go to DRAM and are hundreds of cycles slower.
+//!
+//! The phases are serialised within each slot through the same clock
+//! register the NoC channel uses (prime at the slot start, evict at ¼
+//! slot, probe at ½ slot). Because the contended resource is a *global*
+//! L2 set, sender and receiver need no **TPC** co-location — they only
+//! share a GPC here because clock-register synchronization is what keeps
+//! the slot grids aligned (§4.1: cross-GPC clock epochs differ by ~10⁹
+//! cycles). Prior cache-channel work syncs cross-chip with an explicit
+//! prime+probe handshake instead, which we do not model. And because
+//! the protocol is serial, its bandwidth is an order of magnitude below
+//! the interconnect channel's — exactly Table 2's argument.
+
+use crate::channel::decode_stream;
+use gnc_common::bits::BitVec;
+use gnc_common::ids::{BlockId, SliceId, StreamId, WarpId};
+use gnc_common::{Cycle, GpuConfig};
+use gnc_mem::address::AddressMap;
+use gnc_sim::gpu::Gpu;
+use gnc_sim::kernel::{AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Outcome of one prime+probe transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimeProbeReport {
+    /// Payload as sent.
+    pub sent: BitVec,
+    /// Payload as decoded.
+    pub received: BitVec,
+    /// Bit errors over the payload.
+    pub errors: usize,
+    /// errors / payload length.
+    pub error_rate: f64,
+    /// Per-slot probe latencies (preamble included).
+    pub latencies: Vec<u64>,
+    /// Raw channel bandwidth in bits/s (one bit per slot).
+    pub bandwidth_bps: f64,
+}
+
+/// Configuration of the baseline channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimeProbeChannel {
+    /// Timing slot (power of two; must fit prime + evict + probe).
+    pub slot_cycles: u32,
+    /// L2 slice hosting the contended set.
+    pub slice: usize,
+    /// Set index within the slice.
+    pub set: usize,
+    /// Lines the receiver primes (≤ half the associativity).
+    pub primed_lines: u32,
+    /// Alternating calibration bits prepended to the stream.
+    pub preamble_bits: usize,
+    /// SM running the sender (any SM works — the channel is global).
+    pub sender_sm: usize,
+    /// SM running the receiver.
+    pub receiver_sm: usize,
+}
+
+impl Default for PrimeProbeChannel {
+    fn default() -> Self {
+        Self {
+            slot_cycles: 4096,
+            slice: 7,
+            set: 5,
+            primed_lines: 8,
+            preamble_bits: 8,
+            sender_sm: 0,
+            // A different TPC than the sender (TPC6): the cache channel
+            // needs no interconnect co-location. Same GPC, so the clock
+            // registers stay slot-aligned (§4.1).
+            receiver_sm: 13,
+        }
+    }
+}
+
+impl PrimeProbeChannel {
+    /// Addresses of the receiver's primed lines (`count` distinct tags of
+    /// the contended set).
+    fn receiver_addrs(&self, map: &AddressMap) -> Vec<u64> {
+        let sets = map.num_sets() as u64;
+        (0..u64::from(self.primed_lines))
+            .map(|k| map.addr_in_slice(SliceId::new(self.slice), self.set as u64 + k * sets))
+            .collect()
+    }
+
+    /// Addresses of the sender's conflicting lines (enough extra tags to
+    /// evict the receiver's from a `assoc`-way set).
+    fn sender_addrs(&self, map: &AddressMap, assoc: usize) -> Vec<u64> {
+        let sets = map.num_sets() as u64;
+        let start = u64::from(self.primed_lines);
+        (start..assoc as u64 + start)
+            .map(|k| map.addr_in_slice(SliceId::new(self.slice), self.set as u64 + k * sets))
+            .collect()
+    }
+
+    /// Runs one transmission of `payload`.
+    ///
+    /// ```no_run
+    /// use gnc_common::bits::BitVec;
+    /// use gnc_common::GpuConfig;
+    /// use gnc_covert::baseline::PrimeProbeChannel;
+    ///
+    /// let chan = PrimeProbeChannel::default();
+    /// let report = chan.transmit(&GpuConfig::volta_v100(), &BitVec::from_bytes(b"x"), 0);
+    /// println!("{:.0} kbps at {:.1} % error", report.bandwidth_bps / 1e3,
+    ///     report.error_rate * 100.0);
+    /// ```
+    pub fn transmit(&self, cfg: &GpuConfig, payload: &BitVec, seed: u64) -> PrimeProbeReport {
+        let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+        let map = AddressMap::new(cfg);
+        let mut stream: Vec<bool> = (0..self.preamble_bits).map(|i| i % 2 == 1).collect();
+        stream.extend(payload.iter());
+        let stream = Arc::new(stream);
+
+        let sender = PrimeProbeKernel {
+            role: Role::Sender,
+            chan: self.clone(),
+            stream: Arc::clone(&stream),
+            addrs: self.sender_addrs(&map, cfg.mem.l2_assoc),
+            blocks: cfg.num_tpcs(),
+        };
+        let receiver = PrimeProbeKernel {
+            role: Role::Receiver,
+            chan: self.clone(),
+            stream: Arc::clone(&stream),
+            addrs: self.receiver_addrs(&map),
+            blocks: cfg.num_tpcs(),
+        };
+        gpu.launch(Box::new(sender), StreamId::new(0));
+        let receiver_id = gpu.launch(Box::new(receiver), StreamId::new(1));
+        let budget = u64::from(self.slot_cycles) * (stream.len() as u64 + 70) + 200_000;
+        let outcome = gpu.run_until_idle(budget);
+        debug_assert!(outcome.is_idle(), "prime+probe did not finish: {outcome:?}");
+
+        let mut slots: Vec<(u32, u64, Cycle)> = gpu
+            .recorder()
+            .for_kernel(receiver_id)
+            .map(|r| (r.tag, r.value, r.cycle))
+            .collect();
+        slots.sort_by_key(|&(tag, _, _)| tag);
+        let latencies: Vec<u64> = slots.iter().map(|&(_, v, _)| v).collect();
+        let (_, bits) = decode_stream(&latencies, self.preamble_bits, payload.len());
+        let received = BitVec::from_bits(bits);
+        let errors = received.hamming_distance(payload);
+        PrimeProbeReport {
+            error_rate: if payload.is_empty() {
+                0.0
+            } else {
+                errors as f64 / payload.len() as f64
+            },
+            errors,
+            sent: payload.clone(),
+            received,
+            latencies,
+            bandwidth_bps: cfg.core_clock_hz as f64 / f64::from(self.slot_cycles),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Sender,
+    Receiver,
+}
+
+struct PrimeProbeKernel {
+    role: Role,
+    chan: PrimeProbeChannel,
+    stream: Arc<Vec<bool>>,
+    addrs: Vec<u64>,
+    blocks: usize,
+}
+
+impl KernelProgram for PrimeProbeKernel {
+    fn name(&self) -> &str {
+        match self.role {
+            Role::Sender => "prime-probe-sender",
+            Role::Receiver => "prime-probe-receiver",
+        }
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        1
+    }
+
+    fn create_warp(&self, _block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+        Box::new(PrimeProbeWarp {
+            role: self.role,
+            chan: self.chan.clone(),
+            stream: Arc::clone(&self.stream),
+            addrs: self.addrs.clone(),
+            bit: 0,
+            stage: Stage::Gate,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Gate,
+    SyncMid,
+    Sync,
+    /// Receiver: prime at the slot start.
+    Prime,
+    /// Both: wait for the mid-phase (evict for the sender, probe wait for
+    /// the receiver).
+    PhaseWait,
+    /// Sender: conflict accesses; receiver: timed probe.
+    Act,
+    Report,
+    NextSlot,
+}
+
+struct PrimeProbeWarp {
+    role: Role,
+    chan: PrimeProbeChannel,
+    stream: Arc<Vec<bool>>,
+    addrs: Vec<u64>,
+    bit: usize,
+    stage: Stage,
+}
+
+impl WarpProgram for PrimeProbeWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        let slot_mask = self.chan.slot_cycles - 1;
+        loop {
+            match self.stage {
+                Stage::Gate => {
+                    let me = match self.role {
+                        Role::Sender => self.chan.sender_sm,
+                        Role::Receiver => self.chan.receiver_sm,
+                    };
+                    if ctx.sm.index() != me {
+                        return WarpStep::Finish;
+                    }
+                    self.stage = Stage::SyncMid;
+                    return WarpStep::UntilClock {
+                        mask: self.chan.slot_cycles * 64 - 1,
+                        target: self.chan.slot_cycles * 32,
+                    };
+                }
+                Stage::SyncMid => {
+                    self.stage = Stage::Sync;
+                    return WarpStep::UntilClock {
+                        mask: self.chan.slot_cycles * 64 - 1,
+                        target: 0,
+                    };
+                }
+                Stage::Sync => {
+                    self.stage = match self.role {
+                        Role::Receiver => Stage::Prime,
+                        Role::Sender => Stage::PhaseWait,
+                    };
+                }
+                Stage::Prime => {
+                    if self.bit >= self.stream.len() {
+                        return WarpStep::Finish;
+                    }
+                    self.stage = Stage::PhaseWait;
+                    return WarpStep::Memory {
+                        kind: AccessKind::Read,
+                        addrs: self.addrs.clone(),
+                        wait: true,
+                    };
+                }
+                Stage::PhaseWait => {
+                    if self.bit >= self.stream.len() {
+                        return WarpStep::Finish;
+                    }
+                    self.stage = Stage::Act;
+                    // Sender acts at ¼ slot, receiver probes at ½ slot.
+                    let target = match self.role {
+                        Role::Sender => self.chan.slot_cycles / 4,
+                        Role::Receiver => self.chan.slot_cycles / 2,
+                    };
+                    return WarpStep::UntilClock {
+                        mask: slot_mask,
+                        target,
+                    };
+                }
+                Stage::Act => {
+                    let transmit_one = self.stream[self.bit];
+                    match self.role {
+                        Role::Sender => {
+                            self.stage = Stage::NextSlot;
+                            if transmit_one {
+                                return WarpStep::Memory {
+                                    kind: AccessKind::Read,
+                                    addrs: self.addrs.clone(),
+                                    wait: true,
+                                };
+                            }
+                        }
+                        Role::Receiver => {
+                            self.stage = Stage::Report;
+                            return WarpStep::Memory {
+                                kind: AccessKind::Read,
+                                addrs: self.addrs.clone(),
+                                wait: true,
+                            };
+                        }
+                    }
+                }
+                Stage::Report => {
+                    self.stage = Stage::NextSlot;
+                    let tag = self.bit as u32;
+                    return WarpStep::Record {
+                        tag,
+                        value: ctx.last_mem_latency,
+                    };
+                }
+                Stage::NextSlot => {
+                    self.bit += 1;
+                    self.stage = match self.role {
+                        Role::Receiver => Stage::Prime,
+                        Role::Sender => Stage::PhaseWait,
+                    };
+                    // Wait for the next slot start (never a free step:
+                    // both roles are mid-slot here).
+                    return WarpStep::UntilClock {
+                        mask: slot_mask,
+                        target: 0,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnc_common::rng::experiment_rng;
+
+    #[test]
+    fn prime_probe_transmits_across_the_whole_chip() {
+        let cfg = GpuConfig::volta_v100();
+        let chan = PrimeProbeChannel::default();
+        // Sender SM0 (TPC0), receiver SM13 (TPC6): no TPC co-location,
+        // unlike the NoC channel, which requires sibling SMs.
+        assert_ne!(
+            cfg.tpc_of_sm(gnc_common::ids::SmId::new(chan.sender_sm)),
+            cfg.tpc_of_sm(gnc_common::ids::SmId::new(chan.receiver_sm))
+        );
+        let mut rng = experiment_rng("pp", 0);
+        let payload = BitVec::random(&mut rng, 24);
+        let report = chan.transmit(&cfg, &payload, 1);
+        assert!(
+            report.error_rate < 0.10,
+            "prime+probe error {} (latencies {:?})",
+            report.error_rate,
+            report.latencies
+        );
+    }
+
+    #[test]
+    fn prime_probe_is_an_order_of_magnitude_slower() {
+        // Table 2's point: the serial global channel cannot approach the
+        // parallel local one.
+        let cfg = GpuConfig::volta_v100();
+        let pp = PrimeProbeChannel::default();
+        let pp_bw = cfg.core_clock_hz as f64 / f64::from(pp.slot_cycles);
+        let noc_multi =
+            crate::protocol::ProtocolConfig::tpc(5).bits_per_second(&cfg) / 2.0 * 40.0;
+        assert!(
+            noc_multi > pp_bw * 10.0,
+            "NoC {noc_bw} vs prime+probe {pp_bw}",
+            noc_bw = noc_multi
+        );
+    }
+
+    #[test]
+    fn eviction_set_covers_the_associativity() {
+        let cfg = GpuConfig::volta_v100();
+        let map = AddressMap::new(&cfg);
+        let chan = PrimeProbeChannel::default();
+        let rx = chan.receiver_addrs(&map);
+        let tx = chan.sender_addrs(&map, cfg.mem.l2_assoc);
+        assert_eq!(rx.len(), 8);
+        assert_eq!(tx.len(), cfg.mem.l2_assoc);
+        // All in the same slice and set, all distinct tags.
+        let mut tags = std::collections::HashSet::new();
+        for &a in rx.iter().chain(&tx) {
+            assert_eq!(map.slice_of(a).index(), chan.slice);
+            assert_eq!(map.set_of(a), chan.set);
+            assert!(tags.insert(map.tag_of(a)), "duplicate tag");
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! Channel orchestration: build, transmit, decode, report.
+//!
+//! A [`ChannelPlan`] is a set of point-to-point covert channels (one per
+//! TPC for the TPC channel, one per GPC for the GPC channel) sharing one
+//! [`ProtocolConfig`]. [`ChannelPlan::transmit`] stripes a payload
+//! across the channels, launches the trojan and spy kernels into two
+//! streams on a fresh simulated GPU, runs to completion, and decodes the
+//! receiver's latency records back into bits using a threshold calibrated
+//! from the per-channel preamble.
+
+use crate::protocol::{
+    Assignments, ChannelKind, ProtocolConfig, ReceiverKernel, SenderKernel, RECEIVER_BASE,
+    SENDER_BASE,
+};
+use gnc_common::bits::BitVec;
+use gnc_common::ids::{KernelId, StreamId, TpcId};
+use gnc_common::{Cycle, GpuConfig};
+use gnc_sim::gpu::Gpu;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One point-to-point channel: which SMs flood, which SM listens.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Label for reports (e.g. "TPC3" or "GPC5").
+    pub label: String,
+    /// SM indices that transmit.
+    pub sender_sms: Vec<usize>,
+    /// SM index that listens.
+    pub receiver_sm: usize,
+}
+
+/// Outcome of one transmission over one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelOutcome {
+    /// The channel's label.
+    pub label: String,
+    /// Receiving SM.
+    pub receiver_sm: usize,
+    /// Per-slot measured latencies (preamble included), slot order.
+    pub latencies: Vec<u64>,
+    /// The calibrated decision threshold.
+    pub threshold: f64,
+    /// Decoded payload bits (preamble stripped).
+    pub decoded: BitVec,
+    /// Payload bits this channel was supposed to carry.
+    pub sent: BitVec,
+    /// Bit errors on this channel.
+    pub errors: usize,
+}
+
+/// Aggregate outcome of one transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionReport {
+    /// Payload as sent.
+    pub sent: BitVec,
+    /// Payload as decoded (same striping order).
+    pub received: BitVec,
+    /// Bit errors over the payload.
+    pub errors: usize,
+    /// errors / payload length.
+    pub error_rate: f64,
+    /// Cycles between the first and last receiver measurement, plus one
+    /// slot (the active transmission window).
+    pub elapsed_cycles: Cycle,
+    /// Aggregate goodput over the transmission window, in bits/s
+    /// (payload + preamble bits, as the paper counts raw channel bits).
+    pub bandwidth_bps: f64,
+    /// Payload-only goodput in bits/s.
+    pub payload_bandwidth_bps: f64,
+    /// Number of parallel channels used.
+    pub channels_used: usize,
+    /// Per-channel details.
+    pub per_channel: Vec<ChannelOutcome>,
+}
+
+/// A set of parallel covert channels under one protocol.
+#[derive(Debug, Clone)]
+pub struct ChannelPlan {
+    proto: ProtocolConfig,
+    channels: Vec<ChannelSpec>,
+    blocks_per_kernel: usize,
+}
+
+impl ChannelPlan {
+    /// A plan from explicit channel specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is empty.
+    pub fn from_specs(
+        gpu_cfg: &GpuConfig,
+        proto: ProtocolConfig,
+        channels: Vec<ChannelSpec>,
+    ) -> Self {
+        assert!(!channels.is_empty(), "a plan needs at least one channel");
+        Self {
+            proto,
+            channels,
+            blocks_per_kernel: gpu_cfg.num_tpcs(),
+        }
+    }
+
+    /// TPC channels over the given TPC indices (§4.4): the sender owns
+    /// the even SM, the receiver the odd SM of each TPC.
+    pub fn tpc(gpu_cfg: &GpuConfig, proto: ProtocolConfig, tpcs: &[usize]) -> Self {
+        assert_eq!(proto.kind, ChannelKind::Tpc, "protocol must be TPC-kind");
+        let channels = tpcs
+            .iter()
+            .map(|&t| ChannelSpec {
+                label: format!("TPC{t}"),
+                sender_sms: vec![2 * t],
+                receiver_sm: 2 * t + 1,
+            })
+            .collect();
+        Self::from_specs(gpu_cfg, proto, channels)
+    }
+
+    /// All-TPC plan: the paper's 24 Mbps configuration.
+    ///
+    /// The slot length is doubled relative to the single-channel
+    /// protocol: with 40 receivers measuring simultaneously, their read
+    /// replies share each GPC's reply channel (up to 7 per GPC on a
+    /// 3-flit/cycle channel), so a measurement takes roughly twice as
+    /// long — the same reason the paper needs more iterations and a
+    /// higher `T` for the multi-TPC channel (§4.4).
+    pub fn multi_tpc(gpu_cfg: &GpuConfig, mut proto: ProtocolConfig) -> Self {
+        proto.slot_cycles *= 2;
+        let all: Vec<usize> = (0..gpu_cfg.num_tpcs()).collect();
+        Self::tpc(gpu_cfg, proto, &all)
+    }
+
+    /// GPC channels (§4.5). `membership[g]` lists the TPCs of GPC `g`
+    /// (use the *recovered* mapping from [`crate::reverse`], or the
+    /// ground truth in tests). The first TPC of each requested GPC
+    /// listens (odd SM); every other TPC floods (even SMs).
+    pub fn gpc(
+        gpu_cfg: &GpuConfig,
+        proto: ProtocolConfig,
+        membership: &[Vec<TpcId>],
+        gpcs: &[usize],
+    ) -> Self {
+        assert_eq!(proto.kind, ChannelKind::Gpc, "protocol must be GPC-kind");
+        let channels = gpcs
+            .iter()
+            .map(|&g| {
+                let members = &membership[g];
+                assert!(
+                    members.len() >= 2,
+                    "GPC{g} needs at least two TPCs for a channel"
+                );
+                ChannelSpec {
+                    label: format!("GPC{g}"),
+                    sender_sms: members[1..].iter().map(|t| 2 * t.index()).collect(),
+                    receiver_sm: 2 * members[0].index() + 1,
+                }
+            })
+            .collect();
+        Self::from_specs(gpu_cfg, proto, channels)
+    }
+
+    /// The protocol in use.
+    pub fn protocol(&self) -> &ProtocolConfig {
+        &self.proto
+    }
+
+    /// The channel specs.
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// Stripes `payload` across channels round-robin: channel `i` carries
+    /// bits `i, i+n, i+2n, …`.
+    fn stripe(&self, payload: &BitVec) -> Vec<Vec<bool>> {
+        let n = self.channels.len();
+        let mut chunks = vec![Vec::new(); n];
+        for (i, bit) in payload.iter().enumerate() {
+            chunks[i % n].push(bit);
+        }
+        chunks
+    }
+
+    fn preamble(&self) -> Vec<bool> {
+        (0..self.proto.preamble_bits).map(|i| i % 2 == 1).collect()
+    }
+
+    /// Runs one full transmission of `payload` on a fresh GPU.
+    ///
+    /// `seed` controls the clock-domain draw and all protocol jitter, so
+    /// identical `(plan, payload, seed)` triples reproduce identical
+    /// transmissions.
+    ///
+    /// ```no_run
+    /// use gnc_common::bits::BitVec;
+    /// use gnc_common::GpuConfig;
+    /// use gnc_covert::channel::ChannelPlan;
+    /// use gnc_covert::protocol::ProtocolConfig;
+    ///
+    /// let cfg = GpuConfig::volta_v100();
+    /// let plan = ChannelPlan::multi_tpc(&cfg, ProtocolConfig::tpc(5));
+    /// let report = plan.transmit(&cfg, &BitVec::from_bytes(b"secret"), 42);
+    /// println!("{:.1} Mbps", report.bandwidth_bps / 1e6);
+    /// ```
+    pub fn transmit(&self, gpu_cfg: &GpuConfig, payload: &BitVec, seed: u64) -> TransmissionReport {
+        let mut gpu = Gpu::with_clock_seed(gpu_cfg.clone(), seed).expect("valid GPU config");
+        self.transmit_on(&mut gpu, payload, seed)
+    }
+
+    /// MPS-style multiprogramming (§2.1): the trojan and spy come from
+    /// *different processes*, so their kernels launch `skew_cycles`
+    /// apart. As the paper observes, the only cost is the one-time
+    /// synchronization: both sides still meet at the next clock-window
+    /// boundary as long as the skew stays below the sync window.
+    pub fn transmit_with_launch_skew(
+        &self,
+        gpu_cfg: &GpuConfig,
+        payload: &BitVec,
+        seed: u64,
+        skew_cycles: Cycle,
+    ) -> TransmissionReport {
+        let mut gpu = Gpu::with_clock_seed(gpu_cfg.clone(), seed).expect("valid GPU config");
+        self.transmit_inner(&mut gpu, payload, seed, skew_cycles)
+    }
+
+    /// Runs one full transmission on an existing GPU (lets callers
+    /// pre-configure arbitration, noise kernels, etc.). The GPU should be
+    /// idle; records are cleared.
+    pub fn transmit_on(
+        &self,
+        gpu: &mut Gpu,
+        payload: &BitVec,
+        seed: u64,
+    ) -> TransmissionReport {
+        self.transmit_inner(gpu, payload, seed, 0)
+    }
+
+    fn transmit_inner(
+        &self,
+        gpu: &mut Gpu,
+        payload: &BitVec,
+        seed: u64,
+        launch_skew: Cycle,
+    ) -> TransmissionReport {
+        let gpu_cfg = gpu.config().clone();
+        let line_bytes = u64::from(gpu_cfg.mem.line_bytes);
+        gpu.clear_records();
+
+        // Build per-channel streams: preamble ++ striped chunk.
+        let preamble = self.preamble();
+        let chunks = self.stripe(payload);
+        let mut sender_map: HashMap<usize, Arc<Vec<bool>>> = HashMap::new();
+        let mut recv_lengths: HashMap<usize, usize> = HashMap::new();
+        for (spec, chunk) in self.channels.iter().zip(&chunks) {
+            let mut stream = preamble.clone();
+            stream.extend_from_slice(chunk);
+            let stream = Arc::new(stream);
+            for &sm in &spec.sender_sms {
+                sender_map.insert(sm, Arc::clone(&stream));
+            }
+            recv_lengths.insert(spec.receiver_sm, stream.len());
+        }
+        let assignments: Assignments = Arc::new(sender_map);
+
+        // Preload both working sets so every timed access is an L2 hit.
+        let region = self.proto.region_lines();
+        let sms = gpu_cfg.num_sms() as u64;
+        gpu.preload_range(SENDER_BASE, sms * region);
+        gpu.preload_range(RECEIVER_BASE, sms * region);
+
+        let sender = SenderKernel::new(
+            self.proto.clone(),
+            assignments,
+            self.blocks_per_kernel,
+            line_bytes,
+            seed,
+        );
+        let receiver = ReceiverKernel::new(
+            self.proto.clone(),
+            Arc::new(recv_lengths),
+            self.blocks_per_kernel,
+            line_bytes,
+            seed,
+        );
+        gpu.launch(Box::new(sender), StreamId::new(0));
+        if launch_skew > 0 {
+            gpu.run_for(launch_skew);
+        }
+        let receiver_id = gpu.launch(Box::new(receiver), StreamId::new(1));
+
+        let stream_bits = preamble.len() + chunks.iter().map(Vec::len).max().unwrap_or(0);
+        // Generous: under heavy external interference (the §5 noise
+        // study) every slot can slip, so budget several slots per bit.
+        let budget = u64::from(self.proto.sync_window()) * 2
+            + launch_skew
+            + (stream_bits as u64 + 4) * u64::from(self.proto.slot_cycles) * 6
+            + 200_000;
+        let outcome = gpu.run_until_idle(budget);
+        debug_assert!(outcome.is_idle(), "transmission did not finish: {outcome:?}");
+
+        self.decode(gpu, receiver_id, payload, &chunks)
+    }
+
+    fn decode(
+        &self,
+        gpu: &Gpu,
+        receiver_id: KernelId,
+        payload: &BitVec,
+        chunks: &[Vec<bool>],
+    ) -> TransmissionReport {
+        let gpu_cfg = gpu.config();
+        // Collect per-receiver-SM latencies in slot order.
+        let mut by_sm: HashMap<usize, Vec<(u32, u64, Cycle)>> = HashMap::new();
+        let mut first_cycle = Cycle::MAX;
+        let mut last_cycle = 0;
+        for r in gpu.recorder().for_kernel(receiver_id) {
+            by_sm
+                .entry(r.sm.index())
+                .or_default()
+                .push((r.tag, r.value, r.cycle));
+            first_cycle = first_cycle.min(r.cycle);
+            last_cycle = last_cycle.max(r.cycle);
+        }
+
+        let mut per_channel = Vec::with_capacity(self.channels.len());
+        for (spec, chunk) in self.channels.iter().zip(chunks) {
+            let mut slots = by_sm.remove(&spec.receiver_sm).unwrap_or_default();
+            slots.sort_by_key(|&(tag, _, _)| tag);
+            let latencies: Vec<u64> = slots.iter().map(|&(_, v, _)| v).collect();
+            let (threshold, decoded_bits) = decode_stream(
+                &latencies,
+                self.proto.preamble_bits,
+                chunk.len(),
+            );
+            let sent = BitVec::from_bits(chunk.iter().copied());
+            let decoded = BitVec::from_bits(decoded_bits);
+            let errors = decoded.hamming_distance(&sent);
+            per_channel.push(ChannelOutcome {
+                label: spec.label.clone(),
+                receiver_sm: spec.receiver_sm,
+                latencies,
+                threshold,
+                decoded,
+                sent,
+                errors,
+            });
+        }
+
+        // De-stripe back into payload order.
+        let n = self.channels.len();
+        let mut received = BitVec::new();
+        for i in 0..payload.len() {
+            let bit = per_channel[i % n].decoded.get(i / n).unwrap_or(false);
+            received.push(bit);
+        }
+        let errors = received.hamming_distance(payload);
+        let error_rate = if payload.is_empty() {
+            0.0
+        } else {
+            errors as f64 / payload.len() as f64
+        };
+        let elapsed_cycles = if first_cycle == Cycle::MAX {
+            0
+        } else {
+            last_cycle - first_cycle + u64::from(self.proto.slot_cycles)
+        };
+        let total_bits: usize = per_channel
+            .iter()
+            .map(|c| c.latencies.len())
+            .sum();
+        let secs = gpu_cfg.cycles_to_seconds(elapsed_cycles.max(1));
+        TransmissionReport {
+            sent: payload.clone(),
+            received,
+            errors,
+            error_rate,
+            elapsed_cycles,
+            bandwidth_bps: total_bits as f64 / secs,
+            payload_bandwidth_bps: payload.len() as f64 / secs,
+            channels_used: n,
+            per_channel,
+        }
+    }
+}
+
+/// Calibrates a threshold from the alternating preamble and slices the
+/// payload bits out of `latencies`. Returns `(threshold, payload_bits)`.
+///
+/// Preamble slots alternate `0, 1, 0, 1, …`; the threshold is the
+/// midpoint between the mean `0` (quiet) and mean `1` (contended)
+/// latencies. A dead channel yields a degenerate threshold and the
+/// decoded bits collapse to one value — i.e. ~50 % error on random data,
+/// which is exactly how Fig 13 reports a failed channel.
+pub fn decode_stream(
+    latencies: &[u64],
+    preamble_bits: usize,
+    payload_len: usize,
+) -> (f64, Vec<bool>) {
+    let pre = &latencies[..preamble_bits.min(latencies.len())];
+    let mut quiet = 0.0;
+    let mut quiet_n = 0.0;
+    let mut loud = 0.0;
+    let mut loud_n = 0.0;
+    for (i, &l) in pre.iter().enumerate() {
+        if i % 2 == 0 {
+            quiet += l as f64;
+            quiet_n += 1.0;
+        } else {
+            loud += l as f64;
+            loud_n += 1.0;
+        }
+    }
+    let quiet_mean = if quiet_n > 0.0 { quiet / quiet_n } else { 0.0 };
+    let loud_mean = if loud_n > 0.0 { loud / loud_n } else { 0.0 };
+    let threshold = (quiet_mean + loud_mean) / 2.0;
+    let payload = latencies
+        .iter()
+        .skip(preamble_bits)
+        .take(payload_len)
+        .map(|&l| (l as f64) > threshold)
+        .collect();
+    (threshold, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnc_common::rng::experiment_rng;
+
+    fn volta() -> GpuConfig {
+        GpuConfig::volta_v100()
+    }
+
+    #[test]
+    fn decode_stream_thresholds_on_preamble() {
+        // Preamble 0,1,0,1 with latencies 100/200; payload follows.
+        let lat = vec![100, 200, 100, 200, 105, 195, 100];
+        let (thr, bits) = decode_stream(&lat, 4, 3);
+        assert!((thr - 150.0).abs() < 1e-9);
+        assert_eq!(bits, vec![false, true, false]);
+    }
+
+    #[test]
+    fn decode_stream_dead_channel_collapses() {
+        let lat = vec![100; 12];
+        let (_, bits) = decode_stream(&lat, 4, 8);
+        // All equal to the threshold → decoded all-false.
+        assert!(bits.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn stripe_round_robins_bits() {
+        let cfg = volta();
+        let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(1), &[0, 1]);
+        let payload = BitVec::from_bits([true, false, true, true, false]);
+        let chunks = plan.stripe(&payload);
+        assert_eq!(chunks[0], vec![true, true, false]);
+        assert_eq!(chunks[1], vec![false, true]);
+    }
+
+    #[test]
+    fn single_tpc_channel_transmits_a_byte_reliably() {
+        let cfg = volta();
+        let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+        let mut rng = experiment_rng("chan-test", 1);
+        let payload = BitVec::random(&mut rng, 24);
+        let report = plan.transmit(&cfg, &payload, 3);
+        assert_eq!(report.received.len(), 24);
+        assert!(
+            report.error_rate < 0.05,
+            "TPC channel too lossy: {} ({} errors)\nlat: {:?}",
+            report.error_rate,
+            report.errors,
+            report.per_channel[0].latencies
+        );
+        assert!(report.bandwidth_bps > 100_000.0);
+    }
+
+    #[test]
+    fn channel_on_any_tpc_works() {
+        // The attack must not depend on TPC0 specifically.
+        let cfg = volta();
+        let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[17]);
+        let mut rng = experiment_rng("chan-test", 2);
+        let payload = BitVec::random(&mut rng, 16);
+        let report = plan.transmit(&cfg, &payload, 5);
+        assert!(report.error_rate < 0.05, "error {}", report.error_rate);
+    }
+
+    #[test]
+    fn multi_tpc_stripes_and_reassembles() {
+        let cfg = volta();
+        let plan = ChannelPlan::multi_tpc(&cfg, ProtocolConfig::tpc(4));
+        assert_eq!(plan.channels().len(), 40);
+        let mut rng = experiment_rng("chan-test", 3);
+        let payload = BitVec::random(&mut rng, 120); // 3 bits per channel
+        let report = plan.transmit(&cfg, &payload, 7);
+        assert_eq!(report.received.len(), 120);
+        assert!(
+            report.error_rate < 0.05,
+            "multi-TPC error {}",
+            report.error_rate
+        );
+        assert_eq!(report.channels_used, 40);
+    }
+
+    #[test]
+    fn gpc_channel_transmits() {
+        let cfg = volta();
+        let membership: Vec<Vec<TpcId>> = (0..cfg.num_gpcs)
+            .map(|g| cfg.tpcs_of_gpc(gnc_common::ids::GpcId::new(g)))
+            .collect();
+        let plan = ChannelPlan::gpc(&cfg, ProtocolConfig::gpc(4), &membership, &[0]);
+        let mut rng = experiment_rng("chan-test", 4);
+        let payload = BitVec::random(&mut rng, 16);
+        let report = plan.transmit(&cfg, &payload, 9);
+        assert!(
+            report.error_rate < 0.10,
+            "GPC channel too lossy: {}\nlat: {:?} thr {}",
+            report.error_rate,
+            report.per_channel[0].latencies,
+            report.per_channel[0].threshold
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn empty_plan_rejected() {
+        let cfg = volta();
+        let _ = ChannelPlan::from_specs(&cfg, ProtocolConfig::tpc(1), Vec::new());
+    }
+}

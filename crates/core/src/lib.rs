@@ -1,0 +1,57 @@
+//! The paper's primary contribution: the GPU NoC interconnect covert
+//! channel, end to end.
+//!
+//! Everything here runs against the from-scratch GPU simulator in
+//! [`gnc_sim`] (the hardware substitute documented in DESIGN.md):
+//!
+//! * [`reverse`] — reverse engineering of the on-chip network (§3):
+//!   which SMs share a TPC channel (Fig 2), which TPCs share a GPC
+//!   channel (Fig 3), and recovery of the full logical→physical mapping
+//!   (Fig 4) — blind, without reading the simulator's ground truth.
+//! * [`sync`] — the clock-register synchronization study (§4.1, Fig 6).
+//! * [`characterize`] — contention characterisation (Figs 5, 8, 11, 12).
+//! * [`protocol`] — Algorithm 2: the sender/receiver warp programs, the
+//!   timing-slot discipline, and clock-based resynchronisation.
+//! * [`channel`] — channel orchestration: TPC channels, GPC channels,
+//!   multi-channel striping, transmission, decoding, and reporting
+//!   (Figs 9, 10, 13).
+//! * [`encoding`] — the multi-level (2-bit) extension (§5, Fig 14).
+//! * [`sidechannel`] — the §5 side-channel sketch: a spy metering a
+//!   victim's L2 access intensity through NoC contention alone.
+//! * [`baseline`] — the prior-art comparator: a serial L2 prime+probe
+//!   covert channel measured on the same simulator (Table 2's contrast).
+//! * [`countermeasure`] — the secure-arbitration study (§6, Fig 15) and
+//!   the SRR performance-overhead analysis.
+//! * [`metrics`] — report types and the Table 2 comparison generator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gnc_common::bits::BitVec;
+//! use gnc_common::GpuConfig;
+//! use gnc_covert::channel::ChannelPlan;
+//! use gnc_covert::protocol::ProtocolConfig;
+//!
+//! let gpu_cfg = GpuConfig::volta_v100();
+//! let proto = ProtocolConfig::tpc(4);
+//! // One covert channel over TPC0 (sender on SM0, receiver on SM1).
+//! let plan = ChannelPlan::tpc(&gpu_cfg, proto, &[0]);
+//! let payload = BitVec::from_bytes(b"!");
+//! let report = plan.transmit(&gpu_cfg, &payload, 0);
+//! assert_eq!(report.received.len(), payload.len());
+//! assert!(report.error_rate < 0.05, "error rate {}", report.error_rate);
+//! ```
+
+pub mod baseline;
+pub mod channel;
+pub mod characterize;
+pub mod countermeasure;
+pub mod encoding;
+pub mod metrics;
+pub mod protocol;
+pub mod reverse;
+pub mod sidechannel;
+pub mod sync;
+
+pub use channel::{ChannelPlan, TransmissionReport};
+pub use protocol::{ChannelKind, ProtocolConfig, SyncMode};

@@ -1,0 +1,914 @@
+//! Algorithm 2: the interconnect covert-channel protocol.
+//!
+//! A transmission is a sequence of timing slots of `T` cycles, agreed
+//! between sender and receiver in advance. In every slot the receiver
+//! issues a burst of L2 accesses and times it; the sender either floods
+//! the shared channel (bit `1`) or stays silent (bit `0`). Both sides
+//! pace themselves on their local 32-bit clock register: its low bits
+//! mark the slot boundaries, and — because co-located SMs have almost no
+//! clock skew (§4.1) — no explicit handshake is ever needed.
+//!
+//! Two pacing disciplines are implemented, matching Fig 9. Slot pacing
+//! is a software busy-wait whose lateness is quantized by the pacing
+//! loop's iteration cost (a [`ProtocolConfig`] parameter), and the two
+//! kernels' loops differ — so the per-slot lateness *differential*
+//! accumulates:
+//!
+//! * [`SyncMode::SlotOnly`] — after the initial alignment, each side
+//!   counts `T` cycles per slot locally; the differential drift (and any
+//!   slot overrun) accumulates until `1`s read as no-contention —
+//!   Fig 9(a).
+//! * [`SyncMode::ClockAligned`] — the same, but every `sync_period` bits
+//!   both sides re-align on the clock's low bits
+//!   (`clock & (sync_period·T − 1) == 0`), resetting accumulated error —
+//!   Fig 9(b). Initial alignment is two-step (window midpoint, then
+//!   boundary) so that launching right on a boundary cannot leave the
+//!   two sides a full window apart.
+
+use gnc_common::config::GpuConfig;
+use gnc_common::rng::experiment_rng;
+use gnc_sim::kernel::{
+    AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep,
+};
+use gnc_common::ids::{BlockId, WarpId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+
+/// Base byte address of the senders' preloaded working set.
+pub const SENDER_BASE: u64 = 0;
+/// Base byte address of the receivers' preloaded working set.
+pub const RECEIVER_BASE: u64 = 0x0100_0000;
+
+/// Which hierarchical channel the protocol runs over (§4.4 vs §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelKind {
+    /// Two SMs of one TPC; contention weapon: **writes** (§3.4).
+    Tpc,
+    /// TPCs of one GPC; contention weapon: **reads** (§3.4).
+    Gpc,
+}
+
+impl ChannelKind {
+    /// The memory access direction the **sender** floods with — the
+    /// access type that actually produces contention on this channel
+    /// (§3.4): writes saturate the TPC request channel, reads saturate
+    /// the GPC reply channel.
+    pub fn access_kind(self) -> AccessKind {
+        match self {
+            ChannelKind::Tpc => AccessKind::Write,
+            ChannelKind::Gpc => AccessKind::Read,
+        }
+    }
+
+    /// The access direction the **receiver** measures with — the same
+    /// weapon as the sender's (§3.4): the TPC receiver times *stores*
+    /// (their 2-flit request packets are what the shared request channel
+    /// serialises, so their completion time exposes the contention),
+    /// while the GPC receiver times *loads* (its read replies share the
+    /// GPC reply channel with the senders'). A TPC receiver timing loads
+    /// instead would learn nothing: a load burst's latency is dominated
+    /// by its own reply ejection, which the sender cannot touch.
+    pub fn receiver_kind(self) -> AccessKind {
+        match self {
+            ChannelKind::Tpc => AccessKind::Write,
+            ChannelKind::Gpc => AccessKind::Read,
+        }
+    }
+
+    /// Default sender warp count. The paper activates 5 warps for the
+    /// TPC sender and 8 per SM for the GPC sender (to overcome the GPC
+    /// bandwidth speedup, §4.5). In this model a *single* TPC sender
+    /// warp already saturates the shared channel for the whole
+    /// measurement window (its LSU feeds 2-flit packets into a
+    /// 1-flit/cycle channel), and the GPC sender — which runs on up to
+    /// six SMs simultaneously — needs only 2 warps per SM. See DESIGN.md
+    /// for the bandwidth-scale argument.
+    pub fn default_sender_warps(self) -> usize {
+        match self {
+            ChannelKind::Tpc => 1,
+            ChannelKind::Gpc => 2,
+        }
+    }
+}
+
+/// Slot pacing discipline (Fig 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncMode {
+    /// Count `T` cycles per slot locally; drift accumulates.
+    SlotOnly,
+    /// Re-align on the clock's low bits every `sync_period` bits.
+    ClockAligned {
+        /// Bits between re-alignments (power of two).
+        sync_period: u32,
+    },
+}
+
+/// Full parameterisation of one covert-channel transmission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolConfig {
+    /// Channel level (TPC or GPC).
+    pub kind: ChannelKind,
+    /// Timing slot length `T` in cycles (power of two so slot boundaries
+    /// are visible in the clock's low bits).
+    pub slot_cycles: u32,
+    /// Memory operations per bit ("iterations", Fig 10's x-axis): each
+    /// receiver measurement and each sender flood burst comprises
+    /// `iterations × requests_per_access` accesses.
+    pub iterations: u32,
+    /// Warps the sender runs per SM.
+    pub sender_warps: usize,
+    /// Iterations per sender burst when different from the receiver's
+    /// (`None` = same) — lets experiments shape the sender's flood
+    /// independently of the receiver's measurement depth.
+    pub sender_iterations: Option<u32>,
+    /// Busy-wait loop granularity of the sender's pacing code, in
+    /// cycles. Slot pacing is a software loop
+    /// (`while (clock() - start < T);`) whose wait lands on the next
+    /// loop-iteration boundary, so each slot starts up to one iteration
+    /// late. The two sides' loop bodies differ, so their granularities
+    /// differ — and under [`SyncMode::SlotOnly`] the *differential*
+    /// lateness accumulates into the drift of Fig 9(a); periodic
+    /// re-alignment on the clock register (Fig 9(b)) resets it.
+    pub sender_pacing_quantum: u32,
+    /// Busy-wait loop granularity of the receiver's pacing code.
+    pub receiver_pacing_quantum: u32,
+    /// Pacing discipline.
+    pub mode: SyncMode,
+    /// Whether the sender's accesses are uncoalesced (32 lines per
+    /// instruction) or coalesced (1 line) — Fig 13's knob.
+    pub sender_uncoalesced: bool,
+    /// Same knob for the receiver.
+    pub receiver_uncoalesced: bool,
+    /// Accesses per memory instruction (SIMT width, 32).
+    pub requests_per_access: u32,
+    /// Maximum random delay of the receiver's measurement within its
+    /// slot, modelling warp-scheduling non-determinism (Fig 12's
+    /// alignment problem).
+    pub jitter_cycles: u32,
+    /// Alternating `0101…` calibration bits prepended to every channel's
+    /// stream; the decoder derives its latency threshold from them.
+    pub preamble_bits: usize,
+    /// Mean of the exponential measurement-interference noise added to
+    /// every recorded latency. Real GPUs overlay the deterministic
+    /// contention signal with scheduler/DRAM-refresh/pipeline
+    /// interference whose tail is well modelled as exponential; a mean
+    /// of 16 cycles reproduces Fig 10(a)'s error-vs-iterations curve
+    /// (error ≈ e^(−margin/mean): ~13 % at 1 iteration, ~0 at 4).
+    pub noise_mean_cycles: u32,
+    /// Estimated uncontended burst duration (pacing pad and sender
+    /// stagger).
+    pub nominal_batch_cycles: u32,
+    /// Cycles before the slot end at which the sender stops issuing new
+    /// bursts so it does not bleed into the next slot.
+    pub guard_cycles: u32,
+}
+
+impl ProtocolConfig {
+    fn auto(kind: ChannelKind, iterations: u32) -> Self {
+        let iterations = iterations.max(1);
+        let warps = kind.default_sender_warps() as u32;
+        // One uncontended burst serialises 2 flits × 32 packets × k on a
+        // 1 flit/cycle channel (scattered 4-byte accesses); under
+        // contention the receiver gets half the channel. The slot must
+        // also fit the sender's aggregate burst (warps × 64k flits
+        // sharing the channel with the receiver), plus the ~200-cycle L2
+        // round trip and margin for jitter.
+        let nominal = 64 * iterations + 220;
+        let contended = 128 * iterations + 300;
+        let sender_span = match kind {
+            // TPC: sender warps + the receiver share one 1 flit/cycle
+            // channel.
+            ChannelKind::Tpc => (warps + 1) * 64 * iterations + 300,
+            // GPC: up to six sender SMs' read replies drain through the
+            // 3 flit/cycle GPC reply channel.
+            ChannelKind::Gpc => 6 * warps * 64 * iterations / 3 + 300,
+        };
+        let slot_cycles = contended.max(sender_span).next_power_of_two();
+        Self {
+            kind,
+            slot_cycles,
+            iterations,
+            sender_warps: kind.default_sender_warps(),
+            sender_iterations: None,
+            sender_pacing_quantum: 12,
+            receiver_pacing_quantum: 8,
+            mode: SyncMode::ClockAligned { sync_period: 8 },
+            sender_uncoalesced: true,
+            receiver_uncoalesced: true,
+            requests_per_access: 32,
+            jitter_cycles: 24,
+            preamble_bits: 16,
+            noise_mean_cycles: 16,
+            nominal_batch_cycles: nominal,
+            guard_cycles: nominal,
+        }
+    }
+
+    /// TPC-channel defaults for the given iteration count (§4.4).
+    pub fn tpc(iterations: u32) -> Self {
+        Self::auto(ChannelKind::Tpc, iterations)
+    }
+
+    /// GPC-channel defaults for the given iteration count (§4.5).
+    pub fn gpc(iterations: u32) -> Self {
+        Self::auto(ChannelKind::Gpc, iterations)
+    }
+
+    /// The clock window used for initial (and periodic, in
+    /// [`SyncMode::ClockAligned`]) alignment.
+    pub fn sync_window(&self) -> u32 {
+        match self.mode {
+            SyncMode::ClockAligned { sync_period } => {
+                self.slot_cycles * sync_period.max(1).next_power_of_two()
+            }
+            // Slot-only still aligns once at the start; use a window wide
+            // enough that both kernels arrive within one period.
+            SyncMode::SlotOnly => self.slot_cycles * 64,
+        }
+    }
+
+    /// Cache lines each sender/receiver burst region spans.
+    pub fn region_lines(&self) -> u64 {
+        u64::from(self.iterations) * u64::from(self.requests_per_access).max(1)
+    }
+
+    /// Raw channel rate in bits per second at `core_clock_hz`, before
+    /// errors: one bit per slot.
+    pub fn bits_per_second(&self, cfg: &GpuConfig) -> f64 {
+        cfg.core_clock_hz as f64 / f64::from(self.slot_cycles)
+    }
+
+    /// Builds the burst address list for one bit's worth of accesses.
+    ///
+    /// `levels` scales the number of *distinct lines per access* for the
+    /// multi-level channel (§5): 32 = fully uncoalesced, 8 = 25 %, 1 =
+    /// coalesced, 0 = silent.
+    pub fn burst_addresses(
+        &self,
+        base: u64,
+        uncoalesced: bool,
+        line_bytes: u64,
+        unique_per_access: u32,
+    ) -> Vec<u64> {
+        let requests = u64::from(self.requests_per_access.max(1));
+        let mut addrs = Vec::with_capacity((self.iterations * self.requests_per_access) as usize);
+        for it in 0..u64::from(self.iterations) {
+            let it_base = base + it * requests * line_bytes;
+            if uncoalesced {
+                // Spread the warp's accesses over `unique_per_access`
+                // distinct lines (32 = fully uncoalesced; 8/16 = the §5
+                // multi-level dials): many small packets.
+                let lines = u64::from(unique_per_access.min(self.requests_per_access)).max(1);
+                for r in 0..requests {
+                    let line = r % lines;
+                    let word = r / lines;
+                    addrs.push(it_base + line * line_bytes + word * 4);
+                }
+            } else {
+                // Fully coalesced: every access falls in one line → a
+                // single full-line packet per instruction.
+                for r in 0..requests {
+                    addrs.push(it_base + r * 4);
+                }
+            }
+        }
+        addrs
+    }
+}
+
+/// Per-SM channel assignment shared by a kernel's warps.
+///
+/// Maps the SM index (learned from `%smid` at runtime) to the bit stream
+/// that channel carries. SMs not in the map exit immediately.
+pub type Assignments = Arc<HashMap<usize, Arc<Vec<bool>>>>;
+
+/// The sender (trojan) kernel: one block per TPC, warps flood the shared
+/// channel during `1` slots.
+pub struct SenderKernel {
+    proto: ProtocolConfig,
+    assignments: Assignments,
+    /// Multi-level extension (§5): per-SM symbol schedules expressed as
+    /// distinct-lines-per-access; overrides `assignments` when set.
+    levels: Option<LevelAssignments>,
+    blocks: usize,
+    line_bytes: u64,
+    seed: u64,
+}
+
+/// Per-SM multi-level schedules: SM index → per-slot contention level
+/// (distinct lines per access; 0 = silent).
+pub type LevelAssignments = Arc<HashMap<usize, Arc<Vec<u32>>>>;
+
+impl SenderKernel {
+    /// Builds the sender for `blocks` thread blocks over `assignments`.
+    pub fn new(
+        proto: ProtocolConfig,
+        assignments: Assignments,
+        blocks: usize,
+        line_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            proto,
+            assignments,
+            levels: None,
+            blocks,
+            line_bytes,
+            seed,
+        }
+    }
+
+    /// Builds a multi-level sender (§5): each slot's contention level is
+    /// taken from `levels` instead of a binary bit stream.
+    pub fn with_levels(
+        proto: ProtocolConfig,
+        levels: LevelAssignments,
+        blocks: usize,
+        line_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            proto,
+            assignments: Arc::new(HashMap::new()),
+            levels: Some(levels),
+            blocks,
+            line_bytes,
+            seed,
+        }
+    }
+}
+
+impl KernelProgram for SenderKernel {
+    fn name(&self) -> &str {
+        "covert-sender"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        self.proto.sender_warps
+    }
+
+    fn create_warp(&self, _block: BlockId, warp: WarpId) -> Box<dyn WarpProgram> {
+        let _ = warp;
+        Box::new(SenderWarp {
+            proto: self.proto.clone(),
+            assignments: Arc::clone(&self.assignments),
+            level_map: self.levels.clone(),
+            line_bytes: self.line_bytes,
+            stagger: 0,
+            bits: None,
+            levels: None,
+            bit_idx: 0,
+            slot_anchor: 0,
+            phase: Phase::Resolve,
+            _seed: self.seed,
+        })
+    }
+}
+
+/// The receiver (spy) kernel: one block per TPC, a single measuring warp.
+pub struct ReceiverKernel {
+    proto: ProtocolConfig,
+    /// SM index → number of bits to receive.
+    lengths: Arc<HashMap<usize, usize>>,
+    blocks: usize,
+    line_bytes: u64,
+    seed: u64,
+}
+
+impl ReceiverKernel {
+    /// Builds the receiver for `blocks` thread blocks; `lengths` maps
+    /// each receiving SM to its stream length.
+    pub fn new(
+        proto: ProtocolConfig,
+        lengths: Arc<HashMap<usize, usize>>,
+        blocks: usize,
+        line_bytes: u64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            proto,
+            lengths,
+            blocks,
+            line_bytes,
+            seed,
+        }
+    }
+}
+
+impl KernelProgram for ReceiverKernel {
+    fn name(&self) -> &str {
+        "covert-receiver"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        1
+    }
+
+    fn create_warp(&self, block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+        Box::new(ReceiverWarp {
+            proto: self.proto.clone(),
+            lengths: Arc::clone(&self.lengths),
+            line_bytes: self.line_bytes,
+            n_bits: None,
+            bit_idx: 0,
+            slot_anchor: 0,
+            phase: Phase::Resolve,
+            rng: experiment_rng("receiver-jitter", self.seed ^ (block.index() as u64) << 8),
+        })
+    }
+}
+
+/// Computes the busy-wait sleep to the next slot boundary, rounded up
+/// to the pacing loop's iteration `quantum`, and the resulting (possibly
+/// drifted) anchor of the next slot. Overruns start the next slot late.
+fn paced_sleep(clock32: u32, anchor: u32, slot: u32, quantum: u32) -> (u32, u32) {
+    let elapsed = clock32.wrapping_sub(anchor);
+    if elapsed < slot {
+        let exact = slot - elapsed;
+        let quantized = exact.div_ceil(quantum.max(1)) * quantum.max(1);
+        // The next slot starts where the quantized wait actually lands.
+        (quantized, anchor.wrapping_add(elapsed + quantized))
+    } else {
+        // Overran the slot entirely: start the next one immediately.
+        (1, clock32.wrapping_add(1))
+    }
+}
+
+/// Draws an exponential interference delay with the given mean, capped
+/// (a measurement can be disturbed, not indefinitely delayed).
+fn exponential_noise(rng: &mut gnc_common::rng::DetRng, mean: u32, cap: u32) -> u64 {
+    if mean == 0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let sample = (-u.ln() * f64::from(mean)).round() as u64;
+    sample.min(u64::from(cap.max(1)))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Resolve,
+    /// Reached the window midpoint; next stop is the actual boundary.
+    /// Two-step sync guarantees both sides wake at the *same* boundary
+    /// even when one launches within a cycle of a boundary (otherwise
+    /// that side would catch it immediately and run a full window ahead).
+    Halfway,
+    Synced,
+    SlotStart,
+    Working,
+    Measure,
+    RecordLatency,
+    Pace,
+    Realigned,
+}
+
+struct SenderWarp {
+    proto: ProtocolConfig,
+    assignments: Assignments,
+    level_map: Option<LevelAssignments>,
+    line_bytes: u64,
+    stagger: u32,
+    bits: Option<Arc<Vec<bool>>>,
+    /// Multi-level extension: per-symbol distinct-lines-per-access; when
+    /// set, overrides `bits` (see `encoding`).
+    levels: Option<Arc<Vec<u32>>>,
+    bit_idx: usize,
+    slot_anchor: u32,
+    phase: Phase,
+    _seed: u64,
+}
+
+impl SenderWarp {
+    fn stream_len(&self) -> usize {
+        if let Some(l) = &self.levels {
+            l.len()
+        } else {
+            self.bits.as_ref().map_or(0, |b| b.len())
+        }
+    }
+
+    fn current_level(&self) -> u32 {
+        if let Some(levels) = &self.levels {
+            levels[self.bit_idx]
+        } else if self.bits.as_ref().is_some_and(|b| b[self.bit_idx]) {
+            self.proto.requests_per_access
+        } else {
+            0
+        }
+    }
+}
+
+impl WarpProgram for SenderWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        loop {
+            match self.phase {
+                Phase::Resolve => {
+                    if let Some(level_map) = &self.level_map {
+                        match level_map.get(&ctx.sm.index()) {
+                            Some(levels) => self.levels = Some(Arc::clone(levels)),
+                            None => return WarpStep::Finish,
+                        }
+                    } else {
+                        match self.assignments.get(&ctx.sm.index()) {
+                            Some(bits) => self.bits = Some(Arc::clone(bits)),
+                            None => return WarpStep::Finish,
+                        }
+                    }
+                    self.phase = Phase::Halfway;
+                    return WarpStep::UntilClock {
+                        mask: self.proto.sync_window() - 1,
+                        target: self.proto.sync_window() / 2,
+                    };
+                }
+                Phase::Halfway => {
+                    self.phase = Phase::Synced;
+                    return WarpStep::UntilClock {
+                        mask: self.proto.sync_window() - 1,
+                        target: 0,
+                    };
+                }
+                Phase::Synced => {
+                    // Woken exactly on a sync boundary.
+                    self.slot_anchor = ctx.clock32;
+                    self.phase = Phase::SlotStart;
+                    if self.stagger > 0 {
+                        let s = self.stagger;
+                        self.stagger = 0;
+                        return WarpStep::Sleep(s);
+                    }
+                }
+                Phase::SlotStart => {
+                    if self.bit_idx >= self.stream_len() {
+                        return WarpStep::Finish;
+                    }
+                    self.phase = if self.current_level() > 0 {
+                        Phase::Working
+                    } else {
+                        Phase::Pace
+                    };
+                }
+                Phase::Working => {
+                    // Algorithm 2: a fixed amount of L2 work per `1` bit,
+                    // then busy-wait for the slot remainder. Skip the
+                    // burst if this warp drifted too close to the slot
+                    // end to finish in time.
+                    let elapsed = ctx.clock32.wrapping_sub(self.slot_anchor);
+                    self.phase = Phase::Pace;
+                    if elapsed.saturating_add(self.proto.guard_cycles) < self.proto.slot_cycles
+                    {
+                        let base = SENDER_BASE
+                            + (ctx.sm.index() as u64)
+                                * self.proto.region_lines()
+                                * self.line_bytes;
+                        let mut burst_proto = self.proto.clone();
+                        if let Some(k) = self.proto.sender_iterations {
+                            burst_proto.iterations = k.max(1);
+                        }
+                        return WarpStep::Memory {
+                            kind: self.proto.kind.access_kind(),
+                            addrs: burst_proto.burst_addresses(
+                                base,
+                                self.proto.sender_uncoalesced,
+                                self.line_bytes,
+                                self.current_level(),
+                            ),
+                            wait: true,
+                        };
+                    }
+                }
+                Phase::Pace => {
+                    self.bit_idx += 1;
+                    let realign = match self.proto.mode {
+                        SyncMode::ClockAligned { sync_period } => {
+                            self.bit_idx % sync_period.max(1) as usize == 0
+                        }
+                        SyncMode::SlotOnly => false,
+                    };
+                    if realign {
+                        self.phase = Phase::Realigned;
+                        return WarpStep::UntilClock {
+                            mask: self.proto.sync_window() - 1,
+                            target: 0,
+                        };
+                    }
+                    self.phase = Phase::SlotStart;
+                    let (sleep, next_anchor) = paced_sleep(
+                        ctx.clock32,
+                        self.slot_anchor,
+                        self.proto.slot_cycles,
+                        self.proto.sender_pacing_quantum,
+                    );
+                    self.slot_anchor = next_anchor;
+                    return WarpStep::Sleep(sleep);
+                }
+                Phase::Realigned => {
+                    self.slot_anchor = ctx.clock32;
+                    self.phase = Phase::SlotStart;
+                }
+                Phase::Measure | Phase::RecordLatency => {
+                    unreachable!("sender never measures")
+                }
+            }
+        }
+    }
+}
+
+struct ReceiverWarp {
+    proto: ProtocolConfig,
+    lengths: Arc<HashMap<usize, usize>>,
+    line_bytes: u64,
+    n_bits: Option<usize>,
+    bit_idx: usize,
+    slot_anchor: u32,
+    phase: Phase,
+    rng: gnc_common::rng::DetRng,
+}
+
+impl WarpProgram for ReceiverWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        loop {
+            match self.phase {
+                Phase::Resolve => {
+                    match self.lengths.get(&ctx.sm.index()) {
+                        Some(&n) => self.n_bits = Some(n),
+                        None => return WarpStep::Finish,
+                    }
+                    self.phase = Phase::Halfway;
+                    return WarpStep::UntilClock {
+                        mask: self.proto.sync_window() - 1,
+                        target: self.proto.sync_window() / 2,
+                    };
+                }
+                Phase::Halfway => {
+                    self.phase = Phase::Synced;
+                    return WarpStep::UntilClock {
+                        mask: self.proto.sync_window() - 1,
+                        target: 0,
+                    };
+                }
+                Phase::Synced => {
+                    self.slot_anchor = ctx.clock32;
+                    self.phase = Phase::SlotStart;
+                }
+                Phase::SlotStart => {
+                    if self.bit_idx >= self.n_bits.unwrap_or(0) {
+                        return WarpStep::Finish;
+                    }
+                    self.phase = Phase::Measure;
+                    if self.proto.jitter_cycles > 0 {
+                        let j = self.rng.gen_range(0..=self.proto.jitter_cycles);
+                        if j > 0 {
+                            return WarpStep::Sleep(j);
+                        }
+                    }
+                }
+                Phase::Measure => {
+                    let base = RECEIVER_BASE
+                        + (ctx.sm.index() as u64)
+                            * self.proto.region_lines()
+                            * self.line_bytes;
+                    self.phase = Phase::RecordLatency;
+                    return WarpStep::Memory {
+                        kind: self.proto.kind.receiver_kind(),
+                        addrs: self.proto.burst_addresses(
+                            base,
+                            self.proto.receiver_uncoalesced,
+                            self.line_bytes,
+                            self.proto.requests_per_access,
+                        ),
+                        wait: true,
+                    };
+                }
+                Phase::RecordLatency => {
+                    self.phase = Phase::Pace;
+                    let noise = exponential_noise(
+                        &mut self.rng,
+                        self.proto.noise_mean_cycles,
+                        self.proto.slot_cycles / 2,
+                    );
+                    return WarpStep::Record {
+                        tag: self.bit_idx as u32,
+                        value: ctx.last_mem_latency + noise,
+                    };
+                }
+                Phase::Pace => {
+                    self.bit_idx += 1;
+                    let realign = match self.proto.mode {
+                        SyncMode::ClockAligned { sync_period } => {
+                            self.bit_idx % sync_period.max(1) as usize == 0
+                        }
+                        SyncMode::SlotOnly => false,
+                    };
+                    if realign {
+                        self.phase = Phase::Realigned;
+                        return WarpStep::UntilClock {
+                            mask: self.proto.sync_window() - 1,
+                            target: 0,
+                        };
+                    }
+                    self.phase = Phase::SlotStart;
+                    let (sleep, next_anchor) = paced_sleep(
+                        ctx.clock32,
+                        self.slot_anchor,
+                        self.proto.slot_cycles,
+                        self.proto.receiver_pacing_quantum,
+                    );
+                    self.slot_anchor = next_anchor;
+                    return WarpStep::Sleep(sleep);
+                }
+                Phase::Realigned => {
+                    self.slot_anchor = ctx.clock32;
+                    self.phase = Phase::SlotStart;
+                }
+                Phase::Working => unreachable!("receiver never floods"),
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_slot_sizes_are_powers_of_two_and_fit_contended_bursts() {
+        for k in 1..=5 {
+            let p = ProtocolConfig::tpc(k);
+            assert!(p.slot_cycles.is_power_of_two());
+            assert!(p.slot_cycles >= 128 * k + 300, "k={k} slot too small");
+            assert!(p.guard_cycles < p.slot_cycles, "guard must fit in slot");
+        }
+    }
+
+    #[test]
+    fn paper_iteration_counts_hit_paper_bandwidths() {
+        let cfg = GpuConfig::volta_v100();
+        // Fig 10(a): single TPC channel ≈ 2.4 Mbps at 1 iteration and
+        // ≈ 1 Mbps at 4 iterations.
+        let k1 = ProtocolConfig::tpc(1).bits_per_second(&cfg);
+        assert!((2.0e6..2.8e6).contains(&k1), "k=1 rate {k1}");
+        let k4 = ProtocolConfig::tpc(4).bits_per_second(&cfg);
+        assert!((0.9e6..1.4e6).contains(&k4), "k=4 rate {k4}");
+        // Fig 10(b): 40 channels at 5 iterations with the multi-channel
+        // slot (doubled for reply-path sharing) ≈ 24 Mbps.
+        let mut multi = ProtocolConfig::tpc(5);
+        multi.slot_cycles *= 2;
+        let aggregate = multi.bits_per_second(&cfg) * 40.0;
+        assert!(
+            (20.0e6..28.0e6).contains(&aggregate),
+            "aggregate {aggregate}"
+        );
+    }
+
+    #[test]
+    fn kind_selects_access_direction() {
+        assert_eq!(ChannelKind::Tpc.access_kind(), AccessKind::Write);
+        assert_eq!(ChannelKind::Gpc.access_kind(), AccessKind::Read);
+        assert_eq!(ChannelKind::Tpc.receiver_kind(), AccessKind::Write);
+        assert_eq!(ChannelKind::Gpc.receiver_kind(), AccessKind::Read);
+        assert_eq!(ChannelKind::Tpc.default_sender_warps(), 1);
+        assert_eq!(ChannelKind::Gpc.default_sender_warps(), 2);
+    }
+
+    #[test]
+    fn exponential_noise_has_the_configured_scale() {
+        let mut rng = experiment_rng("noise", 0);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| exponential_noise(&mut rng, 16, 10_000)).sum();
+        let mean = total as f64 / f64::from(n);
+        assert!((14.0..18.0).contains(&mean), "noise mean {mean}");
+        let beyond: usize = (0..n)
+            .filter(|_| exponential_noise(&mut rng, 16, 10_000) > 32)
+            .count();
+        let frac = beyond as f64 / f64::from(n);
+        // P(X > 2·mean) = e^-2 ≈ 13.5 %.
+        assert!((0.10..0.18).contains(&frac), "tail fraction {frac}");
+    }
+
+    #[test]
+    fn paced_sleep_quantizes_and_tracks_drift() {
+        // Mid-slot, exact fit: wait rounds up to the quantum grid.
+        let (sleep, anchor) = super::paced_sleep(100, 0, 512, 8);
+        assert_eq!(sleep, 416); // 412 rounded up to a multiple of 8
+        assert_eq!(anchor, 516); // drifted 4 cycles past the ideal 512
+        // Overrun: next slot starts right away.
+        let (sleep, anchor) = super::paced_sleep(600, 0, 512, 8);
+        assert_eq!(sleep, 1);
+        assert_eq!(anchor, 601);
+        // Quantum 1 = exact pacing.
+        let (sleep, anchor) = super::paced_sleep(100, 0, 512, 1);
+        assert_eq!(sleep, 412);
+        assert_eq!(anchor, 512);
+    }
+
+    #[test]
+    fn zero_noise_is_silent() {
+        let mut rng = experiment_rng("noise", 1);
+        assert_eq!(exponential_noise(&mut rng, 0, 100), 0);
+    }
+
+    #[test]
+    fn sync_window_is_slot_multiple() {
+        let p = ProtocolConfig::tpc(2);
+        let w = p.sync_window();
+        assert_eq!(w % p.slot_cycles, 0);
+        assert!(w.is_power_of_two());
+    }
+
+    #[test]
+    fn burst_addresses_uncoalesced_hits_distinct_lines() {
+        let p = ProtocolConfig::tpc(3);
+        let addrs = p.burst_addresses(0, true, 128, 32);
+        assert_eq!(addrs.len(), 96);
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
+        assert_eq!(lines.len(), 96);
+    }
+
+    #[test]
+    fn burst_addresses_coalesced_is_one_line_per_instruction() {
+        let p = ProtocolConfig::tpc(3);
+        let addrs = p.burst_addresses(0, false, 128, 32);
+        assert_eq!(addrs.len(), 96); // 3 instructions × 32 accesses
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
+        assert_eq!(lines.len(), 3); // …but only one line each
+    }
+
+    #[test]
+    fn burst_addresses_partial_levels() {
+        // Multi-level symbol 1 → 8 distinct lines per instruction (25 %).
+        let p = ProtocolConfig::tpc(2);
+        let addrs = p.burst_addresses(0, true, 128, 8);
+        assert_eq!(addrs.len(), 64); // 2 instructions × 32 accesses
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
+        assert_eq!(lines.len(), 16); // 8 distinct lines per instruction
+    }
+
+    #[test]
+    fn unassigned_sender_sm_finishes_immediately() {
+        let proto = ProtocolConfig::tpc(1);
+        let kernel = SenderKernel::new(
+            proto,
+            Arc::new(HashMap::new()),
+            1,
+            128,
+            0,
+        );
+        let mut warp = kernel.create_warp(BlockId::new(0), WarpId::new(0));
+        let ctx = WarpContext {
+            now: 0,
+            clock32: 0,
+            sm: gnc_common::ids::SmId::new(7),
+            kernel: gnc_common::ids::KernelId::new(0),
+            block: BlockId::new(0),
+            warp: WarpId::new(0),
+            last_mem_latency: 0,
+        };
+        assert_eq!(warp.step(&ctx), WarpStep::Finish);
+    }
+
+    #[test]
+    fn assigned_sender_syncs_first() {
+        let proto = ProtocolConfig::tpc(1);
+        let mut map = HashMap::new();
+        map.insert(0usize, Arc::new(vec![true, false]));
+        let kernel = SenderKernel::new(proto.clone(), Arc::new(map), 1, 128, 0);
+        let mut warp = kernel.create_warp(BlockId::new(0), WarpId::new(0));
+        let ctx = WarpContext {
+            now: 0,
+            clock32: 1, // not aligned
+            sm: gnc_common::ids::SmId::new(0),
+            kernel: gnc_common::ids::KernelId::new(0),
+            block: BlockId::new(0),
+            warp: WarpId::new(0),
+            last_mem_latency: 0,
+        };
+        // Two-step sync: first the window midpoint…
+        match warp.step(&ctx) {
+            WarpStep::UntilClock { mask, target } => {
+                assert_eq!(mask, proto.sync_window() - 1);
+                assert_eq!(target, proto.sync_window() / 2);
+            }
+            other => panic!("expected midpoint wait, got {other:?}"),
+        }
+        // …then the boundary itself.
+        match warp.step(&ctx) {
+            WarpStep::UntilClock { mask, target } => {
+                assert_eq!(mask, proto.sync_window() - 1);
+                assert_eq!(target, 0);
+            }
+            other => panic!("expected boundary wait, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! Reverse engineering the GPU on-chip network (§3).
+//!
+//! Everything here treats the simulated GPU as a black box, exactly as
+//! the paper treats the V100: kernels are launched on *all* SMs and gate
+//! themselves on `%smid` (Algorithm 1), execution times are measured
+//! from the outside, and the TPC/GPC structure is inferred purely from
+//! contention — never read from the simulator's ground-truth
+//! configuration.
+//!
+//! * [`tpc_pairing_sweep`] — Fig 2: run the write benchmark on SM0 plus
+//!   one other SM; the TPC sibling shows ~2× slowdown.
+//! * [`discover_tpc_pairs`] — applies the sweep across probe SMs to
+//!   recover the SMi/SMi+1 pairing rule (§3.2).
+//! * [`gpc_scan`] — Fig 3: activate the probe TPC, one candidate TPC,
+//!   and five random TPCs (one SM each, streaming reads) and average the
+//!   probe's execution time over many trials; same-GPC candidates raise
+//!   the mean.
+//! * [`recover_mapping`] — Fig 4: repeat the scan probe-by-probe until
+//!   every TPC is assigned to a GPC group.
+
+use crossbeam::thread;
+use gnc_common::ids::{SmId, StreamId, TpcId};
+use gnc_common::rng::experiment_rng;
+use gnc_common::stats::OnlineStats;
+use gnc_common::{Cycle, GpuConfig};
+use gnc_sim::gpu::Gpu;
+use gnc_sim::kernel::AccessKind;
+use gnc_sim::workloads::{StreamConfig, StreamKernel};
+use rand::seq::SliceRandom;
+use serde::{Deserialize, Serialize};
+
+/// Runs Algorithm 1 with exactly `active_sms` doing the streaming work
+/// and returns each active SM's block execution time in cycles.
+///
+/// `kind` selects writes (TPC discovery) or reads (GPC discovery);
+/// `batches` controls run length.
+///
+/// # Panics
+///
+/// Panics if the run does not finish within its cycle budget (a
+/// simulator bug, not a measurement outcome).
+pub fn run_active_sms(
+    cfg: &GpuConfig,
+    active_sms: &[usize],
+    kind: AccessKind,
+    warps: usize,
+    batches: u32,
+    seed: u64,
+) -> Vec<(usize, Cycle)> {
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let mut sc = StreamConfig::writer(cfg.num_sms(), warps, batches);
+    sc.kind = kind;
+    sc.target_sms = Some(active_sms.to_vec());
+    let kernel = StreamKernel::new(sc, cfg);
+    let (base, lines) = kernel.working_set();
+    gpu.preload_range(base, lines);
+    let k = gpu.launch(Box::new(kernel), StreamId::new(0));
+    let budget = 20_000 + u64::from(batches) * 64 * warps as u64 * 8 * active_sms.len() as u64;
+    let outcome = gpu.run_until_idle(budget);
+    assert!(outcome.is_idle(), "benchmark did not finish: {outcome:?}");
+    let spans = gpu.block_spans(k);
+    active_sms
+        .iter()
+        .map(|&sm| {
+            let span = spans
+                .iter()
+                .find(|s| s.sm == SmId::new(sm))
+                .unwrap_or_else(|| panic!("no block placed on SM{sm}"));
+            (
+                sm,
+                span.finished_at.expect("kernel finished") - span.placed_at,
+            )
+        })
+        .collect()
+}
+
+/// One point of the Fig 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TpcSweepPoint {
+    /// The SM co-running with the probe.
+    pub other_sm: usize,
+    /// Probe execution time in cycles.
+    pub probe_cycles: Cycle,
+    /// Probe time normalised to its solo run.
+    pub normalized: f64,
+}
+
+/// Fig 2: the probe SM runs the write benchmark alone, then concurrently
+/// with every other SM in turn. Returns one point per other SM.
+pub fn tpc_pairing_sweep(
+    cfg: &GpuConfig,
+    probe_sm: usize,
+    batches: u32,
+    seed: u64,
+) -> Vec<TpcSweepPoint> {
+    let warps = 4;
+    let solo = run_active_sms(cfg, &[probe_sm], AccessKind::Write, warps, batches, seed)[0].1;
+    let others: Vec<usize> = (0..cfg.num_sms()).filter(|&s| s != probe_sm).collect();
+    parallel_map(&others, |&other| {
+        let t = run_active_sms(
+            cfg,
+            &[probe_sm, other],
+            AccessKind::Write,
+            warps,
+            batches,
+            seed,
+        )
+        .iter()
+        .find(|(sm, _)| *sm == probe_sm)
+        .expect("probe measured")
+        .1;
+        TpcSweepPoint {
+            other_sm: other,
+            probe_cycles: t,
+            normalized: t as f64 / solo as f64,
+        }
+    })
+}
+
+/// Extracts the TPC sibling of the probe from a Fig 2 sweep: the unique
+/// SM whose co-run slows the probe by ≥ 1.5×.
+///
+/// Returns `None` when zero or several SMs qualify (no clean pairing).
+pub fn sibling_from_sweep(sweep: &[TpcSweepPoint]) -> Option<usize> {
+    let hits: Vec<usize> = sweep
+        .iter()
+        .filter(|p| p.normalized >= 1.5)
+        .map(|p| p.other_sm)
+        .collect();
+    match hits.as_slice() {
+        [single] => Some(*single),
+        _ => None,
+    }
+}
+
+/// §3.2's conclusion, recovered blind: for each probe SM, find its TPC
+/// sibling. Returns the recovered `(probe, sibling)` pairs.
+pub fn discover_tpc_pairs(
+    cfg: &GpuConfig,
+    probes: &[usize],
+    batches: u32,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    probes
+        .iter()
+        .filter_map(|&probe| {
+            let sweep = tpc_pairing_sweep(cfg, probe, batches, seed);
+            sibling_from_sweep(&sweep).map(|sib| (probe, sib))
+        })
+        .collect()
+}
+
+/// Result of the Fig 3 scan for one probe TPC.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpcScan {
+    /// The probe TPC.
+    pub probe_tpc: usize,
+    /// Mean probe execution time per candidate TPC (index = candidate;
+    /// the probe's own entry is NaN).
+    pub candidate_means: Vec<f64>,
+    /// Per-candidate raw samples (Fig 3's scatter).
+    pub samples: Vec<Vec<f64>>,
+}
+
+impl GpcScan {
+    /// Candidates classified as same-GPC: means above the midpoint of
+    /// the observed mean range (Fig 3(b)'s visual threshold).
+    pub fn same_gpc_candidates(&self) -> Vec<usize> {
+        let finite: Vec<f64> = self
+            .candidate_means
+            .iter()
+            .copied()
+            .filter(|m| m.is_finite())
+            .collect();
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let threshold = (lo + hi) / 2.0;
+        if !threshold.is_finite() || (hi - lo) / lo.max(1.0) < 0.005 {
+            // No contention structure visible at all.
+            return Vec::new();
+        }
+        self.candidate_means
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_finite() && **m > threshold)
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+/// Fig 3: for each candidate TPC, co-activate {probe, candidate, 5
+/// random others} (one SM each, streaming reads) `trials` times and
+/// record the probe's execution time.
+pub fn gpc_scan(
+    cfg: &GpuConfig,
+    probe_tpc: usize,
+    trials: usize,
+    batches: u32,
+    seed: u64,
+) -> GpcScan {
+    let num_tpcs = cfg.num_tpcs();
+    let candidates: Vec<usize> = (0..num_tpcs).filter(|&c| c != probe_tpc).collect();
+    let per_candidate = parallel_map(&candidates, |&cand| {
+        let mut stats = OnlineStats::new();
+        let mut samples = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let mut rng = experiment_rng(
+                "gpc-scan",
+                seed ^ ((probe_tpc as u64) << 40) ^ ((cand as u64) << 20) ^ trial as u64,
+            );
+            let mut pool: Vec<usize> = (0..num_tpcs)
+                .filter(|&t| t != probe_tpc && t != cand)
+                .collect();
+            pool.shuffle(&mut rng);
+            let mut active_tpcs = vec![probe_tpc, cand];
+            active_tpcs.extend(pool.into_iter().take(5));
+            let active_sms: Vec<usize> = active_tpcs.iter().map(|&t| 2 * t).collect();
+            let t = run_active_sms(
+                cfg,
+                &active_sms,
+                AccessKind::Read,
+                4,
+                batches,
+                seed ^ trial as u64,
+            )
+            .iter()
+            .find(|(sm, _)| *sm == 2 * probe_tpc)
+            .expect("probe measured")
+            .1;
+            stats.push(t as f64);
+            samples.push(t as f64);
+        }
+        (cand, stats.mean(), samples)
+    });
+    let mut candidate_means = vec![f64::NAN; num_tpcs];
+    let mut samples = vec![Vec::new(); num_tpcs];
+    for (cand, mean, s) in per_candidate {
+        candidate_means[cand] = mean;
+        samples[cand] = s;
+    }
+    GpcScan {
+        probe_tpc,
+        candidate_means,
+        samples,
+    }
+}
+
+/// The recovered logical→physical mapping (Fig 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveredMapping {
+    /// Groups of TPCs sharing a GPC, each sorted ascending; group order
+    /// is by smallest member.
+    pub groups: Vec<Vec<TpcId>>,
+}
+
+impl RecoveredMapping {
+    /// Compares against a configuration's ground truth (a test oracle;
+    /// the recovery itself never looks at it).
+    pub fn matches_ground_truth(&self, cfg: &GpuConfig) -> bool {
+        let mut truth: Vec<Vec<TpcId>> = (0..cfg.num_gpcs)
+            .map(|g| cfg.tpcs_of_gpc(gnc_common::ids::GpcId::new(g)))
+            .collect();
+        truth.sort_by_key(|g| g.first().map(|t| t.index()));
+        let mut mine = self.groups.clone();
+        mine.sort_by_key(|g| g.first().map(|t| t.index()));
+        mine == truth
+    }
+
+    /// The group (GPC) index containing `tpc`, if recovered.
+    pub fn group_of(&self, tpc: TpcId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&tpc))
+    }
+
+    /// Membership in the `Vec<Vec<TpcId>>` shape
+    /// [`crate::channel::ChannelPlan::gpc`] expects.
+    pub fn membership(&self) -> Vec<Vec<TpcId>> {
+        self.groups.clone()
+    }
+}
+
+/// Pairwise co-activation statistics: `mean[i][j]` is the average
+/// execution time TPC `i` observed across random-7-TPC trials in which
+/// TPC `j` was also active. Same-GPC pairs show elevated means because
+/// some trials happen to activate four or more of their GPC's TPCs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoactivationMatrix {
+    /// Row-major mean exec times; `NaN` where no sample exists.
+    pub mean: Vec<Vec<f64>>,
+}
+
+impl CoactivationMatrix {
+    /// The `count` most-correlated partners of `tpc`, best first,
+    /// by symmetric score.
+    pub fn top_partners(&self, tpc: usize, count: usize) -> Vec<usize> {
+        let n = self.mean.len();
+        let mut scored: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != tpc)
+            .map(|j| {
+                let a = self.mean[tpc][j];
+                let b = self.mean[j][tpc];
+                let score = match (a.is_finite(), b.is_finite()) {
+                    (true, true) => a + b,
+                    (true, false) => 2.0 * a,
+                    (false, true) => 2.0 * b,
+                    (false, false) => f64::NEG_INFINITY,
+                };
+                (j, score)
+            })
+            .collect();
+        scored.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("no NaN scores"));
+        scored.into_iter().take(count).map(|(j, _)| j).collect()
+    }
+}
+
+/// Phase 1 of the Fig 4 recovery: `runs` trials each activate 9 random
+/// TPCs (one SM each, streaming reads) and record *every* active TPC's
+/// execution time, so one run contributes 72 ordered pair samples. Nine
+/// actives make it likelier that a same-GPC pair is joined by two more
+/// of its GPC (the ≥4-reader contention knee), strengthening the signal
+/// per trial.
+pub fn coactivation_matrix(
+    cfg: &GpuConfig,
+    runs: usize,
+    batches: u32,
+    seed: u64,
+) -> CoactivationMatrix {
+    let n = cfg.num_tpcs();
+    let trials: Vec<u64> = (0..runs as u64).collect();
+    let per_run = parallel_map(&trials, |&r| {
+        let mut rng = experiment_rng("coactivation", seed ^ r);
+        let mut pool: Vec<usize> = (0..n).collect();
+        pool.shuffle(&mut rng);
+        let active: Vec<usize> = pool.into_iter().take(9).collect();
+        let sms: Vec<usize> = active.iter().map(|&t| 2 * t).collect();
+        let times = run_active_sms(cfg, &sms, AccessKind::Read, 4, batches, seed ^ r);
+        (active, times)
+    });
+    let mut sum = vec![vec![0.0f64; n]; n];
+    let mut cnt = vec![vec![0u32; n]; n];
+    for (active, times) in per_run {
+        for &(sm, t) in &times {
+            let i = sm / 2;
+            for &j in &active {
+                if j != i {
+                    sum[i][j] += t as f64;
+                    cnt[i][j] += 1;
+                }
+            }
+        }
+    }
+    let mean = (0..n)
+        .map(|i| {
+            (0..n)
+                .map(|j| {
+                    if cnt[i][j] > 0 {
+                        sum[i][j] / f64::from(cnt[i][j])
+                    } else {
+                        f64::NAN
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    CoactivationMatrix { mean }
+}
+
+/// Fig 4: full mapping recovery in two phases.
+///
+/// ```no_run
+/// use gnc_common::GpuConfig;
+/// use gnc_covert::reverse::recover_mapping;
+///
+/// let cfg = GpuConfig::volta_v100();
+/// let mapping = recover_mapping(&cfg, 400, 10, 0);
+/// assert!(mapping.matches_ground_truth(&cfg));
+/// ```
+///
+/// Phase 1 samples a [`CoactivationMatrix`] from `runs` random trials.
+/// Phase 2 verifies each probe's membership *directed*: with the probe
+/// plus its three strongest phase-1 partners held active, adding one
+/// more TPC of the same GPC pushes the active same-GPC count past the
+/// contention knee (≥ 4 reading TPCs, §3.4) and elevates the probe's
+/// execution time deterministically — a crisp, trial-free classifier.
+pub fn recover_mapping(
+    cfg: &GpuConfig,
+    runs: usize,
+    batches: u32,
+    seed: u64,
+) -> RecoveredMapping {
+    let n = cfg.num_tpcs();
+    let matrix = coactivation_matrix(cfg, runs, batches, seed);
+    let mut assigned = vec![false; n];
+    let mut groups: Vec<Vec<TpcId>> = Vec::new();
+    while let Some(probe) = (0..n).find(|&t| !assigned[t]) {
+        let ranked = matrix.top_partners(probe, 4);
+        let candidates: Vec<usize> = (0..n).filter(|&t| t != probe).collect();
+        let verdicts = parallel_map(&candidates, |&t| {
+            // Helpers: the probe's 3 best partners, excluding `t` itself.
+            let helpers: Vec<usize> =
+                ranked.iter().copied().filter(|&h| h != t).take(3).collect();
+            let probe_exec = |extra: Option<usize>| -> f64 {
+                let mut active: Vec<usize> = vec![2 * probe];
+                active.extend(helpers.iter().map(|&h| 2 * h));
+                if let Some(e) = extra {
+                    active.push(2 * e);
+                }
+                run_active_sms(cfg, &active, AccessKind::Read, 4, batches, seed)
+                    .iter()
+                    .find(|(sm, _)| *sm == 2 * probe)
+                    .expect("probe measured")
+                    .1 as f64
+            };
+            let baseline = probe_exec(None);
+            let with_t = probe_exec(Some(t));
+            (t, with_t > baseline * 1.08)
+        });
+        let mut members: Vec<usize> = verdicts
+            .into_iter()
+            .filter(|&(t, same)| same && !assigned[t])
+            .map(|(t, _)| t)
+            .collect();
+        members.push(probe);
+        members.sort_unstable();
+        for &m in &members {
+            assigned[m] = true;
+        }
+        groups.push(members.into_iter().map(TpcId::new).collect());
+    }
+    groups.sort_by_key(|g| g.first().map(|t| t.index()));
+    RecoveredMapping { groups }
+}
+
+/// Maps `f` over `items` on a small thread pool (runs are independent
+/// GPU instances), preserving order.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let chunk = items.len().div_ceil(threads);
+    thread::scope(|s| {
+        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            let f = &f;
+            s.spawn(move |_| {
+                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn volta() -> GpuConfig {
+        GpuConfig::volta_v100()
+    }
+
+    #[test]
+    fn fig2_sibling_shows_2x_and_others_do_not() {
+        let cfg = volta();
+        let sweep = tpc_pairing_sweep(&cfg, 0, 20, 1);
+        let sib = sweep.iter().find(|p| p.other_sm == 1).expect("SM1 point");
+        assert!(
+            (1.8..2.2).contains(&sib.normalized),
+            "sibling slowdown {}",
+            sib.normalized
+        );
+        for p in &sweep {
+            if p.other_sm != 1 {
+                assert!(
+                    p.normalized < 1.2,
+                    "SM{} unexpectedly slows the probe: {}",
+                    p.other_sm,
+                    p.normalized
+                );
+            }
+        }
+        assert_eq!(sibling_from_sweep(&sweep), Some(1));
+    }
+
+    #[test]
+    fn tpc_pairs_follow_even_odd_rule() {
+        let cfg = volta();
+        // Spot-check a few probes rather than all 80 (runtime).
+        let pairs = discover_tpc_pairs(&cfg, &[7, 24], 20, 2);
+        assert_eq!(pairs, vec![(7, 6), (24, 25)]);
+    }
+
+    #[test]
+    fn gpc_scan_elevates_ground_truth_members_on_average() {
+        // At a statistically light trial count we assert the Fig 3
+        // *shape*: ground-truth co-members average higher than
+        // non-members (exact-set recovery is covered by the directed
+        // `recover_mapping` test below).
+        let cfg = volta();
+        let scan = gpc_scan(&cfg, 0, 20, 10, 3);
+        let truth = [6usize, 12, 18, 24, 30, 36];
+        let mean_of = |set: &dyn Fn(usize) -> bool| -> f64 {
+            let vals: Vec<f64> = scan
+                .candidate_means
+                .iter()
+                .enumerate()
+                .filter(|(c, m)| *c != 0 && m.is_finite() && set(*c))
+                .map(|(_, m)| *m)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        let members = mean_of(&|c| truth.contains(&c));
+        let others = mean_of(&|c| !truth.contains(&c));
+        assert!(
+            members > others * 1.01,
+            "member mean {members} not above non-member mean {others}"
+        );
+    }
+
+    #[test]
+    fn coactivation_matrix_ranks_true_partners_first() {
+        let cfg = volta();
+        let matrix = coactivation_matrix(&cfg, 400, 10, 4);
+        // TPC0's three strongest partners must be real GPC0 members.
+        let top = matrix.top_partners(0, 3);
+        let truth = [6usize, 12, 18, 24, 30, 36];
+        let correct = top.iter().filter(|t| truth.contains(t)).count();
+        assert!(correct >= 2, "top partners {top:?} mostly wrong");
+    }
+
+    #[test]
+    fn full_mapping_recovery_matches_ground_truth() {
+        let cfg = volta();
+        let mapping = recover_mapping(&cfg, 400, 10, 4);
+        assert!(
+            mapping.matches_ground_truth(&cfg),
+            "recovered {:?}",
+            mapping.groups
+        );
+        // The §3.3 irregularity is observed blind: the group containing
+        // TPC5 is {5, 11, 17, 23, 29, 39}.
+        let g5 = mapping.group_of(TpcId::new(5)).expect("TPC5 assigned");
+        let members: Vec<usize> = mapping.groups[g5].iter().map(|t| t.index()).collect();
+        assert_eq!(members, vec![5, 11, 17, 23, 29, 39]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..37).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

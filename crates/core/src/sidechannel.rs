@@ -1,0 +1,469 @@
+//! The §5 side-channel sketch: contention as an activity meter.
+//!
+//! "An example of a simple side channel attack based on the leakage
+//! described in this work is using the NoC channel contention to measure
+//! the amount of L1 miss, since there is a linear correlation between
+//! the NoC channel contention and the amount of L2 accesses."
+//!
+//! Here a *victim* kernel runs phases of varying memory intensity on one
+//! SM; a *spy* co-located on the TPC sibling samples its own L2 latency
+//! every slot, with no cooperation from the victim. Averaging the spy's
+//! samples per phase recovers the victim's per-phase L2 access intensity
+//! up to an affine transform — the paper's claimed linear correlation.
+
+use crate::protocol::RECEIVER_BASE;
+use gnc_common::ids::{BlockId, StreamId, WarpId};
+use gnc_common::stats::OnlineStats;
+use gnc_common::GpuConfig;
+use gnc_sim::gpu::Gpu;
+use gnc_sim::kernel::{
+    warp_addresses, AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep,
+};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Spy sampling slot length in cycles (power of two; long enough for a
+/// 32-request read probe under full contention).
+const SPY_SLOT: u32 = 1024;
+/// Slots per victim phase.
+const SLOTS_PER_PHASE: usize = 8;
+/// Byte address where the victim's working set starts.
+const VICTIM_BASE: u64 = 0x0400_0000;
+
+/// The spy's view of one victim phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseObservation {
+    /// The victim's true per-slot L2 store-access count (ground truth,
+    /// for evaluation only).
+    pub true_intensity: u32,
+    /// Mean spy probe latency across the phase's slots.
+    pub observed_latency: f64,
+}
+
+/// Result of one spy session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpyReport {
+    /// One observation per victim phase, in phase order.
+    pub phases: Vec<PhaseObservation>,
+    /// Pearson correlation between true intensity and observed latency.
+    pub correlation: f64,
+}
+
+struct VictimWarp {
+    intensities: Arc<Vec<u32>>,
+    slot: usize,
+    synced: bool,
+    worked: bool,
+    /// Set between the 1-cycle gap and the boundary wait, so an idle
+    /// slot still consumes a full slot (a boundary-aligned UntilClock
+    /// would otherwise be a free step and burn the slot instantly).
+    gapped: bool,
+    line_bytes: u64,
+    active: Option<bool>,
+    target_sm: usize,
+}
+
+impl WarpProgram for VictimWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        let active = *self
+            .active
+            .get_or_insert_with(|| ctx.sm.index() == self.target_sm);
+        if !active {
+            return WarpStep::Finish;
+        }
+        if !self.synced {
+            if !self.gapped {
+                // Two-step sync: midpoint first, then the boundary, so a
+                // launch right on a boundary cannot desynchronise the
+                // pair by a whole window.
+                self.gapped = true;
+                return WarpStep::UntilClock {
+                    mask: SPY_SLOT * 64 - 1,
+                    target: SPY_SLOT * 32,
+                };
+            }
+            self.gapped = false;
+            self.synced = true;
+            return WarpStep::UntilClock {
+                mask: SPY_SLOT * 64 - 1,
+                target: 0,
+            };
+        }
+        let phase = self.slot / SLOTS_PER_PHASE;
+        if phase >= self.intensities.len() {
+            return WarpStep::Finish;
+        }
+        if !self.worked {
+            // One slot's worth of work: `intensity` uncoalesced store
+            // accesses (the victim's per-slot L2-access count — its "L1
+            // miss" rate in the paper's framing).
+            self.worked = true;
+            let intensity = self.intensities[phase];
+            if intensity > 0 {
+                return WarpStep::Memory {
+                    kind: AccessKind::Write,
+                    addrs: warp_addresses(
+                        VICTIM_BASE,
+                        intensity.min(32),
+                        true,
+                        self.line_bytes,
+                    ),
+                    wait: true,
+                };
+            }
+        }
+        // Align to the next slot boundary: step off the current cycle
+        // first so a boundary-aligned idle slot still lasts a slot.
+        if !self.gapped {
+            self.gapped = true;
+            return WarpStep::Sleep(1);
+        }
+        self.gapped = false;
+        self.worked = false;
+        self.slot += 1;
+        WarpStep::UntilClock {
+            mask: SPY_SLOT - 1,
+            target: 0,
+        }
+    }
+}
+
+/// A victim whose memory intensity varies phase by phase — e.g. an
+/// encryption kernel alternating between table lookups and arithmetic.
+pub struct VictimKernel {
+    intensities: Arc<Vec<u32>>,
+    blocks: usize,
+    line_bytes: u64,
+    target_sm: usize,
+}
+
+impl VictimKernel {
+    /// One victim block on `target_sm`; `intensities[p]` is the number of
+    /// uncoalesced L2 store accesses issued per slot during phase `p`
+    /// (0–32 — the quantity the paper says the NoC contention meters
+    /// linearly).
+    pub fn new(cfg: &GpuConfig, target_sm: usize, intensities: Vec<u32>) -> Self {
+        Self {
+            intensities: Arc::new(intensities),
+            blocks: cfg.num_tpcs(),
+            line_bytes: u64::from(cfg.mem.line_bytes),
+            target_sm,
+        }
+    }
+
+    /// Lines to preload for the victim's hottest phase.
+    pub fn working_set(&self) -> (u64, u64) {
+        (VICTIM_BASE, 64)
+    }
+}
+
+impl KernelProgram for VictimKernel {
+    fn name(&self) -> &str {
+        "victim"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        1
+    }
+
+    fn create_warp(&self, _block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+        Box::new(VictimWarp {
+            intensities: Arc::clone(&self.intensities),
+            slot: 0,
+            synced: false,
+            worked: false,
+            gapped: false,
+            line_bytes: self.line_bytes,
+            active: None,
+            target_sm: self.target_sm,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SpyPhase {
+    Sync,
+    SyncBoundary,
+    Probe,
+    Report,
+    Align,
+    Gap,
+}
+
+struct SpyWarp {
+    slots: usize,
+    done: usize,
+    phase: SpyPhase,
+    line_bytes: u64,
+    active: Option<bool>,
+    target_sm: usize,
+}
+
+impl WarpProgram for SpyWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        let active = *self
+            .active
+            .get_or_insert_with(|| ctx.sm.index() == self.target_sm);
+        if !active {
+            return WarpStep::Finish;
+        }
+        loop {
+            match self.phase {
+                SpyPhase::Sync => {
+                    self.phase = SpyPhase::SyncBoundary;
+                    return WarpStep::UntilClock {
+                        mask: SPY_SLOT * 64 - 1,
+                        target: SPY_SLOT * 32,
+                    };
+                }
+                SpyPhase::SyncBoundary => {
+                    self.phase = SpyPhase::Probe;
+                    return WarpStep::UntilClock {
+                        mask: SPY_SLOT * 64 - 1,
+                        target: 0,
+                    };
+                }
+                SpyPhase::Probe => {
+                    if self.done >= self.slots {
+                        return WarpStep::Finish;
+                    }
+                    self.phase = SpyPhase::Report;
+                    let base =
+                        RECEIVER_BASE + (ctx.sm.index() as u64) * 64 * self.line_bytes;
+                    // Probe with scattered *stores*: their request packets
+                    // are what the victim's writes contend with on the
+                    // shared channel. (A load probe's latency would be
+                    // dominated by its own reply ejection and hide the
+                    // signal — same reason the TPC receiver writes.)
+                    return WarpStep::Memory {
+                        kind: AccessKind::Write,
+                        addrs: warp_addresses(base, 32, true, self.line_bytes),
+                        wait: true,
+                    };
+                }
+                SpyPhase::Report => {
+                    self.phase = SpyPhase::Align;
+                    let slot = self.done as u32;
+                    self.done += 1;
+                    return WarpStep::Record {
+                        tag: slot,
+                        value: ctx.last_mem_latency,
+                    };
+                }
+                SpyPhase::Align => {
+                    self.phase = SpyPhase::Gap;
+                    return WarpStep::Sleep(1);
+                }
+                SpyPhase::Gap => {
+                    self.phase = SpyPhase::Probe;
+                    return WarpStep::UntilClock {
+                        mask: SPY_SLOT - 1,
+                        target: 0,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A spy sampling its TPC sibling's interconnect usage, one probe per
+/// slot.
+pub struct SpyKernel {
+    slots: usize,
+    blocks: usize,
+    line_bytes: u64,
+    target_sm: usize,
+}
+
+impl SpyKernel {
+    /// A spy on `target_sm` sampling for `slots` slots.
+    pub fn new(cfg: &GpuConfig, target_sm: usize, slots: usize) -> Self {
+        Self {
+            slots,
+            blocks: cfg.num_tpcs(),
+            line_bytes: u64::from(cfg.mem.line_bytes),
+            target_sm,
+        }
+    }
+}
+
+impl KernelProgram for SpyKernel {
+    fn name(&self) -> &str {
+        "spy"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        1
+    }
+
+    fn create_warp(&self, _block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+        Box::new(SpyWarp {
+            slots: self.slots,
+            done: 0,
+            phase: SpyPhase::Sync,
+            line_bytes: self.line_bytes,
+            active: None,
+            target_sm: self.target_sm,
+        })
+    }
+}
+
+/// Runs the full side-channel session: the victim executes its phases on
+/// SM0 while the spy samples from SM1, then the spy's per-phase means
+/// are correlated against the ground truth.
+///
+/// ```no_run
+/// use gnc_common::GpuConfig;
+/// use gnc_covert::sidechannel::spy_on_victim;
+///
+/// let report = spy_on_victim(&GpuConfig::volta_v100(), &[0, 24, 8, 32], 0);
+/// assert!(report.correlation > 0.9);
+/// ```
+pub fn spy_on_victim(cfg: &GpuConfig, intensities: &[u32], seed: u64) -> SpyReport {
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let victim = VictimKernel::new(cfg, 0, intensities.to_vec());
+    let (vbase, vlines) = victim.working_set();
+    gpu.preload_range(vbase, vlines);
+    gpu.preload_range(RECEIVER_BASE, cfg.num_sms() as u64 * 64);
+    let total_slots = intensities.len() * SLOTS_PER_PHASE;
+    let spy = SpyKernel::new(cfg, 1, total_slots);
+    gpu.launch(Box::new(victim), StreamId::new(0));
+    let spy_id = gpu.launch(Box::new(spy), StreamId::new(1));
+    let budget = u64::from(SPY_SLOT) * 64
+        + (total_slots as u64 + 4) * u64::from(SPY_SLOT) * 2
+        + 100_000;
+    let outcome = gpu.run_until_idle(budget);
+    assert!(outcome.is_idle(), "side-channel session did not finish: {outcome:?}");
+
+    let mut slot_latencies: Vec<(u32, u64)> = gpu
+        .recorder()
+        .for_kernel(spy_id)
+        .map(|r| (r.tag, r.value))
+        .collect();
+    slot_latencies.sort_by_key(|&(tag, _)| tag);
+
+    let phases: Vec<PhaseObservation> = intensities
+        .iter()
+        .enumerate()
+        .map(|(p, &true_intensity)| {
+            let mut stats = OnlineStats::new();
+            for &(tag, lat) in &slot_latencies {
+                if (tag as usize) / SLOTS_PER_PHASE == p {
+                    stats.push(lat as f64);
+                }
+            }
+            PhaseObservation {
+                true_intensity,
+                observed_latency: stats.mean(),
+            }
+        })
+        .collect();
+
+    SpyReport {
+        correlation: pearson(
+            &phases
+                .iter()
+                .map(|p| f64::from(p.true_intensity))
+                .collect::<Vec<_>>(),
+            &phases.iter().map(|p| p.observed_latency).collect::<Vec<_>>(),
+        ),
+        phases,
+    }
+}
+
+/// Pearson correlation coefficient; 0 for degenerate inputs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx * vy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spy_recovers_victim_intensity_ordering() {
+        let cfg = GpuConfig::volta_v100();
+        // Distinct access counts, shuffled so correlation ≠ trend.
+        let intensities = [0u32, 24, 8, 32, 16];
+        let report = spy_on_victim(&cfg, &intensities, 1);
+        assert_eq!(report.phases.len(), 5);
+        assert!(
+            report.correlation > 0.9,
+            "correlation {} phases {:?}",
+            report.correlation,
+            report.phases
+        );
+        // The silent phase must show the lowest latency.
+        let silent = report.phases.iter().find(|p| p.true_intensity == 0).unwrap();
+        for p in &report.phases {
+            if p.true_intensity > 0 {
+                assert!(p.observed_latency >= silent.observed_latency);
+            }
+        }
+    }
+
+    #[test]
+    fn spy_on_non_sibling_sees_nothing() {
+        // Control experiment: spy on SM3 (different TPC) gets a flat
+        // trace — the side channel is strictly local, like the covert
+        // channel (Fig 8's SM12 line).
+        let cfg = GpuConfig::volta_v100();
+        let mut gpu = Gpu::with_clock_seed(cfg.clone(), 2).expect("valid");
+        let intensities = vec![0u32, 32, 0, 32];
+        let victim = VictimKernel::new(&cfg, 0, intensities.clone());
+        let (vb, vl) = victim.working_set();
+        gpu.preload_range(vb, vl);
+        gpu.preload_range(RECEIVER_BASE, cfg.num_sms() as u64 * 64);
+        let total_slots = intensities.len() * SLOTS_PER_PHASE;
+        let spy = SpyKernel::new(&cfg, 3, total_slots);
+        gpu.launch(Box::new(victim), StreamId::new(0));
+        let spy_id = gpu.launch(Box::new(spy), StreamId::new(1));
+        assert!(gpu
+            .run_until_idle(u64::from(SPY_SLOT) * (total_slots as u64 * 2 + 80) + 100_000)
+            .is_idle());
+        let lats: Vec<u64> = gpu
+            .recorder()
+            .for_kernel(spy_id)
+            .map(|r| r.value)
+            .collect();
+        let min = *lats.iter().min().unwrap() as f64;
+        let max = *lats.iter().max().unwrap() as f64;
+        assert!(
+            max / min < 1.15,
+            "non-sibling spy saw variation {min}..{max}"
+        );
+    }
+}

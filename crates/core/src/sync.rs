@@ -1,0 +1,146 @@
+//! The clock-register synchronization study (§4.1, Fig 6).
+//!
+//! The covert channel's synchronization rests on one measured property:
+//! `clock()` values of co-located SMs are nearly identical (same TPC:
+//! average difference under 5 cycles; same GPC: under 15), tiny next to
+//! the ~200–250-cycle L2 latency, while different GPCs started counting
+//! at entirely different epochs. This module runs the paper's
+//! measurement kernel and summarises the skew structure.
+
+use gnc_common::ids::{SmId, StreamId};
+use gnc_common::stats::OnlineStats;
+use gnc_common::GpuConfig;
+use gnc_sim::gpu::Gpu;
+use gnc_sim::workloads::{ClockReadKernel, TAG_CLOCK};
+use serde::{Deserialize, Serialize};
+
+/// One Fig 6 sample: the clock value read on each SM in a single launch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockSnapshot {
+    /// `values[sm]` is the 32-bit `clock()` readout of that SM.
+    pub values: Vec<u64>,
+}
+
+/// Launches the clock-read kernel across every SM and collects the
+/// per-SM readings — exactly Fig 6's experiment.
+pub fn clock_snapshot(cfg: &GpuConfig, seed: u64) -> ClockSnapshot {
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let k = gpu.launch(
+        Box::new(ClockReadKernel::new(cfg.num_sms())),
+        StreamId::new(0),
+    );
+    let outcome = gpu.run_until_idle(10_000);
+    assert!(outcome.is_idle(), "clock kernel did not finish");
+    let mut values = vec![0u64; cfg.num_sms()];
+    for r in gpu.recorder().for_kernel(k) {
+        if r.tag == TAG_CLOCK {
+            values[r.sm.index()] = r.value;
+        }
+    }
+    ClockSnapshot { values }
+}
+
+/// Aggregate skew statistics over repeated launches (the paper re-ran
+/// the kernel 100 times).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SkewStats {
+    /// Average |Δclock| between the two SMs of a TPC.
+    pub avg_tpc_skew: f64,
+    /// Maximum |Δclock| between the two SMs of a TPC.
+    pub max_tpc_skew: f64,
+    /// Average |Δclock| between SM pairs within one GPC.
+    pub avg_gpc_skew: f64,
+    /// Maximum |Δclock| between SM pairs within one GPC.
+    pub max_gpc_skew: f64,
+    /// Ratio of the largest to smallest per-GPC epoch (Fig 6's ~4×
+    /// spread across GPCs).
+    pub gpc_epoch_ratio: f64,
+}
+
+/// Runs [`clock_snapshot`] `runs` times (distinct boot epochs) and
+/// summarises the §4.1 skew statistics.
+pub fn skew_stats(cfg: &GpuConfig, runs: usize, seed: u64) -> SkewStats {
+    let mut tpc = OnlineStats::new();
+    let mut gpc = OnlineStats::new();
+    let mut epoch_ratio = OnlineStats::new();
+    for run in 0..runs {
+        let snap = clock_snapshot(cfg, seed + run as u64);
+        // TPC siblings.
+        for t in 0..cfg.num_tpcs() {
+            let a = snap.values[2 * t] as f64;
+            let b = snap.values[2 * t + 1] as f64;
+            tpc.push((a - b).abs());
+        }
+        // Same-GPC pairs and per-GPC epochs.
+        let mut epochs: Vec<f64> = Vec::new();
+        for g in 0..cfg.num_gpcs {
+            let members: Vec<usize> = (0..cfg.num_sms())
+                .filter(|&s| cfg.gpc_of_sm(SmId::new(s)).index() == g)
+                .collect();
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    gpc.push((snap.values[a] as f64 - snap.values[b] as f64).abs());
+                }
+            }
+            if let Some(&first) = members.first() {
+                epochs.push(snap.values[first] as f64);
+            }
+        }
+        let hi = epochs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lo = epochs.iter().copied().fold(f64::INFINITY, f64::min);
+        if lo > 0.0 {
+            epoch_ratio.push(hi / lo);
+        }
+    }
+    SkewStats {
+        avg_tpc_skew: tpc.mean(),
+        max_tpc_skew: tpc.max().unwrap_or(0.0),
+        avg_gpc_skew: gpc.mean(),
+        max_gpc_skew: gpc.max().unwrap_or(0.0),
+        gpc_epoch_ratio: epoch_ratio.mean(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_covers_every_sm() {
+        let cfg = GpuConfig::volta_v100();
+        let snap = clock_snapshot(&cfg, 0);
+        assert_eq!(snap.values.len(), 80);
+        assert!(snap.values.iter().all(|&v| v > 0));
+    }
+
+    #[test]
+    fn skew_bounds_match_section_4_1() {
+        let cfg = GpuConfig::volta_v100();
+        let stats = skew_stats(&cfg, 20, 0);
+        // The paper: average TPC skew under 5 cycles, GPC skew under 15.
+        assert!(stats.avg_tpc_skew < 5.0, "TPC skew {}", stats.avg_tpc_skew);
+        assert!(stats.avg_gpc_skew < 15.0, "GPC skew {}", stats.avg_gpc_skew);
+        assert!(stats.max_tpc_skew <= f64::from(cfg.clock.max_tpc_skew) + 1.0);
+        assert!(stats.max_gpc_skew <= f64::from(cfg.clock.max_gpc_skew) + 1.0);
+    }
+
+    #[test]
+    fn gpc_epochs_are_spread_like_fig6() {
+        let cfg = GpuConfig::volta_v100();
+        let stats = skew_stats(&cfg, 20, 7);
+        // Fig 6 shows multiple-× spread between GPC base values.
+        assert!(
+            stats.gpc_epoch_ratio > 1.5,
+            "epoch ratio {}",
+            stats.gpc_epoch_ratio
+        );
+    }
+
+    #[test]
+    fn skew_is_negligible_next_to_l2_latency() {
+        let cfg = GpuConfig::volta_v100();
+        let stats = skew_stats(&cfg, 5, 1);
+        let l2 = f64::from(cfg.mem.l2_access_latency);
+        assert!(stats.avg_gpc_skew < l2 / 10.0);
+    }
+}

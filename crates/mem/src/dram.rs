@@ -1,0 +1,212 @@
+//! HBM2-style DRAM controller with per-bank row state.
+//!
+//! Timing follows Table 1 of the paper: tCL = 12, tRP = 12, tRC = 40,
+//! tRAS = 28, tRCD = 12, tRRD = 3, expressed in memory-clock cycles and
+//! scaled to core cycles by `mem_clock_ratio`. The model tracks, per
+//! bank, the open row and the earliest cycle each command class may
+//! issue, plus a shared data bus per controller — enough to give row
+//! hits, row conflicts, and bus contention distinct, ordered latencies.
+
+use gnc_common::config::{DramTiming, MemConfig};
+use gnc_common::Cycle;
+
+#[derive(Debug, Clone, Default)]
+struct BankState {
+    open_row: Option<u64>,
+    /// Earliest core cycle the next command may issue at this bank.
+    ready_at: Cycle,
+    /// Core cycle of the last ACT, if any (for tRC / tRAS spacing).
+    last_activate: Option<Cycle>,
+}
+
+/// One memory controller: a set of banks plus a shared data bus.
+#[derive(Debug, Clone)]
+pub struct DramController {
+    banks: Vec<BankState>,
+    timing: DramTiming,
+    ratio: u64,
+    bus_free_at: Cycle,
+    /// Earliest cycle the next ACT may issue anywhere (tRRD spacing).
+    next_activate_at: Cycle,
+    /// Core cycles one line transfer occupies the data bus.
+    burst_cycles: u64,
+    accesses: u64,
+    row_hits: u64,
+}
+
+impl DramController {
+    /// Creates a controller for `mem`'s bank count, timing, and clock
+    /// ratio.
+    pub fn new(mem: &MemConfig) -> Self {
+        Self {
+            banks: vec![BankState::default(); mem.banks_per_mc],
+            timing: mem.dram,
+            ratio: u64::from(mem.mem_clock_ratio),
+            bus_free_at: 0,
+            next_activate_at: 0,
+            burst_cycles: 4 * u64::from(mem.mem_clock_ratio),
+            accesses: 0,
+            row_hits: 0,
+        }
+    }
+
+    fn t(&self, mem_cycles: u32) -> u64 {
+        u64::from(mem_cycles) * self.ratio
+    }
+
+    /// Schedules one line access to `(bank, row)` issued at `now` and
+    /// returns the core cycle at which the data has finished transferring.
+    ///
+    /// The access is committed: bank, ACT spacing, and bus state advance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn access(&mut self, bank: usize, row: u64, now: Cycle) -> Cycle {
+        self.accesses += 1;
+        let t_cl = self.t(self.timing.t_cl);
+        let t_rp = self.t(self.timing.t_rp);
+        let t_rc = self.t(self.timing.t_rc);
+        let t_ras = self.t(self.timing.t_ras);
+        let t_rcd = self.t(self.timing.t_rcd);
+        let t_rrd = self.t(self.timing.t_rrd);
+
+        let state = &mut self.banks[bank];
+        let start = now.max(state.ready_at);
+        let data_at = if state.open_row == Some(row) {
+            self.row_hits += 1;
+            start + t_cl
+        } else {
+            // When a row is open we must precharge first (no earlier than
+            // tRAS after its ACT); a never-activated bank skips straight
+            // to ACT. ACTs respect tRC per bank and tRRD per controller.
+            let act_earliest = match (state.open_row, state.last_activate) {
+                (Some(_), Some(act)) => {
+                    let pre_at = start.max(act + t_ras);
+                    (pre_at + t_rp).max(act + t_rc)
+                }
+                (None, Some(act)) => start.max(act + t_rc),
+                _ => start,
+            };
+            let act_at = act_earliest.max(self.next_activate_at);
+            self.next_activate_at = act_at + t_rrd;
+            state.last_activate = Some(act_at);
+            state.open_row = Some(row);
+            act_at + t_rcd + t_cl
+        };
+        // The line then occupies the shared data bus.
+        let bus_start = data_at.max(self.bus_free_at);
+        let done = bus_start + self.burst_cycles;
+        self.bus_free_at = done;
+        self.banks[bank].ready_at = done;
+        done
+    }
+
+    /// Total accesses serviced.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses that hit an open row.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl() -> DramController {
+        DramController::new(&MemConfig::default())
+    }
+
+    #[test]
+    fn first_access_pays_activate_plus_cas() {
+        let mut c = ctrl();
+        let done = c.access(0, 5, 0);
+        // ratio 2: (tRCD 12 + tCL 12) × 2 + burst 8 = 56; no precharge on
+        // a fresh bank.
+        assert_eq!(done, 56);
+        assert_eq!(c.accesses(), 1);
+        assert_eq!(c.row_hits(), 0);
+    }
+
+    #[test]
+    fn row_hit_is_fast() {
+        let mut c = ctrl();
+        let first = c.access(0, 5, 0);
+        let second = c.access(0, 5, first);
+        // tCL × 2 + burst 8 = 32 beyond the issue time.
+        assert_eq!(second - first, 32);
+        assert_eq!(c.row_hits(), 1);
+    }
+
+    #[test]
+    fn row_conflict_is_slower_than_row_hit() {
+        let mut c = ctrl();
+        let first = c.access(0, 5, 0);
+        let mut hit = c.clone();
+        let hit_done = hit.access(0, 5, first);
+        let conflict_done = c.access(0, 6, first);
+        assert!(conflict_done > hit_done);
+    }
+
+    #[test]
+    fn trc_spacing_between_activates() {
+        let mut c = ctrl();
+        c.access(0, 1, 0);
+        let before = c.banks[0].last_activate.unwrap();
+        c.access(0, 2, 0); // row conflict → new ACT
+        let after = c.banks[0].last_activate.unwrap();
+        assert!(
+            after >= before + 40 * 2,
+            "ACT-to-ACT spacing {} violates tRC",
+            after - before
+        );
+    }
+
+    #[test]
+    fn trrd_spacing_across_banks() {
+        let mut c = ctrl();
+        c.access(0, 1, 0);
+        c.access(1, 1, 0);
+        let a0 = c.banks[0].last_activate.unwrap();
+        let a1 = c.banks[1].last_activate.unwrap();
+        assert!(a1 >= a0 + 3 * 2, "cross-bank ACT spacing violates tRRD");
+    }
+
+    #[test]
+    fn independent_banks_overlap_but_share_the_bus() {
+        let mut c = ctrl();
+        let a = c.access(0, 1, 0);
+        let b = c.access(1, 1, 0);
+        // Bank 1's activate overlaps bank 0's (offset only by tRRD), but
+        // its burst queues behind bank 0's on the shared bus.
+        assert_eq!(b, a + 8);
+    }
+
+    #[test]
+    fn bank_serialises_back_to_back_requests() {
+        let mut c = ctrl();
+        let first = c.access(0, 1, 0);
+        // Issued "in the past": still serialised after the first access.
+        let second = c.access(0, 1, 0);
+        assert!(second > first);
+    }
+
+    #[test]
+    fn streaming_row_hits_have_constant_service_time() {
+        // Back-to-back same-row accesses reach steady state: one CAS +
+        // burst per access (tCL × 2 + 8 = 32 core cycles apart).
+        let mut c = ctrl();
+        let mut last = c.access(0, 1, 0);
+        let mut gaps = Vec::new();
+        for _ in 0..10 {
+            let next = c.access(0, 1, 0);
+            gaps.push(next - last);
+            last = next;
+        }
+        assert!(gaps.iter().all(|&g| g == 32), "gaps {gaps:?}");
+    }
+}

@@ -1,0 +1,490 @@
+//! One L2 cache slice.
+//!
+//! Each slice is set-associative with true-LRU replacement, a fixed-depth
+//! access pipeline (the ~150-cycle L2 latency that dominates the paper's
+//! 200–250-cycle round trip), MSHR-based miss handling with same-line
+//! merging, and write-allocate semantics. Covert-channel kernels preload
+//! their working set (see [`L2Slice::preload`]) so every timed access is
+//! a hit — the paper loads all data into the L2 so that latency varies
+//! only with NoC contention (§4.2).
+
+use crate::address::AddressMap;
+use crate::dram::DramController;
+use gnc_common::ids::SliceId;
+use gnc_common::{Cycle, GpuConfig};
+use gnc_noc::delay::DelayLine;
+use gnc_noc::packet::{Packet, PacketKind};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    dirty: bool,
+    lru: u64,
+}
+
+/// Counters exposed by a slice for instrumentation and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct L2Stats {
+    /// Lookups performed (hits + misses, excluding MSHR merges).
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed and allocated an MSHR.
+    pub misses: u64,
+    /// Lookups that missed but merged into an in-flight MSHR.
+    pub mshr_merges: u64,
+    /// Dirty evictions written back to DRAM.
+    pub writebacks: u64,
+    /// Cycles the lookup stage stalled for a free MSHR.
+    pub mshr_stalls: u64,
+}
+
+/// A single banked L2 slice backed by (a share of) one DRAM controller.
+#[derive(Debug)]
+pub struct L2Slice {
+    id: SliceId,
+    map: AddressMap,
+    sets: Vec<Vec<Way>>,
+    assoc: usize,
+    lru_clock: u64,
+    pipeline: DelayLine<Packet>,
+    /// Lookup that could not allocate an MSHR, retried before the pipeline.
+    stalled: Option<Packet>,
+    mshrs: HashMap<u64, Vec<Packet>>,
+    mshr_capacity: usize,
+    pending_fills: BinaryHeap<Reverse<(Cycle, u64)>>,
+    replies: VecDeque<Packet>,
+    stats: L2Stats,
+}
+
+impl L2Slice {
+    /// Creates slice `id` under configuration `cfg`.
+    pub fn new(id: SliceId, cfg: &GpuConfig) -> Self {
+        let map = AddressMap::new(cfg);
+        let num_sets = map.num_sets();
+        Self {
+            id,
+            map,
+            sets: vec![Vec::new(); num_sets],
+            assoc: cfg.mem.l2_assoc,
+            lru_clock: 0,
+            pipeline: DelayLine::new(cfg.mem.l2_access_latency),
+            stalled: None,
+            mshrs: HashMap::new(),
+            mshr_capacity: cfg.mem.l2_mshrs,
+            pending_fills: BinaryHeap::new(),
+            replies: VecDeque::new(),
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// This slice's identifier.
+    pub fn id(&self) -> SliceId {
+        self.id
+    }
+
+    /// Accepts a request packet arriving from the request fabric at `now`.
+    /// It emerges from the lookup pipeline `l2_access_latency` cycles
+    /// later.
+    pub fn push_request(&mut self, packet: Packet, now: Cycle) {
+        debug_assert!(packet.kind.is_request(), "slices only take requests");
+        debug_assert_eq!(
+            self.map.slice_of(packet.addr),
+            self.id,
+            "packet routed to wrong slice"
+        );
+        self.pipeline.push(now, packet);
+    }
+
+    /// Installs the line containing `addr` as clean and warm, bypassing
+    /// DRAM. Models the kernels' working-set preload (§4.2: "all memory
+    /// requests access data that is loaded into the L2 cache").
+    pub fn preload(&mut self, addr: u64) {
+        let set = self.map.set_of(addr);
+        let tag = self.map.tag_of(addr);
+        self.lru_clock += 1;
+        let lru = self.lru_clock;
+        let ways = &mut self.sets[set];
+        if let Some(way) = ways.iter_mut().find(|w| w.tag == tag) {
+            way.lru = lru;
+            return;
+        }
+        if ways.len() < self.assoc {
+            ways.push(Way {
+                tag,
+                dirty: false,
+                lru,
+            });
+        } else {
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|w| w.lru)
+                .expect("assoc > 0 so a victim exists");
+            *victim = Way {
+                tag,
+                dirty: false,
+                lru,
+            };
+        }
+    }
+
+    /// Whether the line containing `addr` is currently resident.
+    pub fn contains(&self, addr: u64) -> bool {
+        let set = self.map.set_of(addr);
+        let tag = self.map.tag_of(addr);
+        self.sets[set].iter().any(|w| w.tag == tag)
+    }
+
+    fn touch_hit(&mut self, addr: u64, write: bool) -> bool {
+        let set = self.map.set_of(addr);
+        let tag = self.map.tag_of(addr);
+        self.lru_clock += 1;
+        let lru = self.lru_clock;
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+            way.lru = lru;
+            way.dirty |= write;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn install_fill(&mut self, line: u64, dram: &mut DramController, now: Cycle) {
+        let addr = line * self.map.line_bytes();
+        let set = self.map.set_of(addr);
+        let tag = self.map.tag_of(addr);
+        self.lru_clock += 1;
+        let lru = self.lru_clock;
+        let mut writeback_tag = None;
+        let ways = &mut self.sets[set];
+        if let Some(way) = ways.iter_mut().find(|w| w.tag == tag) {
+            way.lru = lru; // racing preload already installed it
+        } else if ways.len() < self.assoc {
+            ways.push(Way {
+                tag,
+                dirty: false,
+                lru,
+            });
+        } else {
+            let victim = ways
+                .iter_mut()
+                .min_by_key(|w| w.lru)
+                .expect("assoc > 0 so a victim exists");
+            if victim.dirty {
+                writeback_tag = Some(victim.tag);
+            }
+            *victim = Way {
+                tag,
+                dirty: false,
+                lru,
+            };
+        }
+        if let Some(victim_tag) = writeback_tag {
+            // Fire-and-forget writeback: occupies a DRAM bank + bus.
+            let victim_addr = self.reconstruct_addr(victim_tag, set);
+            let bank = self.map.bank_of(victim_addr);
+            let row = self.map.row_of(victim_addr);
+            let _ = dram.access(bank, row, now);
+            self.stats.writebacks += 1;
+        }
+    }
+
+    /// Rebuilds a resident line's byte address from its tag and set
+    /// (inverse of the AddressMap decomposition for this slice).
+    fn reconstruct_addr(&self, tag: u64, set: usize) -> u64 {
+        let nth = tag * self.map.num_sets() as u64 + set as u64;
+        self.map.addr_in_slice(self.id, nth)
+    }
+
+    /// Advances the slice one cycle: completes ready fills, then performs
+    /// at most one lookup.
+    pub fn tick(&mut self, now: Cycle, dram: &mut DramController) {
+        // 1. Fills whose DRAM access has completed.
+        while let Some(&Reverse((ready, line))) = self.pending_fills.peek() {
+            if ready > now {
+                break;
+            }
+            self.pending_fills.pop();
+            self.install_fill(line, dram, now);
+            if let Some(waiters) = self.mshrs.remove(&line) {
+                for req in waiters {
+                    let write = req.kind == PacketKind::WriteRequest;
+                    self.touch_hit(req.addr, write);
+                    self.replies.push_back(req.to_reply(now));
+                }
+            }
+        }
+        // 2. One lookup per cycle, preferring a stalled retry.
+        let candidate = if self.stalled.is_some() {
+            self.stalled.take()
+        } else {
+            self.pipeline.pop_ready(now)
+        };
+        let Some(req) = candidate else {
+            return;
+        };
+        let line = self.map.line_of(req.addr);
+        let write = req.kind == PacketKind::WriteRequest;
+        if let Some(waiters) = self.mshrs.get_mut(&line) {
+            // Merge into the in-flight miss; reply when the fill lands.
+            self.stats.mshr_merges += 1;
+            waiters.push(req);
+            return;
+        }
+        self.stats.accesses += 1;
+        if self.touch_hit(req.addr, write) {
+            self.stats.hits += 1;
+            self.replies.push_back(req.to_reply(now));
+            return;
+        }
+        if self.mshrs.len() >= self.mshr_capacity {
+            self.stats.accesses -= 1; // retried next cycle; count once
+            self.stats.mshr_stalls += 1;
+            self.stalled = Some(req);
+            return;
+        }
+        self.stats.misses += 1;
+        let bank = self.map.bank_of(req.addr);
+        let row = self.map.row_of(req.addr);
+        let ready = dram.access(bank, row, now);
+        self.mshrs.insert(line, vec![req]);
+        self.pending_fills.push(Reverse((ready, line)));
+    }
+
+    /// A reference to the next ready reply, if any.
+    pub fn peek_reply(&self) -> Option<&Packet> {
+        self.replies.front()
+    }
+
+    /// Removes the next ready reply.
+    pub fn pop_reply(&mut self) -> Option<Packet> {
+        self.replies.pop_front()
+    }
+
+    /// Removes the first ready reply satisfying `injectable` (per-
+    /// destination virtual channels at the reply port; see
+    /// `MemorySubsystem::pop_reply_where`).
+    pub fn pop_reply_where(
+        &mut self,
+        injectable: impl Fn(&Packet) -> bool,
+    ) -> Option<Packet> {
+        let idx = self.replies.iter().position(injectable)?;
+        self.replies.remove(idx)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> L2Stats {
+        self.stats
+    }
+
+    /// True when no request is in flight anywhere in the slice.
+    pub fn is_drained(&self) -> bool {
+        self.pipeline.is_empty()
+            && self.stalled.is_none()
+            && self.mshrs.is_empty()
+            && self.pending_fills.is_empty()
+            && self.replies.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnc_common::config::MemConfig;
+    use gnc_common::ids::{SmId, WarpId};
+    use gnc_noc::packet::PacketId;
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::volta_v100()
+    }
+
+    fn slice_and_dram(cfg: &GpuConfig) -> (L2Slice, DramController) {
+        (
+            L2Slice::new(SliceId::new(0), cfg),
+            DramController::new(&cfg.mem),
+        )
+    }
+
+    fn req_for(slice: &L2Slice, nth: u64, kind: PacketKind, id: u64) -> Packet {
+        let addr = slice.map.addr_in_slice(slice.id, nth);
+        Packet {
+            id: PacketId(id),
+            kind,
+            sm: SmId::new(0),
+            warp: WarpId::new(0),
+            slice: slice.id,
+            addr,
+            data_bytes: 128,
+            injected_at: 0,
+            group: id,
+        }
+    }
+
+    /// Ticks until a reply pops, returning (cycle, reply).
+    fn run_until_reply(
+        slice: &mut L2Slice,
+        dram: &mut DramController,
+        start: Cycle,
+        limit: Cycle,
+    ) -> (Cycle, Packet) {
+        for now in start..limit {
+            slice.tick(now, dram);
+            if let Some(r) = slice.pop_reply() {
+                return (now, r);
+            }
+        }
+        panic!("no reply within {limit} cycles");
+    }
+
+    #[test]
+    fn preloaded_read_hits_after_pipeline_latency() {
+        let cfg = cfg();
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        let req = req_for(&slice, 0, PacketKind::ReadRequest, 1);
+        slice.preload(req.addr);
+        slice.push_request(req, 0);
+        let (when, reply) = run_until_reply(&mut slice, &mut dram, 0, 1000);
+        assert_eq!(when, u64::from(cfg.mem.l2_access_latency));
+        assert_eq!(reply.kind, PacketKind::ReadReply);
+        assert_eq!(slice.stats().hits, 1);
+        assert_eq!(slice.stats().misses, 0);
+        assert!(slice.is_drained());
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_and_fills() {
+        let cfg = cfg();
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        let req = req_for(&slice, 0, PacketKind::ReadRequest, 1);
+        let addr = req.addr;
+        slice.push_request(req, 0);
+        let (when, reply) = run_until_reply(&mut slice, &mut dram, 0, 5000);
+        assert!(
+            when > u64::from(cfg.mem.l2_access_latency),
+            "miss must be slower than a hit"
+        );
+        assert_eq!(reply.kind, PacketKind::ReadReply);
+        assert_eq!(slice.stats().misses, 1);
+        assert!(slice.contains(addr), "line must be resident after fill");
+        assert!(slice.is_drained());
+    }
+
+    #[test]
+    fn same_line_misses_merge_in_mshr() {
+        let cfg = cfg();
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        let a = req_for(&slice, 0, PacketKind::ReadRequest, 1);
+        let mut b = a.clone();
+        b.id = PacketId(2);
+        slice.push_request(a, 0);
+        slice.push_request(b, 1);
+        let mut replies = Vec::new();
+        for now in 0..5000 {
+            slice.tick(now, &mut dram);
+            while let Some(r) = slice.pop_reply() {
+                replies.push(r.id);
+            }
+            if replies.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(replies.len(), 2);
+        assert_eq!(slice.stats().misses, 1, "only one DRAM access");
+        assert_eq!(slice.stats().mshr_merges, 1);
+        assert_eq!(dram.accesses(), 1);
+    }
+
+    #[test]
+    fn write_marks_line_dirty_and_acks() {
+        let cfg = cfg();
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        let req = req_for(&slice, 0, PacketKind::WriteRequest, 1);
+        slice.preload(req.addr);
+        slice.push_request(req, 0);
+        let (_, reply) = run_until_reply(&mut slice, &mut dram, 0, 1000);
+        assert_eq!(reply.kind, PacketKind::WriteAck);
+        assert_eq!(slice.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_eviction_writes_back_dirty_lines() {
+        let cfg = cfg();
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        // Dirty one line in set 0, then stream enough distinct lines
+        // through the same set to evict it.
+        let hot = req_for(&slice, 0, PacketKind::WriteRequest, 0);
+        slice.preload(hot.addr);
+        slice.push_request(hot, 0);
+        let sets = slice.map.num_sets() as u64;
+        let mut now = 0;
+        for k in 1..=cfg.mem.l2_assoc as u64 {
+            // nth = k * num_sets keeps the same set with a different tag.
+            let req = req_for(&slice, k * sets, PacketKind::ReadRequest, k);
+            slice.push_request(req, now);
+            now += 1;
+        }
+        for t in 0..20_000 {
+            slice.tick(t, &mut dram);
+            while slice.pop_reply().is_some() {}
+        }
+        assert!(slice.stats().writebacks >= 1, "dirty eviction must write back");
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls_lookups() {
+        let mut cfg = cfg();
+        cfg.mem.l2_mshrs = 2;
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        for k in 0..4u64 {
+            let req = req_for(&slice, k, PacketKind::ReadRequest, k);
+            slice.push_request(req, 0);
+        }
+        for now in 0..20_000 {
+            slice.tick(now, &mut dram);
+            while slice.pop_reply().is_some() {}
+        }
+        assert!(slice.stats().mshr_stalls > 0, "expected MSHR stalls");
+        assert_eq!(slice.stats().misses, 4, "all four lines eventually fetched");
+        assert!(slice.is_drained());
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_lines() {
+        let cfg = cfg();
+        let (mut slice, _) = slice_and_dram(&cfg);
+        let sets = slice.map.num_sets() as u64;
+        // Fill one set to capacity.
+        let addrs: Vec<u64> = (0..cfg.mem.l2_assoc as u64)
+            .map(|k| slice.map.addr_in_slice(slice.id, k * sets))
+            .collect();
+        for &a in &addrs {
+            slice.preload(a);
+        }
+        // Touch line 0 again, then insert a new line: victim must be
+        // line 1 (the least recently used), not line 0.
+        slice.preload(addrs[0]);
+        let newcomer = slice.map.addr_in_slice(slice.id, cfg.mem.l2_assoc as u64 * sets);
+        slice.preload(newcomer);
+        assert!(slice.contains(addrs[0]));
+        assert!(!slice.contains(addrs[1]));
+        assert!(slice.contains(newcomer));
+    }
+
+    #[test]
+    fn distinct_mem_config_changes_pipeline_latency() {
+        let mut cfg = cfg();
+        cfg.mem = MemConfig {
+            l2_access_latency: 10,
+            ..cfg.mem
+        };
+        let (mut slice, mut dram) = slice_and_dram(&cfg);
+        let req = req_for(&slice, 0, PacketKind::ReadRequest, 1);
+        slice.preload(req.addr);
+        slice.push_request(req, 0);
+        let (when, _) = run_until_reply(&mut slice, &mut dram, 0, 100);
+        assert_eq!(when, 10);
+    }
+}

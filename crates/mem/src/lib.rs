@@ -1,0 +1,36 @@
+//! GPU memory-system model.
+//!
+//! The covert channel's signal is the round-trip latency of L2 accesses
+//! (§4.2): the paper's kernels bypass L1, pre-load their working set into
+//! L2, and then time L2 hits whose latency is perturbed only by NoC
+//! contention. This crate provides that L2 — 48 banked slices with MSHRs
+//! — plus the HBM2-style DRAM behind it (Table 1 timing) so that misses,
+//! evictions, and the "third kernel" noise scenario of §5 behave
+//! credibly.
+//!
+//! * [`address`] — line interleaving across slices and set indexing.
+//! * [`l2`] — one set-associative L2 slice with an access pipeline,
+//!   MSHR-based miss handling, and write-allocate semantics.
+//! * [`dram`] — a bank-state HBM2 controller (tCL/tRP/tRC/tRAS/tRCD/tRRD).
+//! * [`subsystem`] — the assembled memory system consumed by the engine.
+//!
+//! # Example
+//!
+//! ```
+//! use gnc_common::GpuConfig;
+//! use gnc_mem::address::AddressMap;
+//!
+//! let cfg = GpuConfig::volta_v100();
+//! let map = AddressMap::new(&cfg);
+//! // Consecutive lines interleave across the 48 slices.
+//! assert_ne!(map.slice_of(0), map.slice_of(128));
+//! ```
+
+pub mod address;
+pub mod dram;
+pub mod l2;
+pub mod subsystem;
+
+pub use address::AddressMap;
+pub use l2::{L2Slice, L2Stats};
+pub use subsystem::MemorySubsystem;

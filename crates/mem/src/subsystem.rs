@@ -1,0 +1,229 @@
+//! The assembled memory system: 48 L2 slices over 24 DRAM controllers.
+//!
+//! The engine pushes requests popped from the request fabric into the
+//! owning slice, ticks the subsystem once per cycle, and drains ready
+//! replies into the reply fabric (with backpressure — replies stay queued
+//! in the slice until the fabric accepts them).
+
+use crate::address::AddressMap;
+use crate::dram::DramController;
+use crate::l2::{L2Slice, L2Stats};
+use gnc_common::ids::SliceId;
+use gnc_common::{Cycle, GpuConfig};
+use gnc_noc::packet::Packet;
+
+/// All L2 slices and memory controllers of the GPU.
+#[derive(Debug)]
+pub struct MemorySubsystem {
+    slices: Vec<L2Slice>,
+    drams: Vec<DramController>,
+    map: AddressMap,
+    slices_per_mc: usize,
+}
+
+impl MemorySubsystem {
+    /// Builds the memory system for `cfg`.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let slices = (0..cfg.mem.num_l2_slices)
+            .map(|s| L2Slice::new(SliceId::new(s), cfg))
+            .collect();
+        let drams = (0..cfg.mem.num_mcs)
+            .map(|_| DramController::new(&cfg.mem))
+            .collect();
+        Self {
+            slices,
+            drams,
+            map: AddressMap::new(cfg),
+            slices_per_mc: cfg.mem.num_l2_slices / cfg.mem.num_mcs,
+        }
+    }
+
+    /// The address map shared with the rest of the GPU.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Number of slices.
+    pub fn num_slices(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Routes a request popped from the fabric into its slice at `now`.
+    pub fn push_request(&mut self, packet: Packet, now: Cycle) {
+        self.slices[packet.slice.index()].push_request(packet, now);
+    }
+
+    /// Warms the line containing `addr` in its owning slice.
+    pub fn preload(&mut self, addr: u64) {
+        let slice = self.map.slice_of(addr);
+        self.slices[slice.index()].preload(addr);
+    }
+
+    /// Warms `lines` consecutive cache lines starting at `base`.
+    pub fn preload_range(&mut self, base: u64, lines: u64) {
+        let lb = self.map.line_bytes();
+        for i in 0..lines {
+            self.preload(base + i * lb);
+        }
+    }
+
+    /// Whether `addr`'s line is resident in its slice.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.slices[self.map.slice_of(addr).index()].contains(addr)
+    }
+
+    /// Advances every slice by one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        for (s, slice) in self.slices.iter_mut().enumerate() {
+            let dram = &mut self.drams[s / self.slices_per_mc];
+            slice.tick(now, dram);
+        }
+    }
+
+    /// A reference to the next reply waiting at `slice`.
+    pub fn peek_reply(&self, slice: SliceId) -> Option<&Packet> {
+        self.slices[slice.index()].peek_reply()
+    }
+
+    /// Removes the next reply waiting at `slice`.
+    pub fn pop_reply(&mut self, slice: SliceId) -> Option<Packet> {
+        self.slices[slice.index()].pop_reply()
+    }
+
+    /// Removes the first reply at `slice` for which `injectable` returns
+    /// true, skipping over blocked heads — the slice's reply port keeps a
+    /// virtual channel per destination GPC, so one congested GPC must not
+    /// head-of-line-block replies bound for the others.
+    pub fn pop_reply_where(
+        &mut self,
+        slice: SliceId,
+        injectable: impl Fn(&Packet) -> bool,
+    ) -> Option<Packet> {
+        self.slices[slice.index()].pop_reply_where(injectable)
+    }
+
+    /// Counter snapshot for `slice`.
+    pub fn slice_stats(&self, slice: SliceId) -> L2Stats {
+        self.slices[slice.index()].stats()
+    }
+
+    /// Aggregated counters over all slices.
+    pub fn total_stats(&self) -> L2Stats {
+        let mut total = L2Stats::default();
+        for s in &self.slices {
+            let st = s.stats();
+            total.accesses += st.accesses;
+            total.hits += st.hits;
+            total.misses += st.misses;
+            total.mshr_merges += st.mshr_merges;
+            total.writebacks += st.writebacks;
+            total.mshr_stalls += st.mshr_stalls;
+        }
+        total
+    }
+
+    /// True when every slice is idle and reply-free.
+    pub fn is_drained(&self) -> bool {
+        self.slices.iter().all(L2Slice::is_drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnc_common::ids::{SmId, WarpId};
+    use gnc_noc::packet::{PacketId, PacketKind};
+
+    fn cfg() -> GpuConfig {
+        GpuConfig::volta_v100()
+    }
+
+    fn request(mem: &MemorySubsystem, addr: u64, id: u64, kind: PacketKind) -> Packet {
+        Packet {
+            id: PacketId(id),
+            kind,
+            sm: SmId::new(0),
+            warp: WarpId::new(0),
+            slice: mem.address_map().slice_of(addr),
+            addr,
+            data_bytes: 128,
+            injected_at: 0,
+            group: id,
+        }
+    }
+
+    #[test]
+    fn requests_route_to_owning_slice() {
+        let cfg = cfg();
+        let mut mem = MemorySubsystem::new(&cfg);
+        mem.preload(0);
+        mem.preload(128);
+        let r0 = request(&mem, 0, 1, PacketKind::ReadRequest);
+        let r1 = request(&mem, 128, 2, PacketKind::ReadRequest);
+        assert_ne!(r0.slice, r1.slice);
+        let (s0, s1) = (r0.slice, r1.slice);
+        mem.push_request(r0, 0);
+        mem.push_request(r1, 0);
+        let mut got = Vec::new();
+        for now in 0..2000 {
+            mem.tick(now);
+            for s in [s0, s1] {
+                if let Some(p) = mem.pop_reply(s) {
+                    got.push(p.id);
+                }
+            }
+            if got.len() == 2 {
+                break;
+            }
+        }
+        got.sort();
+        assert_eq!(got, vec![PacketId(1), PacketId(2)]);
+        assert!(mem.is_drained());
+    }
+
+    #[test]
+    fn preload_range_warms_every_line() {
+        let cfg = cfg();
+        let mut mem = MemorySubsystem::new(&cfg);
+        mem.preload_range(0, 96);
+        for i in 0..96u64 {
+            assert!(mem.contains(i * 128), "line {i} must be warm");
+        }
+        assert!(!mem.contains(96 * 128));
+    }
+
+    #[test]
+    fn preloaded_hits_never_touch_dram() {
+        let cfg = cfg();
+        let mut mem = MemorySubsystem::new(&cfg);
+        mem.preload_range(0, 480);
+        for i in 0..480u64 {
+            let p = request(&mem, i * 128, i, PacketKind::WriteRequest);
+            mem.push_request(p, 0);
+        }
+        for now in 0..5000 {
+            mem.tick(now);
+            for s in 0..mem.num_slices() {
+                while mem.pop_reply(SliceId::new(s)).is_some() {}
+            }
+        }
+        let total = mem.total_stats();
+        assert_eq!(total.hits, 480);
+        assert_eq!(total.misses, 0);
+        assert!(mem.is_drained());
+    }
+
+    #[test]
+    fn stats_aggregate_across_slices() {
+        let cfg = cfg();
+        let mut mem = MemorySubsystem::new(&cfg);
+        mem.preload(0);
+        mem.push_request(request(&mem, 0, 1, PacketKind::ReadRequest), 0);
+        for now in 0..400 {
+            mem.tick(now);
+        }
+        let slice = mem.address_map().slice_of(0);
+        assert_eq!(mem.slice_stats(slice).hits, 1);
+        assert_eq!(mem.total_stats().hits, 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the memory system.
+
+use gnc_common::config::MemConfig;
+use gnc_common::ids::{SliceId, SmId, WarpId};
+use gnc_common::GpuConfig;
+use gnc_mem::address::AddressMap;
+use gnc_mem::dram::DramController;
+use gnc_mem::l2::L2Slice;
+use gnc_noc::packet::{Packet, PacketId, PacketKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Address decomposition is a bijection on line indices.
+    #[test]
+    fn address_map_round_trips(addr in 0u64..(1 << 40)) {
+        let cfg = GpuConfig::volta_v100();
+        let map = AddressMap::new(&cfg);
+        let line = map.line_of(addr);
+        let rebuilt = (map.tag_of(addr) * map.num_sets() as u64 + map.set_of(addr) as u64)
+            * cfg.mem.num_l2_slices as u64
+            + map.slice_of(addr).index() as u64;
+        prop_assert_eq!(line, rebuilt);
+        prop_assert!(map.slice_of(addr).index() < cfg.mem.num_l2_slices);
+        prop_assert!(map.set_of(addr) < map.num_sets());
+    }
+
+    /// DRAM access completion times are strictly increasing per bank and
+    /// never precede the issue time.
+    #[test]
+    fn dram_times_are_causal(
+        ops in proptest::collection::vec((0usize..4, 0u64..8), 1..40),
+    ) {
+        let mut ctrl = DramController::new(&MemConfig::default());
+        let mut last_done = vec![0u64; 4];
+        let mut now = 0u64;
+        for (bank, row) in ops {
+            let done = ctrl.access(bank, row, now);
+            prop_assert!(done > now, "completion {done} not after issue {now}");
+            prop_assert!(done > last_done[bank], "bank {bank} reordered");
+            last_done[bank] = done;
+            now += 3;
+        }
+    }
+
+    /// Every request pushed into an L2 slice produces exactly one reply
+    /// with a matching id and the right reply kind, regardless of
+    /// hit/miss mix.
+    #[test]
+    fn l2_replies_once_per_request(
+        requests in proptest::collection::vec((0u64..64, any::<bool>(), any::<bool>()), 1..32),
+    ) {
+        let cfg = GpuConfig::volta_v100();
+        let mut slice = L2Slice::new(SliceId::new(0), &cfg);
+        let mut dram = DramController::new(&cfg.mem);
+        let map = AddressMap::new(&cfg);
+        let mut expected = Vec::new();
+        for (i, &(nth, write, preload)) in requests.iter().enumerate() {
+            let addr = map.addr_in_slice(SliceId::new(0), nth);
+            if preload {
+                slice.preload(addr);
+            }
+            let kind = if write { PacketKind::WriteRequest } else { PacketKind::ReadRequest };
+            slice.push_request(
+                Packet {
+                    id: PacketId(i as u64),
+                    kind,
+                    sm: SmId::new(0),
+                    warp: WarpId::new(0),
+                    slice: SliceId::new(0),
+                    addr,
+                    data_bytes: 4,
+                    injected_at: 0,
+                    group: i as u64,
+                },
+                i as u64,
+            );
+            expected.push((PacketId(i as u64), kind.reply_kind()));
+        }
+        let mut got = Vec::new();
+        for now in 0..100_000u64 {
+            slice.tick(now, &mut dram);
+            while let Some(r) = slice.pop_reply() {
+                got.push((r.id, r.kind));
+            }
+            if got.len() == expected.len() && slice.is_drained() {
+                break;
+            }
+        }
+        got.sort_by_key(|(id, _)| id.0);
+        prop_assert_eq!(got, expected);
+        prop_assert!(slice.is_drained());
+    }
+
+    /// Cache residency: after a fill, re-accessing the same line is a
+    /// hit (stats monotonicity).
+    #[test]
+    fn second_access_hits(nth in 0u64..256) {
+        let cfg = GpuConfig::volta_v100();
+        let mut slice = L2Slice::new(SliceId::new(0), &cfg);
+        let mut dram = DramController::new(&cfg.mem);
+        let map = AddressMap::new(&cfg);
+        let addr = map.addr_in_slice(SliceId::new(0), nth);
+        for round in 0..2u64 {
+            slice.push_request(
+                Packet {
+                    id: PacketId(round),
+                    kind: PacketKind::ReadRequest,
+                    sm: SmId::new(0),
+                    warp: WarpId::new(0),
+                    slice: SliceId::new(0),
+                    addr,
+                    data_bytes: 4,
+                    injected_at: 0,
+                    group: round,
+                },
+                round * 10_000,
+            );
+            for now in (round * 10_000)..((round + 1) * 10_000) {
+                slice.tick(now, &mut dram);
+                if slice.pop_reply().is_some() {
+                    break;
+                }
+            }
+        }
+        let stats = slice.stats();
+        prop_assert_eq!(stats.misses, 1);
+        prop_assert_eq!(stats.hits, 1);
+    }
+}

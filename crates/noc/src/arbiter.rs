@@ -1,0 +1,281 @@
+//! Mux arbitration policies (§2.3, §6).
+//!
+//! The covert channel exists because the baseline round-robin arbiter is
+//! *locally fair*: a lone requester receives the full channel bandwidth,
+//! so the receiver can observe whether the sender is competing. §6
+//! evaluates three alternatives; all four are implemented here behind the
+//! [`Arbiter`] trait and are selectable per
+//! [`gnc_common::config::Arbitration`].
+
+use gnc_common::config::Arbitration;
+use gnc_common::Cycle;
+
+/// Metadata about the head flit available at one mux input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArbHead {
+    /// Cycle at which the head packet entered this subnet (age-based
+    /// arbitration keys on this).
+    pub age: Cycle,
+    /// Coarse arbitration group of the head packet (one group per warp
+    /// memory instruction; CRR grants a whole group consecutively).
+    pub group: u64,
+}
+
+/// One-flit-slot arbitration decision.
+///
+/// The mux calls [`Arbiter::grant`] once per flit slot of output
+/// bandwidth per cycle. `global_slot` is `cycle * bandwidth + slot`, a
+/// monotonically increasing slot counter that strict round-robin uses for
+/// time-division ownership. `heads[i]` is `Some` when input `i` has a
+/// flit ready to transmit.
+///
+/// Implementations must be deterministic: the simulator's reproducibility
+/// depends on it.
+pub trait Arbiter: std::fmt::Debug + Send {
+    /// Chooses the input that transmits in this flit slot, or `None` if
+    /// the slot goes unused (all inputs idle, or — under strict RR — the
+    /// slot's owner is idle).
+    fn grant(&mut self, global_slot: u64, heads: &[Option<ArbHead>]) -> Option<usize>;
+}
+
+/// Creates the arbiter implementing `policy`.
+pub fn make_arbiter(policy: Arbitration) -> Box<dyn Arbiter> {
+    match policy {
+        Arbitration::RoundRobin => Box::new(RoundRobinArbiter::new()),
+        Arbitration::CoarseRoundRobin => Box::new(CoarseRoundRobinArbiter::new()),
+        Arbitration::StrictRoundRobin => Box::new(StrictRoundRobinArbiter::new()),
+        Arbitration::AgeBased => Box::new(AgeBasedArbiter::new()),
+    }
+}
+
+/// Locally-fair round-robin (the baseline the paper attacks).
+///
+/// Scans inputs starting after the last grantee and grants the first one
+/// with a flit ready; a lone requester therefore receives the entire
+/// channel bandwidth, which is exactly the property the covert channel
+/// measures.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinArbiter {
+    next: usize,
+}
+
+impl RoundRobinArbiter {
+    /// Creates the arbiter with its pointer at input 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Arbiter for RoundRobinArbiter {
+    fn grant(&mut self, _global_slot: u64, heads: &[Option<ArbHead>]) -> Option<usize> {
+        let n = heads.len();
+        for offset in 0..n {
+            let i = (self.next + offset) % n;
+            if heads[i].is_some() {
+                self.next = (i + 1) % n;
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Coarse-grain round-robin (§6, "CRR"): per-warp-group arbitration.
+///
+/// Once an input wins, it keeps the grant while its head packets belong
+/// to the same group (the packets of one warp instruction), amortising
+/// arbitration — "network coalescing". §6 shows this does **not** remove
+/// the covert channel, because the total flit count on the channel is
+/// unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct CoarseRoundRobinArbiter {
+    next: usize,
+    current: Option<(usize, u64)>,
+}
+
+impl CoarseRoundRobinArbiter {
+    /// Creates the arbiter with no group in progress.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Arbiter for CoarseRoundRobinArbiter {
+    fn grant(&mut self, _global_slot: u64, heads: &[Option<ArbHead>]) -> Option<usize> {
+        if let Some((input, group)) = self.current {
+            match heads.get(input).copied().flatten() {
+                Some(head) if head.group == group => return Some(input),
+                _ => self.current = None,
+            }
+        }
+        let n = heads.len();
+        for offset in 0..n {
+            let i = (self.next + offset) % n;
+            if let Some(head) = heads[i] {
+                self.next = (i + 1) % n;
+                self.current = Some((i, head.group));
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// Strict round-robin (§6, "SRR"): time-division multiplexing.
+///
+/// Flit slot `s` belongs to input `s mod n` whether or not that input has
+/// anything to send. An idle owner's slot is *wasted*, never granted to
+/// another input, so no input can observe another's demand — the paper's
+/// effective countermeasure.
+#[derive(Debug, Clone, Default)]
+pub struct StrictRoundRobinArbiter;
+
+impl StrictRoundRobinArbiter {
+    /// Creates the arbiter.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Arbiter for StrictRoundRobinArbiter {
+    fn grant(&mut self, global_slot: u64, heads: &[Option<ArbHead>]) -> Option<usize> {
+        let owner = (global_slot % heads.len() as u64) as usize;
+        heads[owner].map(|_| owner)
+    }
+}
+
+/// Globally-fair age-based arbitration [Abts & Weisser 2007].
+///
+/// Grants the input whose head packet is oldest. §6 argues this does not
+/// mitigate the channel (contending requests are generated at similar
+/// times, so local contention persists); it is included so the claim can
+/// be tested.
+#[derive(Debug, Clone, Default)]
+pub struct AgeBasedArbiter;
+
+impl AgeBasedArbiter {
+    /// Creates the arbiter.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Arbiter for AgeBasedArbiter {
+    fn grant(&mut self, _global_slot: u64, heads: &[Option<ArbHead>]) -> Option<usize> {
+        heads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, h)| h.map(|h| (i, h.age)))
+            .min_by_key(|&(i, age)| (age, i))
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn head(age: Cycle, group: u64) -> Option<ArbHead> {
+        Some(ArbHead { age, group })
+    }
+
+    #[test]
+    fn rr_alternates_between_two_busy_inputs() {
+        let mut arb = RoundRobinArbiter::new();
+        let heads = [head(0, 0), head(0, 1)];
+        let grants: Vec<usize> = (0..6).map(|s| arb.grant(s, &heads).unwrap()).collect();
+        assert_eq!(grants, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn rr_gives_lone_requester_full_bandwidth() {
+        let mut arb = RoundRobinArbiter::new();
+        let heads = [None, head(0, 1), None];
+        for s in 0..8 {
+            assert_eq!(arb.grant(s, &heads), Some(1));
+        }
+    }
+
+    #[test]
+    fn rr_returns_none_when_idle() {
+        let mut arb = RoundRobinArbiter::new();
+        assert_eq!(arb.grant(0, &[None, None]), None);
+    }
+
+    #[test]
+    fn rr_pointer_resumes_after_gap() {
+        let mut arb = RoundRobinArbiter::new();
+        let busy = [head(0, 0), head(0, 1), head(0, 2)];
+        assert_eq!(arb.grant(0, &busy), Some(0));
+        // Input 1 goes idle; scan should continue to 2, not restart at 0.
+        assert_eq!(arb.grant(1, &[head(0, 0), None, head(0, 2)]), Some(2));
+        assert_eq!(arb.grant(2, &busy), Some(0));
+    }
+
+    #[test]
+    fn srr_wastes_idle_owner_slots() {
+        let mut arb = StrictRoundRobinArbiter::new();
+        // Only input 1 is busy; it still only gets its own slots.
+        let heads = [None, head(0, 0)];
+        let grants: Vec<Option<usize>> = (0..6).map(|s| arb.grant(s, &heads)).collect();
+        assert_eq!(
+            grants,
+            vec![None, Some(1), None, Some(1), None, Some(1)]
+        );
+    }
+
+    #[test]
+    fn srr_partitions_fairly_under_load() {
+        let mut arb = StrictRoundRobinArbiter::new();
+        let heads = [head(0, 0), head(0, 1), head(0, 2)];
+        let mut counts = [0usize; 3];
+        for s in 0..300 {
+            counts[arb.grant(s, &heads).unwrap()] += 1;
+        }
+        assert_eq!(counts, [100, 100, 100]);
+    }
+
+    #[test]
+    fn crr_holds_grant_within_a_group() {
+        let mut arb = CoarseRoundRobinArbiter::new();
+        // Input 0 transmits group 7 for several slots even though input 1
+        // is waiting.
+        let both = [head(0, 7), head(0, 9)];
+        assert_eq!(arb.grant(0, &both), Some(0));
+        assert_eq!(arb.grant(1, &both), Some(0));
+        assert_eq!(arb.grant(2, &both), Some(0));
+        // Input 0's group changes → grant moves to input 1.
+        let switched = [head(5, 8), head(0, 9)];
+        assert_eq!(arb.grant(3, &switched), Some(1));
+        assert_eq!(arb.grant(4, &switched), Some(1));
+    }
+
+    #[test]
+    fn crr_releases_grant_when_input_drains() {
+        let mut arb = CoarseRoundRobinArbiter::new();
+        assert_eq!(arb.grant(0, &[head(0, 7), head(0, 9)]), Some(0));
+        // Input 0 empties: grant must fall through to input 1.
+        assert_eq!(arb.grant(1, &[None, head(0, 9)]), Some(1));
+    }
+
+    #[test]
+    fn age_based_prefers_oldest() {
+        let mut arb = AgeBasedArbiter::new();
+        assert_eq!(arb.grant(0, &[head(10, 0), head(3, 1), head(7, 2)]), Some(1));
+        // Tie breaks to the lower index.
+        assert_eq!(arb.grant(1, &[head(5, 0), head(5, 1)]), Some(0));
+        assert_eq!(arb.grant(2, &[None, None]), None);
+    }
+
+    #[test]
+    fn factory_builds_every_policy() {
+        for policy in Arbitration::ALL {
+            let mut arb = make_arbiter(policy);
+            // Smoke: a lone busy input is granted eventually within one
+            // round of slots.
+            let heads = [head(0, 0), None];
+            let granted = (0..2).any(|s| arb.grant(s, &heads) == Some(0));
+            assert!(granted, "{policy:?} never granted the busy input");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Constant-latency FIFO delay lines.
+//!
+//! Every channel pipeline stage in the fabric (SM→TPC wires, TPC→GPC
+//! wires, crossbar traversal) is modelled as a delay line: items become
+//! visible to the downstream consumer a fixed number of cycles after they
+//! were pushed, in FIFO order.
+
+use gnc_common::Cycle;
+use std::collections::VecDeque;
+
+/// A FIFO whose items become poppable `latency` cycles after insertion.
+///
+/// Because the latency is constant, insertion order equals readiness
+/// order, so a plain deque suffices.
+#[derive(Debug, Clone)]
+pub struct DelayLine<T> {
+    latency: u32,
+    items: VecDeque<(Cycle, T)>,
+}
+
+impl<T> DelayLine<T> {
+    /// Creates a delay line with the given latency in cycles.
+    pub fn new(latency: u32) -> Self {
+        Self {
+            latency,
+            items: VecDeque::new(),
+        }
+    }
+
+    /// The configured latency.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Inserts an item at `now`; it becomes poppable at
+    /// `now + latency`.
+    pub fn push(&mut self, now: Cycle, item: T) {
+        self.items.push_back((now + Cycle::from(self.latency), item));
+    }
+
+    /// Inserts an item that becomes poppable at the explicit cycle
+    /// `ready_at` (used by stages with data-dependent service times).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ready_at` is earlier than the readiness
+    /// of the current tail, which would violate FIFO order.
+    pub fn push_ready_at(&mut self, ready_at: Cycle, item: T) {
+        debug_assert!(
+            self.items.back().map_or(true, |(t, _)| *t <= ready_at),
+            "push_ready_at must preserve FIFO readiness order"
+        );
+        self.items.push_back((ready_at, item));
+    }
+
+    /// A reference to the front item if it is ready at `now`.
+    pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
+        match self.items.front() {
+            Some((ready, item)) if *ready <= now => Some(item),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the front item if it is ready at `now`.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.peek_ready(now).is_some() {
+            self.items.pop_front().map(|(_, item)| item)
+        } else {
+            None
+        }
+    }
+
+    /// Number of items in flight (ready or not).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the delay line holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_age_before_becoming_ready() {
+        let mut line = DelayLine::new(3);
+        line.push(10, "a");
+        assert!(line.peek_ready(10).is_none());
+        assert!(line.peek_ready(12).is_none());
+        assert_eq!(line.peek_ready(13), Some(&"a"));
+        assert_eq!(line.pop_ready(13), Some("a"));
+        assert!(line.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut line = DelayLine::new(1);
+        line.push(0, 1);
+        line.push(0, 2);
+        line.push(1, 3);
+        assert_eq!(line.pop_ready(1), Some(1));
+        assert_eq!(line.pop_ready(1), Some(2));
+        assert_eq!(line.pop_ready(1), None); // item 3 ready at 2
+        assert_eq!(line.pop_ready(2), Some(3));
+    }
+
+    #[test]
+    fn zero_latency_is_immediate() {
+        let mut line = DelayLine::new(0);
+        line.push(5, "x");
+        assert_eq!(line.pop_ready(5), Some("x"));
+    }
+
+    #[test]
+    fn explicit_ready_time() {
+        let mut line = DelayLine::new(2);
+        line.push_ready_at(20, "late");
+        assert!(line.pop_ready(19).is_none());
+        assert_eq!(line.pop_ready(20), Some("late"));
+    }
+
+    #[test]
+    fn pop_does_not_skip_unready_head() {
+        let mut line = DelayLine::new(5);
+        line.push(0, "head");
+        line.push(0, "tail");
+        assert_eq!(line.len(), 2);
+        assert!(line.pop_ready(4).is_none());
+        assert_eq!(line.len(), 2);
+    }
+}

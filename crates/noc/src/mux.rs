@@ -1,0 +1,412 @@
+//! The concentrating mux — the shared resource at the heart of the paper.
+//!
+//! A [`ConcentratorMux`] joins N bounded input FIFOs onto one output
+//! channel of B flits/cycle through an arbitration policy, then delays
+//! completed packets by the channel pipeline latency. Instances of this
+//! one component model the 2:1 SM→TPC mux, the 7:1 TPC→GPC mux with
+//! speedup, each crossbar output, the GPC reply channel, and the per-SM
+//! ejection port (Figure 1 of the paper).
+
+use crate::arbiter::{make_arbiter, ArbHead, Arbiter};
+use crate::delay::DelayLine;
+use crate::packet::Packet;
+use gnc_common::config::{Arbitration, NocConfig};
+use gnc_common::Cycle;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    packet: Packet,
+    remaining: u32,
+}
+
+/// An N-input, single-output concentrating mux with bounded input queues,
+/// per-flit arbitration, and an output pipeline delay.
+///
+/// # Flow control
+///
+/// [`try_push`](Self::try_push) refuses packets when the target input
+/// queue is at capacity, returning the packet to the caller; upstream
+/// stages keep it queued, which yields credit-based backpressure through
+/// the whole fabric.
+///
+/// # Example
+///
+/// ```
+/// use gnc_common::config::{Arbitration, NocConfig};
+/// use gnc_noc::mux::ConcentratorMux;
+///
+/// let noc = NocConfig::default();
+/// let mux = ConcentratorMux::new(2, 1, 0, 8, Arbitration::RoundRobin, &noc);
+/// assert_eq!(mux.num_inputs(), 2);
+/// assert!(mux.can_accept(0));
+/// ```
+#[derive(Debug)]
+pub struct ConcentratorMux {
+    inputs: Vec<VecDeque<InFlight>>,
+    depth: usize,
+    bandwidth: u32,
+    arbiter: Box<dyn Arbiter>,
+    output: DelayLine<Packet>,
+    noc: NocConfig,
+    granted_flits: Vec<u64>,
+    forwarded_packets: u64,
+    /// Total packets across all input queues (fast idle check).
+    queued: usize,
+}
+
+impl ConcentratorMux {
+    /// Creates a mux.
+    ///
+    /// * `n_inputs` — number of input ports.
+    /// * `bandwidth` — output channel bandwidth in flits per cycle.
+    /// * `latency` — pipeline latency in cycles between a packet's last
+    ///   flit crossing the mux and the packet appearing at the output.
+    /// * `depth` — per-input queue capacity in packets.
+    /// * `policy` — arbitration policy (§6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_inputs`, `bandwidth`, or `depth` is zero.
+    pub fn new(
+        n_inputs: usize,
+        bandwidth: u32,
+        latency: u32,
+        depth: usize,
+        policy: Arbitration,
+        noc: &NocConfig,
+    ) -> Self {
+        assert!(n_inputs > 0, "mux needs at least one input");
+        assert!(bandwidth > 0, "mux needs nonzero bandwidth");
+        assert!(depth > 0, "mux needs nonzero queue depth");
+        Self {
+            inputs: (0..n_inputs).map(|_| VecDeque::new()).collect(),
+            depth,
+            bandwidth,
+            arbiter: make_arbiter(policy),
+            output: DelayLine::new(latency),
+            noc: noc.clone(),
+            granted_flits: vec![0; n_inputs],
+            forwarded_packets: 0,
+            queued: 0,
+        }
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Output bandwidth in flits per cycle.
+    pub fn bandwidth(&self) -> u32 {
+        self.bandwidth
+    }
+
+    /// Whether input `input` has room for another packet.
+    pub fn can_accept(&self, input: usize) -> bool {
+        self.inputs[input].len() < self.depth
+    }
+
+    /// Queues `packet` at `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back when the input queue is full; the caller
+    /// must retry on a later cycle (backpressure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn try_push(&mut self, input: usize, packet: Packet) -> Result<(), Packet> {
+        if !self.can_accept(input) {
+            return Err(packet);
+        }
+        let remaining = packet.flits(&self.noc).max(1);
+        self.inputs[input].push_back(InFlight { packet, remaining });
+        self.queued += 1;
+        Ok(())
+    }
+
+    /// Advances the mux by one cycle: arbitrates up to `bandwidth` flit
+    /// slots and moves fully transmitted packets into the output pipeline.
+    pub fn tick(&mut self, now: Cycle) {
+        if self.queued == 0 {
+            return;
+        }
+        for slot in 0..self.bandwidth {
+            let heads: Vec<Option<ArbHead>> = self
+                .inputs
+                .iter()
+                .map(|q| {
+                    q.front().map(|inflight| ArbHead {
+                        age: inflight.packet.injected_at,
+                        group: inflight.packet.group,
+                    })
+                })
+                .collect();
+            if heads.iter().all(Option::is_none) {
+                // No arbiter can grant an idle mux; strict RR would waste
+                // the remaining slots anyway.
+                break;
+            }
+            let global_slot = now * u64::from(self.bandwidth) + u64::from(slot);
+            let Some(winner) = self.arbiter.grant(global_slot, &heads) else {
+                continue;
+            };
+            let queue = &mut self.inputs[winner];
+            let inflight = queue.front_mut().expect("granted input must be nonempty");
+            inflight.remaining -= 1;
+            self.granted_flits[winner] += 1;
+            if inflight.remaining == 0 {
+                let done = queue.pop_front().expect("head exists");
+                self.output.push(now, done.packet);
+                self.forwarded_packets += 1;
+                self.queued -= 1;
+            }
+        }
+    }
+
+    /// A reference to the next delivered packet, if one has cleared the
+    /// output pipeline by `now`.
+    pub fn peek_delivered(&self, now: Cycle) -> Option<&Packet> {
+        self.output.peek_ready(now)
+    }
+
+    /// Removes and returns the next delivered packet, if ready at `now`.
+    pub fn pop_delivered(&mut self, now: Cycle) -> Option<Packet> {
+        self.output.pop_ready(now)
+    }
+
+    /// Flits granted to each input since construction (fairness metric).
+    pub fn granted_flits(&self) -> &[u64] {
+        &self.granted_flits
+    }
+
+    /// Packets fully forwarded since construction.
+    pub fn forwarded_packets(&self) -> u64 {
+        self.forwarded_packets
+    }
+
+    /// Number of packets currently queued at `input`.
+    pub fn queue_len(&self, input: usize) -> usize {
+        self.inputs[input].len()
+    }
+
+    /// True when no packets are queued or in the output pipeline.
+    pub fn is_drained(&self) -> bool {
+        self.inputs.iter().all(VecDeque::is_empty) && self.output.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketId, PacketKind};
+    use gnc_common::ids::{SliceId, SmId, WarpId};
+
+    fn noc() -> NocConfig {
+        NocConfig::default()
+    }
+
+    fn pkt(id: u64, kind: PacketKind, group: u64, age: Cycle) -> Packet {
+        Packet {
+            id: PacketId(id),
+            kind,
+            sm: SmId::new(0),
+            warp: WarpId::new(0),
+            slice: SliceId::new(0),
+            addr: id * 128,
+            data_bytes: 128, // full line: 5 flits for writes at 40 B flits
+            injected_at: age,
+            group,
+        }
+    }
+
+    fn mux(policy: Arbitration, bandwidth: u32, latency: u32) -> ConcentratorMux {
+        ConcentratorMux::new(2, bandwidth, latency, 8, policy, &noc())
+    }
+
+    #[test]
+    fn single_write_packet_takes_its_flit_count() {
+        let mut m = mux(Arbitration::RoundRobin, 1, 0);
+        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).unwrap();
+        // 5 flits at 1 flit/cycle: delivered after the tick at cycle 4.
+        for now in 0..4 {
+            m.tick(now);
+            assert!(m.peek_delivered(now).is_none(), "too early at {now}");
+        }
+        m.tick(4);
+        assert_eq!(m.pop_delivered(4).unwrap().id, PacketId(1));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut m = mux(Arbitration::RoundRobin, 1, 10);
+        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 0)).unwrap();
+        m.tick(0); // single flit crosses at cycle 0
+        assert!(m.pop_delivered(9).is_none());
+        assert!(m.pop_delivered(10).is_some());
+    }
+
+    #[test]
+    fn two_saturating_writers_share_bandwidth_equally() {
+        // The Fig 2 mechanism: two SMs streaming writes through one TPC
+        // mux each get half the channel.
+        let mut m = mux(Arbitration::RoundRobin, 1, 0);
+        let mut delivered = [0u32; 2];
+        let mut next_id = 0u64;
+        for now in 0..1000u64 {
+            for input in 0..2 {
+                if m.can_accept(input) {
+                    let mut p = pkt(next_id, PacketKind::WriteRequest, next_id, now);
+                    p.sm = SmId::new(input);
+                    if m.try_push(input, p).is_ok() {
+                        next_id += 1;
+                    }
+                }
+            }
+            m.tick(now);
+            while let Some(p) = m.pop_delivered(now) {
+                delivered[p.sm.index()] += 1;
+            }
+        }
+        let total: u32 = delivered.iter().sum();
+        // 1000 cycles / 5 flits ≈ 200 packets total, split evenly.
+        assert!((195..=200).contains(&total), "total {total}");
+        let diff = delivered[0].abs_diff(delivered[1]);
+        assert!(diff <= 1, "unfair split {delivered:?}");
+    }
+
+    #[test]
+    fn lone_writer_gets_full_bandwidth_under_rr() {
+        let mut m = mux(Arbitration::RoundRobin, 1, 0);
+        let mut delivered = 0u32;
+        let mut next_id = 0;
+        for now in 0..1000u64 {
+            if m.can_accept(0) {
+                m.try_push(0, pkt(next_id, PacketKind::WriteRequest, next_id, now))
+                    .unwrap();
+                next_id += 1;
+            }
+            m.tick(now);
+            while m.pop_delivered(now).is_some() {
+                delivered += 1;
+            }
+        }
+        assert!((195..=200).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn lone_writer_is_halved_under_srr() {
+        // The countermeasure property: SRR wastes the idle input's slots,
+        // so a lone writer gets only half the channel…
+        let mut m = mux(Arbitration::StrictRoundRobin, 1, 0);
+        let mut delivered = 0u32;
+        let mut next_id = 0;
+        for now in 0..1000u64 {
+            if m.can_accept(0) {
+                m.try_push(0, pkt(next_id, PacketKind::WriteRequest, next_id, now))
+                    .unwrap();
+                next_id += 1;
+            }
+            m.tick(now);
+            while m.pop_delivered(now).is_some() {
+                delivered += 1;
+            }
+        }
+        // …: 500 usable flit slots / 5 flits = 100 packets.
+        assert!((95..=100).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn srr_throughput_is_independent_of_other_input() {
+        // Run SRR twice: once with input 1 idle, once saturating. Input
+        // 0's delivered count must not change — no leakage.
+        let run = |other_busy: bool| -> u32 {
+            let mut m = mux(Arbitration::StrictRoundRobin, 1, 0);
+            let mut delivered = 0u32;
+            let mut next_id = 0u64;
+            for now in 0..2000u64 {
+                if m.can_accept(0) {
+                    let mut p = pkt(next_id, PacketKind::WriteRequest, next_id, now);
+                    p.sm = SmId::new(0);
+                    m.try_push(0, p).unwrap();
+                    next_id += 1;
+                }
+                if other_busy && m.can_accept(1) {
+                    let mut p = pkt(next_id, PacketKind::WriteRequest, next_id, now);
+                    p.sm = SmId::new(1);
+                    m.try_push(1, p).unwrap();
+                    next_id += 1;
+                }
+                m.tick(now);
+                while let Some(p) = m.pop_delivered(now) {
+                    if p.sm == SmId::new(0) {
+                        delivered += 1;
+                    }
+                }
+            }
+            delivered
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn backpressure_returns_packet() {
+        let mut m = ConcentratorMux::new(1, 1, 0, 2, Arbitration::RoundRobin, &noc());
+        assert!(m.try_push(0, pkt(0, PacketKind::WriteRequest, 0, 0)).is_ok());
+        assert!(m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).is_ok());
+        assert!(!m.can_accept(0));
+        let rejected = m.try_push(0, pkt(2, PacketKind::WriteRequest, 0, 0));
+        assert_eq!(rejected.unwrap_err().id, PacketId(2));
+    }
+
+    #[test]
+    fn wide_channel_moves_multiple_flits_per_cycle() {
+        // Bandwidth 6: a 5-flit write completes within a single tick.
+        let mut m = mux(Arbitration::RoundRobin, 6, 0);
+        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).unwrap();
+        m.tick(0);
+        assert!(m.pop_delivered(0).is_some());
+    }
+
+    #[test]
+    fn granted_flit_accounting() {
+        let mut m = mux(Arbitration::RoundRobin, 1, 0);
+        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).unwrap();
+        m.try_push(1, pkt(2, PacketKind::ReadRequest, 1, 0)).unwrap();
+        for now in 0..6 {
+            m.tick(now);
+        }
+        assert_eq!(m.granted_flits(), &[5, 1]);
+        assert_eq!(m.forwarded_packets(), 2);
+        while m.pop_delivered(6).is_some() {}
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn fifo_within_one_input() {
+        let mut m = mux(Arbitration::RoundRobin, 1, 0);
+        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 0)).unwrap();
+        m.try_push(0, pkt(2, PacketKind::ReadRequest, 0, 0)).unwrap();
+        m.tick(0);
+        m.tick(1);
+        assert_eq!(m.pop_delivered(1).unwrap().id, PacketId(1));
+        assert_eq!(m.pop_delivered(1).unwrap().id, PacketId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn zero_inputs_rejected() {
+        let _ = ConcentratorMux::new(0, 1, 0, 1, Arbitration::RoundRobin, &noc());
+    }
+
+    #[test]
+    fn age_based_prefers_older_packet_across_inputs() {
+        let mut m = mux(Arbitration::AgeBased, 1, 0);
+        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 100)).unwrap();
+        m.try_push(1, pkt(2, PacketKind::ReadRequest, 1, 50)).unwrap();
+        m.tick(0);
+        assert_eq!(m.pop_delivered(0).unwrap().id, PacketId(2));
+    }
+}

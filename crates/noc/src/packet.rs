@@ -1,0 +1,210 @@
+//! Network packets.
+//!
+//! A packet is the unit that traverses the fabric; its length in flits is
+//! one header flit plus the data it carries, rounded up to whole flits.
+//! This is what makes memory coalescing matter for the covert channel
+//! (§5): a warp of 32 *uncoalesced* 4-byte stores becomes 32 packets of
+//! 2 flits each (64 flits of traffic), while the same 128 bytes fully
+//! coalesced is a single 5-flit packet at 40-byte flits — about 13×
+//! less channel occupancy, which is why a coalescing sender cannot
+//! create observable contention (Fig 13).
+
+use gnc_common::config::NocConfig;
+use gnc_common::ids::{SliceId, SmId, WarpId};
+use gnc_common::Cycle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique packet identifier (assigned by the issuing SM's LSU).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt{}", self.0)
+    }
+}
+
+/// The four packet kinds carried by the two subnets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Read request: SM → L2 slice, header only (request subnet). Its
+    /// `data_bytes` is the amount *requested*, which sizes the reply.
+    ReadRequest,
+    /// Write request: SM → L2 slice, header + written data (request
+    /// subnet).
+    WriteRequest,
+    /// Read reply: L2 slice → SM, header + requested data (reply subnet).
+    ReadReply,
+    /// Write acknowledgement: L2 slice → SM, header only (reply subnet).
+    WriteAck,
+}
+
+impl PacketKind {
+    /// Whether this kind travels on the request subnet (SM → L2).
+    pub fn is_request(self) -> bool {
+        matches!(self, PacketKind::ReadRequest | PacketKind::WriteRequest)
+    }
+
+    /// Whether this kind carries data flits (vs header-only).
+    pub fn carries_data(self) -> bool {
+        matches!(self, PacketKind::WriteRequest | PacketKind::ReadReply)
+    }
+
+    /// The reply kind an L2 slice generates for a request kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a reply kind.
+    pub fn reply_kind(self) -> PacketKind {
+        match self {
+            PacketKind::ReadRequest => PacketKind::ReadReply,
+            PacketKind::WriteRequest => PacketKind::WriteAck,
+            other => panic!("{other:?} is already a reply kind"),
+        }
+    }
+}
+
+/// A packet in flight through the fabric.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id; replies carry the id of the request they answer.
+    pub id: PacketId,
+    /// Kind, which (with `data_bytes`) determines flit length.
+    pub kind: PacketKind,
+    /// The SM that issued the original request (destination for replies).
+    pub sm: SmId,
+    /// The warp within that SM which issued the request.
+    pub warp: WarpId,
+    /// The L2 slice the address maps to.
+    pub slice: SliceId,
+    /// Byte address of the access (used for L2 indexing).
+    pub addr: u64,
+    /// Bytes written (writes) or requested (reads). Determines data-flit
+    /// count for write requests and read replies.
+    pub data_bytes: u32,
+    /// Cycle at which the packet entered the current subnet; the age-based
+    /// arbiter keys on this, and instrumentation uses it for latencies.
+    pub injected_at: Cycle,
+    /// Coarse arbitration group (§6, CRR): all packets of one warp
+    /// memory instruction share a group so CRR can grant them together.
+    pub group: u64,
+}
+
+impl Packet {
+    /// Packet length in flits under `noc`: one header flit plus
+    /// `ceil(data_bytes / flit_size)` data flits for data-carrying kinds.
+    pub fn flits(&self, noc: &NocConfig) -> u32 {
+        if self.kind.carries_data() {
+            1 + self.data_bytes.div_ceil(noc.flit_size_bytes.max(1))
+        } else {
+            1
+        }
+    }
+
+    /// Builds the reply an L2 slice sends back for this request, injected
+    /// into the reply subnet at `now`. Read replies carry the requested
+    /// bytes; write acks are header-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is already a reply.
+    pub fn to_reply(&self, now: Cycle) -> Packet {
+        Packet {
+            id: self.id,
+            kind: self.kind.reply_kind(),
+            sm: self.sm,
+            warp: self.warp,
+            slice: self.slice,
+            addr: self.addr,
+            data_bytes: self.data_bytes,
+            injected_at: now,
+            group: self.group,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noc() -> NocConfig {
+        NocConfig::default()
+    }
+
+    fn packet(kind: PacketKind, data_bytes: u32) -> Packet {
+        Packet {
+            id: PacketId(7),
+            kind,
+            sm: SmId::new(3),
+            warp: WarpId::new(1),
+            slice: SliceId::new(11),
+            addr: 0x1000,
+            data_bytes,
+            injected_at: 42,
+            group: 5,
+        }
+    }
+
+    #[test]
+    fn full_line_write_is_five_flits() {
+        // 128 B at 40 B flits: header + 4 data flits.
+        assert_eq!(packet(PacketKind::WriteRequest, 128).flits(&noc()), 5);
+    }
+
+    #[test]
+    fn scattered_word_write_is_two_flits() {
+        // A single 4 B store: header + 1 data flit. The coalescing
+        // asymmetry of §5 rests on this.
+        assert_eq!(packet(PacketKind::WriteRequest, 4).flits(&noc()), 2);
+    }
+
+    #[test]
+    fn requests_and_acks_are_header_only() {
+        assert_eq!(packet(PacketKind::ReadRequest, 128).flits(&noc()), 1);
+        assert_eq!(packet(PacketKind::WriteAck, 128).flits(&noc()), 1);
+    }
+
+    #[test]
+    fn read_reply_scales_with_requested_bytes() {
+        assert_eq!(packet(PacketKind::ReadReply, 4).flits(&noc()), 2);
+        assert_eq!(packet(PacketKind::ReadReply, 128).flits(&noc()), 5);
+        assert_eq!(packet(PacketKind::ReadReply, 41).flits(&noc()), 3);
+    }
+
+    #[test]
+    fn request_reply_pairing() {
+        assert_eq!(PacketKind::ReadRequest.reply_kind(), PacketKind::ReadReply);
+        assert_eq!(PacketKind::WriteRequest.reply_kind(), PacketKind::WriteAck);
+        assert!(PacketKind::ReadRequest.is_request());
+        assert!(PacketKind::WriteRequest.is_request());
+        assert!(!PacketKind::ReadReply.is_request());
+        assert!(!PacketKind::WriteAck.is_request());
+    }
+
+    #[test]
+    #[should_panic(expected = "already a reply")]
+    fn reply_of_reply_panics() {
+        let _ = PacketKind::WriteAck.reply_kind();
+    }
+
+    #[test]
+    fn reply_preserves_identity_and_restamps_injection() {
+        let req = packet(PacketKind::ReadRequest, 64);
+        let reply = req.to_reply(99);
+        assert_eq!(reply.id, req.id);
+        assert_eq!(reply.kind, PacketKind::ReadReply);
+        assert_eq!(reply.sm, req.sm);
+        assert_eq!(reply.data_bytes, 64);
+        assert_eq!(reply.injected_at, 99);
+        assert_eq!(reply.group, req.group);
+    }
+
+    #[test]
+    fn display_of_packet_id() {
+        assert_eq!(PacketId(3).to_string(), "pkt3");
+    }
+}

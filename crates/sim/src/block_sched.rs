@@ -1,0 +1,121 @@
+//! Thread-block placement policy (§4.3).
+//!
+//! The paper reverse-engineered the block scheduler: blocks interleave
+//! across the GPCs first, then across the TPCs within each GPC, and only
+//! after every TPC holds a block does the second SM of a TPC receive one.
+//! Consequence (§4.3): launching 40 sender blocks and then 40 receiver
+//! blocks places one sender and one receiver on the two SMs of every TPC
+//! — exactly the co-location the TPC covert channel needs.
+
+use gnc_common::ids::{GpcId, SmId};
+use gnc_common::GpuConfig;
+
+/// The SM visitation order used when placing blocks.
+#[derive(Debug, Clone)]
+pub struct PlacementPolicy {
+    order: Vec<SmId>,
+}
+
+impl PlacementPolicy {
+    /// Builds the §4.3 order for `cfg`: for each SM slot (first SM of a
+    /// TPC, then the sibling), for each TPC round, visit the GPCs
+    /// round-robin and take that GPC's next TPC.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let per_gpc: Vec<Vec<_>> = (0..cfg.num_gpcs)
+            .map(|g| cfg.tpcs_of_gpc(GpcId::new(g)))
+            .collect();
+        let max_tpcs = per_gpc.iter().map(Vec::len).max().unwrap_or(0);
+        let mut order = Vec::with_capacity(cfg.num_sms());
+        for sm_slot in 0..cfg.sms_per_tpc {
+            for round in 0..max_tpcs {
+                for members in &per_gpc {
+                    if let Some(tpc) = members.get(round) {
+                        order.push(SmId::new(tpc.index() * cfg.sms_per_tpc + sm_slot));
+                    }
+                }
+            }
+        }
+        Self { order }
+    }
+
+    /// The SM visitation order, one entry per SM slot.
+    pub fn order(&self) -> &[SmId] {
+        &self.order
+    }
+
+    /// The first SM in the order with spare capacity, according to
+    /// `has_room`.
+    pub fn next_free(&self, mut has_room: impl FnMut(SmId) -> bool) -> Option<SmId> {
+        self.order.iter().copied().find(|&sm| has_room(sm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn order_covers_every_sm_exactly_once() {
+        let cfg = GpuConfig::volta_v100();
+        let policy = PlacementPolicy::new(&cfg);
+        assert_eq!(policy.order().len(), cfg.num_sms());
+        let distinct: HashSet<SmId> = policy.order().iter().copied().collect();
+        assert_eq!(distinct.len(), cfg.num_sms());
+    }
+
+    #[test]
+    fn first_forty_slots_are_one_sm_per_tpc() {
+        let cfg = GpuConfig::volta_v100();
+        let policy = PlacementPolicy::new(&cfg);
+        let first: Vec<SmId> = policy.order()[..40].to_vec();
+        // One SM per TPC, all even (first sibling).
+        let tpcs: HashSet<usize> = first.iter().map(|s| s.index() / 2).collect();
+        assert_eq!(tpcs.len(), 40);
+        assert!(first.iter().all(|s| s.index() % 2 == 0));
+        // Next 40 are the siblings.
+        let second: Vec<SmId> = policy.order()[40..80].to_vec();
+        assert!(second.iter().all(|s| s.index() % 2 == 1));
+    }
+
+    #[test]
+    fn order_interleaves_across_gpcs_first() {
+        let cfg = GpuConfig::volta_v100();
+        let policy = PlacementPolicy::new(&cfg);
+        // The first 6 placements hit 6 distinct GPCs.
+        let gpcs: Vec<usize> = policy.order()[..6]
+            .iter()
+            .map(|&s| cfg.gpc_of_sm(s).index())
+            .collect();
+        let distinct: HashSet<usize> = gpcs.iter().copied().collect();
+        assert_eq!(distinct.len(), 6, "first wave must span all GPCs: {gpcs:?}");
+    }
+
+    #[test]
+    fn short_gpcs_drop_out_of_late_rounds() {
+        let cfg = GpuConfig::volta_v100();
+        let policy = PlacementPolicy::new(&cfg);
+        // Rounds 0–5 produce 6 SMs each (36); round 6 only the four
+        // 7-TPC GPCs contribute (4) → first slot block = 40.
+        let seventh_round: Vec<usize> = policy.order()[36..40]
+            .iter()
+            .map(|&s| cfg.gpc_of_sm(s).index())
+            .collect();
+        assert_eq!(seventh_round.len(), 4);
+        assert!(
+            !seventh_round.contains(&4) && !seventh_round.contains(&5),
+            "6-TPC GPCs must not appear in round 7: {seventh_round:?}"
+        );
+    }
+
+    #[test]
+    fn next_free_respects_occupancy() {
+        let cfg = GpuConfig::volta_v100();
+        let policy = PlacementPolicy::new(&cfg);
+        let first = policy.order()[0];
+        let second = policy.order()[1];
+        assert_eq!(policy.next_free(|_| true), Some(first));
+        assert_eq!(policy.next_free(|sm| sm != first), Some(second));
+        assert_eq!(policy.next_free(|_| false), None);
+    }
+}

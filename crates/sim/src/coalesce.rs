@@ -1,0 +1,146 @@
+//! The memory coalescer.
+//!
+//! When the threads of a warp access a contiguous block or the same cache
+//! line, the hardware merges their accesses into one memory transaction
+//! (§2.1). Each transaction carries only the bytes its threads actually
+//! touch, which is the mechanism behind §5's coalescing results: 32
+//! scattered 4-byte accesses become 32 small packets (2 flits each at
+//! 40-byte flits — 64 flits of channel traffic), while the same 128
+//! bytes fully coalesced is a single 5-flit packet. A coalescing sender
+//! therefore cannot create observable contention (Fig 13).
+
+/// Bytes one thread touches per access (a 32-bit word).
+pub const ACCESS_BYTES: u32 = 4;
+
+/// One coalesced memory transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Base address of the cache line.
+    pub line_base: u64,
+    /// Bytes of the line actually touched (distinct 4-byte words × 4).
+    pub bytes: u32,
+}
+
+/// Merges per-thread byte addresses into per-line transactions.
+///
+/// Returns one [`Transaction`] per distinct cache line touched, in
+/// first-touch order (deterministic), each sized by the number of
+/// distinct 4-byte words accessed within the line.
+///
+/// ```
+/// use gnc_sim::coalesce::coalesce;
+///
+/// // All 32 threads in one line → a single 128-byte transaction.
+/// let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+/// let txns = coalesce(&addrs, 128);
+/// assert_eq!(txns.len(), 1);
+/// assert_eq!(txns[0].bytes, 128);
+///
+/// // Stride of one line per thread → 4 transactions of 4 bytes each.
+/// let addrs: Vec<u64> = (0..4).map(|i| i * 128).collect();
+/// let txns = coalesce(&addrs, 128);
+/// assert_eq!(txns.len(), 4);
+/// assert!(txns.iter().all(|t| t.bytes == 4));
+/// ```
+pub fn coalesce(addrs: &[u64], line_bytes: u64) -> Vec<Transaction> {
+    debug_assert!(
+        line_bytes.is_power_of_two(),
+        "line size must be a power of two"
+    );
+    let line_mask = !(line_bytes - 1);
+    let word_mask = !(u64::from(ACCESS_BYTES) - 1);
+    let mut txns: Vec<(Transaction, Vec<u64>)> = Vec::new();
+    for &addr in addrs {
+        let base = addr & line_mask;
+        let word = addr & word_mask;
+        match txns.iter_mut().find(|(t, _)| t.line_base == base) {
+            Some((txn, words)) => {
+                if !words.contains(&word) {
+                    words.push(word);
+                    txn.bytes = (txn.bytes + ACCESS_BYTES).min(line_bytes as u32);
+                }
+            }
+            None => txns.push((
+                Transaction {
+                    line_base: base,
+                    bytes: ACCESS_BYTES,
+                },
+                vec![word],
+            )),
+        }
+    }
+    txns.into_iter().map(|(t, _)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(coalesce(&[], 128).is_empty());
+    }
+
+    #[test]
+    fn fully_coalesced_warp_is_one_full_line_transaction() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| 0x1000 + i * 4).collect();
+        let txns = coalesce(&addrs, 128);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].line_base, 0x1000);
+        assert_eq!(txns[0].bytes, 128);
+    }
+
+    #[test]
+    fn fully_uncoalesced_warp_is_thirtytwo_small_transactions() {
+        let addrs: Vec<u64> = (0..32u64).map(|i| i * 128).collect();
+        let txns = coalesce(&addrs, 128);
+        assert_eq!(txns.len(), 32);
+        assert!(txns.iter().all(|t| t.bytes == 4));
+    }
+
+    #[test]
+    fn partial_coalescing_counts_distinct_lines_and_bytes() {
+        // 8 threads per line over 4 lines → 4 transactions of 32 bytes
+        // (the §5 multi-level encoding uses exactly this dial).
+        let addrs: Vec<u64> = (0..32u64).map(|i| (i / 8) * 128 + (i % 8) * 4).collect();
+        let txns = coalesce(&addrs, 128);
+        assert_eq!(txns.len(), 4);
+        assert!(txns.iter().all(|t| t.bytes == 32));
+    }
+
+    #[test]
+    fn duplicate_words_count_once() {
+        let addrs = [0x100u64, 0x100, 0x104, 0x100];
+        let txns = coalesce(&addrs, 0x100);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].bytes, 8);
+    }
+
+    #[test]
+    fn order_is_first_touch() {
+        let addrs = [0x300u64, 0x100, 0x300, 0x200];
+        let lines: Vec<u64> = coalesce(&addrs, 0x100)
+            .iter()
+            .map(|t| t.line_base)
+            .collect();
+        assert_eq!(lines, vec![0x300, 0x100, 0x200]);
+    }
+
+    #[test]
+    fn unaligned_addresses_snap_to_line_base() {
+        let addrs = [0x17Fu64, 0x101];
+        let txns = coalesce(&addrs, 0x100);
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].line_base, 0x100);
+        // 0x17F → word 0x17C, 0x101 → word 0x100: two distinct words.
+        assert_eq!(txns[0].bytes, 8);
+    }
+
+    #[test]
+    fn bytes_never_exceed_line_size() {
+        let addrs: Vec<u64> = (0..64u64).map(|i| i * 4).collect(); // 2 lines
+        let txns = coalesce(&addrs, 128);
+        assert_eq!(txns.len(), 2);
+        assert!(txns.iter().all(|t| t.bytes == 128));
+    }
+}

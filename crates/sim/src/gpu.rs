@@ -1,0 +1,678 @@
+//! The whole-GPU engine.
+//!
+//! [`Gpu`] owns the SMs, the clock domain, the two NoC subnets, the
+//! memory system, and the block scheduler, and advances them in lockstep
+//! one core cycle at a time. Kernels are launched into streams
+//! (cudaStream-style multiprogramming, §2.1): kernels in the same stream
+//! serialise, kernels in different streams run concurrently — which is
+//! how the trojan and the spy co-exist on the GPU.
+
+use crate::block_sched::PlacementPolicy;
+use crate::clock::ClockDomain;
+use crate::kernel::{KernelProgram, Recorder};
+use crate::sm::Sm;
+use gnc_common::ids::{BlockId, KernelId, SliceId, SmId, StreamId};
+use gnc_common::{ConfigError, Cycle, GpuConfig};
+use gnc_mem::subsystem::MemorySubsystem;
+use gnc_noc::fabric::{ReplyFabric, RequestFabric};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Why a run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Everything launched has finished and the fabrics are drained.
+    Idle {
+        /// Cycle at which the GPU went idle.
+        at: Cycle,
+    },
+    /// The cycle budget was exhausted first.
+    Timeout {
+        /// Cycle at which the run gave up.
+        at: Cycle,
+    },
+}
+
+impl RunOutcome {
+    /// The cycle the loop stopped at.
+    pub fn cycle(self) -> Cycle {
+        match self {
+            RunOutcome::Idle { at } | RunOutcome::Timeout { at } => at,
+        }
+    }
+
+    /// Whether the GPU reached idle.
+    pub fn is_idle(self) -> bool {
+        matches!(self, RunOutcome::Idle { .. })
+    }
+}
+
+/// Lifetime bookkeeping of one launched kernel.
+struct KernelState {
+    program: Box<dyn KernelProgram>,
+    stream: StreamId,
+    started: bool,
+    pending_blocks: VecDeque<BlockId>,
+    active_blocks: usize,
+    finished_blocks: usize,
+    launch_cycle: Cycle,
+    start_cycle: Option<Cycle>,
+    end_cycle: Option<Cycle>,
+    block_spans: Vec<BlockSpan>,
+}
+
+/// Placement and lifetime of one thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpan {
+    /// The block.
+    pub block: BlockId,
+    /// SM it ran on.
+    pub sm: SmId,
+    /// Cycle it was placed.
+    pub placed_at: Cycle,
+    /// Cycle it finished, if it has.
+    pub finished_at: Option<Cycle>,
+}
+
+/// The simulated GPU.
+pub struct Gpu {
+    cfg: GpuConfig,
+    clock: ClockDomain,
+    sms: Vec<Sm>,
+    request_fabric: RequestFabric,
+    reply_fabric: ReplyFabric,
+    mem: MemorySubsystem,
+    policy: PlacementPolicy,
+    kernels: Vec<KernelState>,
+    recorder: Recorder,
+    now: Cycle,
+}
+
+impl fmt::Debug for Gpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Gpu")
+            .field("config", &self.cfg.name)
+            .field("now", &self.now)
+            .field("kernels", &self.kernels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Gpu {
+    /// Builds a GPU from `cfg` with clock seed 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error when `cfg` is inconsistent.
+    pub fn new(cfg: GpuConfig) -> Result<Self, ConfigError> {
+        Self::with_clock_seed(cfg, 0)
+    }
+
+    /// Builds a GPU with an explicit clock-domain seed (distinct seeds
+    /// model distinct boot epochs; Fig 6 is one such draw).
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error when `cfg` is inconsistent.
+    pub fn with_clock_seed(cfg: GpuConfig, clock_seed: u64) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let clock = ClockDomain::new(&cfg, clock_seed);
+        let sms = (0..cfg.num_sms()).map(|s| Sm::new(SmId::new(s), &cfg)).collect();
+        let request_fabric = RequestFabric::new(&cfg);
+        let reply_fabric = ReplyFabric::new(&cfg);
+        let mem = MemorySubsystem::new(&cfg);
+        let policy = PlacementPolicy::new(&cfg);
+        Ok(Self {
+            cfg,
+            clock,
+            sms,
+            request_fabric,
+            reply_fabric,
+            mem,
+            policy,
+            kernels: Vec::new(),
+            recorder: Recorder::new(),
+            now: 0,
+        })
+    }
+
+    /// The configuration this GPU was built from.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Number of SMs.
+    pub fn num_sms(&self) -> usize {
+        self.sms.len()
+    }
+
+    /// Current simulation cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The clock domain (for analysis; programs read it via the context).
+    pub fn clock(&self) -> &ClockDomain {
+        &self.clock
+    }
+
+    /// The instrumentation records collected so far.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Clears collected records (between experiment phases).
+    pub fn clear_records(&mut self) {
+        self.recorder.clear();
+    }
+
+    /// Warms `lines` cache lines starting at `base` into L2, as the
+    /// paper's kernels do before timing anything (§4.2).
+    pub fn preload_range(&mut self, base: u64, lines: u64) {
+        self.mem.preload_range(base, lines);
+    }
+
+    /// Read access to the memory system (stats, residency checks).
+    pub fn memory(&self) -> &MemorySubsystem {
+        &self.mem
+    }
+
+    /// Read access to the request fabric (utilisation stats).
+    pub fn request_fabric(&self) -> &RequestFabric {
+        &self.request_fabric
+    }
+
+    /// Packets injected by `sm` so far.
+    pub fn injected_packets(&self, sm: SmId) -> u64 {
+        self.sms[sm.index()].injected_packets()
+    }
+
+    /// Launches `kernel` into `stream`; kernels in one stream serialise,
+    /// kernels in different streams run concurrently.
+    pub fn launch(&mut self, kernel: Box<dyn KernelProgram>, stream: StreamId) -> KernelId {
+        let id = KernelId::new(self.kernels.len());
+        let pending = (0..kernel.num_blocks()).map(BlockId::new).collect();
+        self.kernels.push(KernelState {
+            program: kernel,
+            stream,
+            started: false,
+            pending_blocks: pending,
+            active_blocks: 0,
+            finished_blocks: 0,
+            launch_cycle: self.now,
+            start_cycle: None,
+            end_cycle: None,
+            block_spans: Vec::new(),
+        });
+        id
+    }
+
+    /// Whether `kernel` has completed all blocks.
+    pub fn kernel_finished(&self, kernel: KernelId) -> bool {
+        self.kernels[kernel.index()].end_cycle.is_some()
+    }
+
+    /// `(start, end)` cycles of `kernel`: start = first block placed,
+    /// end = last block finished. `None` until started / finished.
+    pub fn kernel_span(&self, kernel: KernelId) -> (Option<Cycle>, Option<Cycle>) {
+        let k = &self.kernels[kernel.index()];
+        (k.start_cycle, k.end_cycle)
+    }
+
+    /// Cycle at which `kernel` was launched (queued); placement may come
+    /// later if the stream or the SMs were busy.
+    pub fn kernel_launch_cycle(&self, kernel: KernelId) -> Cycle {
+        self.kernels[kernel.index()].launch_cycle
+    }
+
+    /// Placement and lifetime of each block of `kernel`, in placement
+    /// order.
+    pub fn block_spans(&self, kernel: KernelId) -> &[BlockSpan] {
+        &self.kernels[kernel.index()].block_spans
+    }
+
+    fn start_eligible_kernels(&mut self) {
+        for i in 0..self.kernels.len() {
+            if self.kernels[i].started {
+                continue;
+            }
+            let stream = self.kernels[i].stream;
+            let blocked = self.kernels[..i]
+                .iter()
+                .any(|k| k.stream == stream && k.end_cycle.is_none());
+            if !blocked {
+                self.kernels[i].started = true;
+            }
+        }
+    }
+
+    /// Whether `sm` can take a block of the kernel running in `stream`
+    /// under the configured scheduler policy.
+    fn sm_has_room(&self, sm: SmId, stream: StreamId) -> bool {
+        if self.sms[sm.index()].resident_blocks() >= self.cfg.max_blocks_per_sm {
+            return false;
+        }
+        match self.cfg.scheduler {
+            gnc_common::config::SchedulerPolicy::PaperInterleaved => true,
+            gnc_common::config::SchedulerPolicy::StreamIsolated => {
+                // §6 partitioning: no TPC may host blocks of two streams.
+                let tpc = self.cfg.tpc_of_sm(sm);
+                self.cfg.sms_of_tpc(tpc).iter().all(|&other| {
+                    self.sms[other.index()]
+                        .resident_kernels()
+                        .all(|k| self.kernels[k.index()].stream == stream)
+                })
+            }
+        }
+    }
+
+    fn place_blocks(&mut self) {
+        // Launch-order priority, §4.3 SM visitation order, capacity from
+        // the config. Placement is greedy each cycle.
+        for ki in 0..self.kernels.len() {
+            if !self.kernels[ki].started {
+                continue;
+            }
+            let stream = self.kernels[ki].stream;
+            while !self.kernels[ki].pending_blocks.is_empty() {
+                let Some(sm) = self.policy.next_free(|sm| self.sm_has_room(sm, stream))
+                else {
+                    break; // no SM fits this kernel; try the next kernel
+                };
+                let block = self.kernels[ki]
+                    .pending_blocks
+                    .pop_front()
+                    .expect("nonempty checked");
+                let kernel_id = KernelId::new(ki);
+                let warps = (0..self.kernels[ki].program.warps_per_block())
+                    .map(|w| {
+                        self.kernels[ki]
+                            .program
+                            .create_warp(block, gnc_common::ids::WarpId::new(w))
+                    })
+                    .collect();
+                self.sms[sm.index()].place_block(kernel_id, block, warps);
+                let k = &mut self.kernels[ki];
+                k.active_blocks += 1;
+                k.start_cycle.get_or_insert(self.now);
+                k.block_spans.push(BlockSpan {
+                    block,
+                    sm,
+                    placed_at: self.now,
+                    finished_at: None,
+                });
+            }
+        }
+    }
+
+    fn retire_blocks(&mut self) {
+        for sm_idx in 0..self.sms.len() {
+            for (kernel, block) in self.sms[sm_idx].take_finished_blocks() {
+                let k = &mut self.kernels[kernel.index()];
+                k.active_blocks -= 1;
+                k.finished_blocks += 1;
+                if let Some(span) = k
+                    .block_spans
+                    .iter_mut()
+                    .find(|s| s.block == block && s.finished_at.is_none())
+                {
+                    span.finished_at = Some(self.now);
+                }
+                if k.finished_blocks == k.program.num_blocks() {
+                    k.end_cycle = Some(self.now);
+                }
+            }
+        }
+    }
+
+    /// Advances the GPU one core cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // 0. Kernel lifecycle.
+        self.start_eligible_kernels();
+        self.place_blocks();
+        // 1. Deliver replies that arrived at the SMs.
+        for sm_idx in 0..self.sms.len() {
+            let sm_id = SmId::new(sm_idx);
+            while let Some(p) = self.reply_fabric.pop_at_sm(sm_id, now) {
+                self.sms[sm_idx].on_reply(&p, now);
+            }
+        }
+        // 2. SMs execute and enqueue requests.
+        for sm in &mut self.sms {
+            sm.tick(now, &self.clock, &mut self.request_fabric, &mut self.recorder);
+        }
+        // 3. Request subnet moves.
+        self.request_fabric.tick(now);
+        // 4. Requests arriving at slices enter the L2 pipelines.
+        for s in 0..self.mem.num_slices() {
+            let slice = SliceId::new(s);
+            while let Some(p) = self.request_fabric.pop_at_slice(slice, now) {
+                self.mem.push_request(p, now);
+            }
+        }
+        // 5. Memory system advances.
+        self.mem.tick(now);
+        // 6. Ready replies enter the reply subnet (with backpressure;
+        // per-destination virtual channels, so one congested GPC cannot
+        // head-of-line-block replies bound for the others).
+        for s in 0..self.mem.num_slices() {
+            let slice = SliceId::new(s);
+            loop {
+                let fabric = &self.reply_fabric;
+                let Some(p) = self
+                    .mem
+                    .pop_reply_where(slice, |p| fabric.can_inject(slice, p.sm))
+                else {
+                    break;
+                };
+                self.reply_fabric
+                    .inject_at_slice(slice, p)
+                    .expect("injectability just checked");
+            }
+        }
+        // 7. Reply subnet moves.
+        self.reply_fabric.tick(now);
+        // 8. Retire finished blocks.
+        self.retire_blocks();
+        self.now += 1;
+    }
+
+    /// Runs for exactly `cycles` cycles.
+    pub fn run_for(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.tick();
+        }
+    }
+
+    /// Runs until every launched kernel has finished and all queues have
+    /// drained, or until `max_cycles` more cycles have elapsed.
+    pub fn run_until_idle(&mut self, max_cycles: Cycle) -> RunOutcome {
+        let deadline = self.now + max_cycles;
+        while self.now < deadline {
+            if self.is_idle() {
+                return RunOutcome::Idle { at: self.now };
+            }
+            self.tick();
+        }
+        if self.is_idle() {
+            RunOutcome::Idle { at: self.now }
+        } else {
+            RunOutcome::Timeout { at: self.now }
+        }
+    }
+
+    /// True when all kernels finished and no packet is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.kernels.iter().all(|k| k.end_cycle.is_some())
+            && self.request_fabric.is_drained()
+            && self.reply_fabric.is_drained()
+            && self.mem.is_drained()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AccessKind, WarpContext, WarpProgram, WarpStep};
+    use gnc_common::ids::WarpId;
+
+    /// Kernel whose warps issue `batches` waited write batches on the
+    /// selected SM only (Algorithm 1 shape: gate on %smid) and record
+    /// per-batch latency, then finish.
+    struct SmidGatedWriter {
+        blocks: usize,
+        target_sms: Vec<usize>,
+        batches: u32,
+    }
+
+    struct GatedWarp {
+        target_sms: Vec<usize>,
+        batches: u32,
+        issued: u32,
+        decided: bool,
+        active: bool,
+        base: u64,
+    }
+
+    impl WarpProgram for GatedWarp {
+        fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+            if !self.decided {
+                self.decided = true;
+                self.active = self.target_sms.contains(&ctx.sm.index());
+            }
+            if !self.active || self.issued >= self.batches {
+                return WarpStep::Finish;
+            }
+            self.issued += 1;
+            let base = self.base;
+            self.base += 32 * 128;
+            WarpStep::Memory {
+                kind: AccessKind::Write,
+                addrs: (0..32u64).map(|i| base + i * 128).collect(),
+                wait: true,
+            }
+        }
+    }
+
+    impl crate::kernel::KernelProgram for SmidGatedWriter {
+        fn name(&self) -> &str {
+            "smid-gated-writer"
+        }
+        fn num_blocks(&self) -> usize {
+            self.blocks
+        }
+        fn warps_per_block(&self) -> usize {
+            1
+        }
+        fn create_warp(&self, block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+            Box::new(GatedWarp {
+                target_sms: self.target_sms.clone(),
+                batches: self.batches,
+                issued: 0,
+                decided: false,
+                active: false,
+                base: 0x100000 * (block.index() as u64 + 1),
+            })
+        }
+    }
+
+    #[test]
+    fn gpu_builds_and_idles_immediately() {
+        let mut gpu = Gpu::new(GpuConfig::volta_v100()).expect("valid config");
+        assert!(gpu.is_idle());
+        let outcome = gpu.run_until_idle(10);
+        assert!(outcome.is_idle());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.noc.subnets = 1;
+        assert!(Gpu::new(cfg).is_err());
+    }
+
+    #[test]
+    fn single_kernel_runs_to_completion() {
+        let mut gpu = Gpu::new(GpuConfig::volta_v100()).expect("valid config");
+        gpu.preload_range(0, 40 * 48);
+        let k = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 80,
+                target_sms: vec![0],
+                batches: 4,
+            }),
+            StreamId::new(0),
+        );
+        let outcome = gpu.run_until_idle(100_000);
+        assert!(outcome.is_idle(), "run timed out: {outcome:?}");
+        assert!(gpu.kernel_finished(k));
+        let (start, end) = gpu.kernel_span(k);
+        assert!(start.unwrap() < end.unwrap());
+        // 80 blocks placed on 80 distinct SMs.
+        let sms: std::collections::HashSet<SmId> =
+            gpu.block_spans(k).iter().map(|s| s.sm).collect();
+        assert_eq!(sms.len(), 80);
+    }
+
+    #[test]
+    fn blocks_place_in_policy_order() {
+        let mut gpu = Gpu::new(GpuConfig::volta_v100()).expect("valid config");
+        let k = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 40,
+                target_sms: vec![],
+                batches: 0,
+            }),
+            StreamId::new(0),
+        );
+        gpu.run_until_idle(10_000);
+        let spans = gpu.block_spans(k);
+        assert_eq!(spans.len(), 40);
+        // 40 blocks land on one SM per TPC, all first-siblings.
+        let tpcs: std::collections::HashSet<usize> =
+            spans.iter().map(|s| s.sm.index() / 2).collect();
+        assert_eq!(tpcs.len(), 40);
+        assert!(spans.iter().all(|s| s.sm.index() % 2 == 0));
+    }
+
+    #[test]
+    fn two_streams_colocate_on_tpc_siblings() {
+        // §4.3's headline: 40 sender blocks then 40 receiver blocks give
+        // one of each per TPC.
+        let mut gpu = Gpu::new(GpuConfig::volta_v100()).expect("valid config");
+        let sender = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 40,
+                target_sms: vec![],
+                batches: 0,
+            }),
+            StreamId::new(0),
+        );
+        let receiver = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 40,
+                target_sms: vec![],
+                batches: 0,
+            }),
+            StreamId::new(1),
+        );
+        // Tick once so both kernels place before any block finishes.
+        gpu.tick();
+        let sender_sms: Vec<usize> =
+            gpu.block_spans(sender).iter().map(|s| s.sm.index()).collect();
+        let receiver_sms: Vec<usize> =
+            gpu.block_spans(receiver).iter().map(|s| s.sm.index()).collect();
+        assert_eq!(sender_sms.len(), 40);
+        assert_eq!(receiver_sms.len(), 40);
+        for (s, r) in sender_sms.iter().zip(&receiver_sms) {
+            assert_eq!(s / 2, r / 2, "sender {s} and receiver {r} not TPC-siblings");
+            assert_ne!(s, r);
+        }
+        gpu.run_until_idle(10_000);
+    }
+
+    #[test]
+    fn same_stream_kernels_serialise() {
+        let mut gpu = Gpu::new(GpuConfig::volta_v100()).expect("valid config");
+        gpu.preload_range(0, 40 * 48);
+        let a = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 80,
+                target_sms: vec![0],
+                batches: 2,
+            }),
+            StreamId::new(0),
+        );
+        let b = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 80,
+                target_sms: vec![0],
+                batches: 2,
+            }),
+            StreamId::new(0),
+        );
+        assert!(gpu.run_until_idle(200_000).is_idle());
+        let (_, a_end) = gpu.kernel_span(a);
+        let (b_start, _) = gpu.kernel_span(b);
+        assert!(
+            b_start.unwrap() >= a_end.unwrap(),
+            "second kernel must start after the first ends in one stream"
+        );
+    }
+
+    #[test]
+    fn different_stream_kernels_overlap() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.max_blocks_per_sm = 2; // room for both kernels everywhere
+        let mut gpu = Gpu::new(cfg).expect("valid config");
+        gpu.preload_range(0, 40 * 48);
+        let a = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 80,
+                target_sms: vec![0],
+                batches: 8,
+            }),
+            StreamId::new(0),
+        );
+        let b = gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 80,
+                target_sms: vec![1],
+                batches: 8,
+            }),
+            StreamId::new(1),
+        );
+        assert!(gpu.run_until_idle(300_000).is_idle());
+        let (a_start, a_end) = gpu.kernel_span(a);
+        let (b_start, b_end) = gpu.kernel_span(b);
+        let overlap =
+            b_start.unwrap() < a_end.unwrap() && a_start.unwrap() < b_end.unwrap();
+        assert!(overlap, "stream concurrency must overlap kernels");
+    }
+
+    #[test]
+    fn stream_isolated_scheduler_keeps_tpcs_single_stream() {
+        let mut cfg = GpuConfig::volta_v100();
+        cfg.scheduler = gnc_common::config::SchedulerPolicy::StreamIsolated;
+        let mut gpu = Gpu::new(cfg.clone()).expect("valid config");
+        let mk = |batches| {
+            Box::new(SmidGatedWriter {
+                blocks: 40,
+                target_sms: vec![0],
+                batches,
+            })
+        };
+        gpu.preload_range(0, 40 * 48);
+        let a = gpu.launch(mk(6), StreamId::new(0));
+        let b = gpu.launch(mk(6), StreamId::new(1));
+        gpu.tick();
+        // Every placed block's TPC must be exclusive to one stream.
+        let a_tpcs: std::collections::HashSet<usize> =
+            gpu.block_spans(a).iter().map(|s| s.sm.index() / 2).collect();
+        let b_tpcs: std::collections::HashSet<usize> =
+            gpu.block_spans(b).iter().map(|s| s.sm.index() / 2).collect();
+        assert!(
+            a_tpcs.is_disjoint(&b_tpcs),
+            "streams share TPCs under isolation: {:?}",
+            a_tpcs.intersection(&b_tpcs).collect::<Vec<_>>()
+        );
+        assert!(gpu.run_until_idle(200_000).is_idle());
+    }
+
+    #[test]
+    fn run_until_idle_times_out_gracefully() {
+        let mut gpu = Gpu::new(GpuConfig::volta_v100()).expect("valid config");
+        gpu.launch(
+            Box::new(SmidGatedWriter {
+                blocks: 80,
+                target_sms: vec![0],
+                batches: 1000,
+            }),
+            StreamId::new(0),
+        );
+        let outcome = gpu.run_until_idle(100);
+        assert!(matches!(outcome, RunOutcome::Timeout { .. }));
+        assert_eq!(outcome.cycle(), 100);
+    }
+}

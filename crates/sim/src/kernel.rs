@@ -1,0 +1,260 @@
+//! The micro-kernel programming model.
+//!
+//! The paper's attack code is a handful of tiny CUDA kernels: stream
+//! writes, stream reads, read the clock, spin until the clock's low bits
+//! match, measure the latency of a warp's L2 accesses. Instead of an
+//! instruction-set simulator, kernels here are Rust state machines: a
+//! [`KernelProgram`] spawns one [`WarpProgram`] per warp, and each warp
+//! program is `step`ped by its SM whenever it is unblocked, returning the
+//! next [`WarpStep`] to perform. This captures the timing-relevant
+//! behaviour of the paper's kernels (memory batches, busy waits, clock
+//! reads) with none of the irrelevant ALU detail.
+
+use gnc_common::ids::{BlockId, KernelId, SmId, WarpId};
+use gnc_common::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Memory access direction of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Loads: 1-flit requests, 5-flit replies. The GPC channel's weapon
+    /// (§3.4).
+    Read,
+    /// Stores: 5-flit requests, 1-flit acks. The TPC channel's weapon.
+    Write,
+}
+
+/// What a warp does next, as returned by [`WarpProgram::step`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarpStep {
+    /// Issue a warp-wide memory burst touching `addrs` (one entry per
+    /// thread access; the coalescer merges same-line entries into
+    /// packets). Lists longer than the SIMT width model several
+    /// back-to-back instructions — the paper's "iterations" per bit.
+    ///
+    /// With `wait` set the warp blocks until every reply returns, and the
+    /// observed batch latency is delivered in
+    /// [`WarpContext::last_mem_latency`] on the next step — the
+    /// receiver's measurement primitive (Algorithm 2). Without `wait`
+    /// the warp continues, throttled only by the LSU's outstanding-request
+    /// cap — the sender's saturation primitive.
+    Memory {
+        /// Read or write.
+        kind: AccessKind,
+        /// Per-thread byte addresses (at most the SIMT width).
+        addrs: Vec<u64>,
+        /// Block until all replies arrive and record the latency.
+        wait: bool,
+    },
+    /// Fire-and-forget memory burst with an explicit outstanding-request
+    /// cap: the warp keeps executing until its in-flight packet count
+    /// reaches `cap`, then blocks and resumes once it drains to `cap/2`.
+    /// This is the sender's saturation primitive — the cap bounds how
+    /// much traffic bleeds past a slot boundary when the sender goes
+    /// quiet for a `0` bit.
+    MemoryCapped {
+        /// Read or write.
+        kind: AccessKind,
+        /// Per-thread byte addresses.
+        addrs: Vec<u64>,
+        /// Maximum outstanding packets for this warp.
+        cap: u32,
+    },
+    /// Do nothing for the given number of cycles (busy wait / pacing).
+    Sleep(u32),
+    /// Block until `clock32() & mask == target` — the paper's local
+    /// synchronization on the clock register's low bits (§4.4).
+    UntilClock {
+        /// Bit mask applied to the 32-bit clock.
+        mask: u32,
+        /// Value the masked clock must equal.
+        target: u32,
+    },
+    /// Record `(tag, value)` into the instrumentation stream, then step
+    /// again in the same cycle (records are free, like writing to a
+    /// pre-allocated results buffer in the real kernels).
+    Record {
+        /// Program-defined meaning (e.g. "bit index").
+        tag: u32,
+        /// Program-defined payload (e.g. measured latency).
+        value: u64,
+    },
+    /// The warp is finished.
+    Finish,
+}
+
+/// Read-only execution context handed to [`WarpProgram::step`].
+#[derive(Debug, Clone, Copy)]
+pub struct WarpContext {
+    /// Current simulation cycle.
+    pub now: Cycle,
+    /// This SM's 32-bit `clock()` value this cycle.
+    pub clock32: u32,
+    /// The SM executing the warp — the `%smid` register the paper's
+    /// kernels read to discover their placement (§3.2).
+    pub sm: SmId,
+    /// The kernel this warp belongs to.
+    pub kernel: KernelId,
+    /// The block within the kernel grid.
+    pub block: BlockId,
+    /// The warp within the block.
+    pub warp: WarpId,
+    /// Latency, in cycles, of the last `Memory { wait: true }` batch
+    /// (issue of the first packet to arrival of the last reply); 0 before
+    /// any measurement.
+    pub last_mem_latency: Cycle,
+}
+
+/// A per-warp state machine.
+///
+/// `step` is called whenever the warp is unblocked; at most one step per
+/// cycle performs work, except [`WarpStep::Record`], which is free and is
+/// immediately followed by another step in the same cycle.
+pub trait WarpProgram: Send {
+    /// Decides the warp's next action.
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep;
+}
+
+/// A kernel: grid dimensions plus a factory for per-warp programs.
+pub trait KernelProgram: Send {
+    /// Human-readable name for instrumentation.
+    fn name(&self) -> &str {
+        "kernel"
+    }
+
+    /// Number of thread blocks in the grid.
+    fn num_blocks(&self) -> usize;
+
+    /// Number of warps per block.
+    fn warps_per_block(&self) -> usize;
+
+    /// Creates the program for `(block, warp)`.
+    fn create_warp(&self, block: BlockId, warp: WarpId) -> Box<dyn WarpProgram>;
+}
+
+/// One instrumentation record emitted via [`WarpStep::Record`] or by the
+/// engine itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Record {
+    /// Cycle at which the record was emitted.
+    pub cycle: Cycle,
+    /// Kernel that emitted it.
+    pub kernel: KernelId,
+    /// SM on which the emitting warp ran.
+    pub sm: SmId,
+    /// Emitting block.
+    pub block: BlockId,
+    /// Emitting warp.
+    pub warp: WarpId,
+    /// Program-defined tag.
+    pub tag: u32,
+    /// Program-defined value.
+    pub value: u64,
+}
+
+/// Collects [`Record`]s emitted during a run.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    records: Vec<Record>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: Record) {
+        self.records.push(record);
+    }
+
+    /// All records in emission order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Records emitted by `kernel`, in emission order.
+    pub fn for_kernel(&self, kernel: KernelId) -> impl Iterator<Item = &Record> + '_ {
+        self.records.iter().filter(move |r| r.kernel == kernel)
+    }
+
+    /// Drops all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Number of records held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Convenience: builds a warp-wide address batch of `n` accesses.
+///
+/// * `uncoalesced` — each access targets a *different* cache line
+///   (`n` packets after coalescing), the paper's default for the covert
+///   channel (§5: 32 uncoalesced requests per warp).
+/// * coalesced (`uncoalesced == false`) — all accesses fall into one
+///   line (1 packet), which §5 shows destroys the channel.
+///
+/// Addresses start at `base` and lines are `line_bytes` apart.
+pub fn warp_addresses(base: u64, n: u32, uncoalesced: bool, line_bytes: u64) -> Vec<u64> {
+    (0..u64::from(n))
+        .map(|i| {
+            if uncoalesced {
+                base + i * line_bytes
+            } else {
+                base + i * 4 // distinct words of one line
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_addresses_uncoalesced_spans_lines() {
+        let addrs = warp_addresses(0, 32, true, 128);
+        assert_eq!(addrs.len(), 32);
+        let lines: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a / 128).collect();
+        assert_eq!(lines.len(), 32);
+    }
+
+    #[test]
+    fn warp_addresses_coalesced_stays_in_one_line() {
+        let addrs = warp_addresses(0, 32, false, 128);
+        let lines: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a / 128).collect();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn recorder_filters_by_kernel() {
+        let mut rec = Recorder::new();
+        for k in 0..3usize {
+            rec.push(Record {
+                cycle: k as Cycle,
+                kernel: KernelId::new(k % 2),
+                sm: SmId::new(0),
+                block: BlockId::new(0),
+                warp: WarpId::new(0),
+                tag: 0,
+                value: k as u64,
+            });
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.for_kernel(KernelId::new(0)).count(), 2);
+        assert_eq!(rec.for_kernel(KernelId::new(1)).count(), 1);
+        rec.clear();
+        assert!(rec.is_empty());
+    }
+}

@@ -1,0 +1,424 @@
+//! Reusable synthetic kernels.
+//!
+//! These are the simulator-side equivalents of the paper's measurement
+//! kernels: Algorithm 1's smid-gated streaming writer (used to reverse
+//! engineer TPC/GPC membership), its read twin, a clock-dump kernel
+//! (Fig 6), and a compute-only spinner (for the §6 overhead study).
+
+use crate::kernel::{
+    warp_addresses, AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep,
+};
+use gnc_common::ids::{BlockId, WarpId};
+use gnc_common::GpuConfig;
+
+/// Record tag: per-batch latency measured by a waiting stream warp.
+pub const TAG_LATENCY: u32 = 1;
+/// Record tag: the SM id observed by a block (one record per warp).
+pub const TAG_SMID: u32 = 2;
+/// Record tag: the 32-bit clock value read by a warp.
+pub const TAG_CLOCK: u32 = 3;
+
+/// Configuration of a [`StreamKernel`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Thread blocks in the grid.
+    pub blocks: usize,
+    /// Warps per block.
+    pub warps_per_block: usize,
+    /// Reads or writes.
+    pub kind: AccessKind,
+    /// Warp-wide memory instructions each active warp executes.
+    pub batches: u32,
+    /// Accesses per instruction (≤ SIMT width).
+    pub requests_per_batch: u32,
+    /// Uncoalesced (one line per access) or coalesced (one line total).
+    pub uncoalesced: bool,
+    /// Wait for replies each batch (receivers measure; senders may not).
+    pub wait: bool,
+    /// When `Some`, only warps whose block landed on one of these SM ids
+    /// do the memory work; everyone else exits immediately — the
+    /// Algorithm 1 `%smid` gate.
+    pub target_sms: Option<Vec<usize>>,
+    /// Emit a [`TAG_LATENCY`] record after every waited batch.
+    pub record_latency: bool,
+    /// Base byte address of the kernel's working set.
+    pub base_addr: u64,
+    /// Lines in each warp's private reuse region.
+    pub region_lines: u64,
+}
+
+impl StreamConfig {
+    /// A saturating uncoalesced writer in the paper's default shape:
+    /// 32 uncoalesced requests per batch, fire-and-forget.
+    pub fn writer(blocks: usize, warps: usize, batches: u32) -> Self {
+        Self {
+            blocks,
+            warps_per_block: warps,
+            kind: AccessKind::Write,
+            batches,
+            requests_per_batch: 32,
+            uncoalesced: true,
+            wait: false,
+            target_sms: None,
+            record_latency: false,
+            base_addr: 0,
+            region_lines: 96,
+        }
+    }
+
+    /// A measuring reader: waits each batch and records the latency.
+    pub fn reader(blocks: usize, warps: usize, batches: u32) -> Self {
+        Self {
+            kind: AccessKind::Read,
+            wait: true,
+            record_latency: true,
+            ..Self::writer(blocks, warps, batches)
+        }
+    }
+}
+
+/// A streaming memory kernel (Algorithm 1 and friends).
+#[derive(Debug, Clone)]
+pub struct StreamKernel {
+    config: StreamConfig,
+    line_bytes: u64,
+}
+
+impl StreamKernel {
+    /// Builds the kernel for a GPU configured as `gpu_cfg`.
+    pub fn new(config: StreamConfig, gpu_cfg: &GpuConfig) -> Self {
+        Self {
+            config,
+            line_bytes: u64::from(gpu_cfg.mem.line_bytes),
+        }
+    }
+
+    /// The `(base, lines)` range to preload so every access is an L2 hit.
+    pub fn working_set(&self) -> (u64, u64) {
+        let warps = (self.config.blocks * self.config.warps_per_block) as u64;
+        (self.config.base_addr, warps * self.config.region_lines)
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+}
+
+impl KernelProgram for StreamKernel {
+    fn name(&self) -> &str {
+        "stream"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.config.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        self.config.warps_per_block
+    }
+
+    fn create_warp(&self, block: BlockId, warp: WarpId) -> Box<dyn WarpProgram> {
+        let warp_index = (block.index() * self.config.warps_per_block + warp.index()) as u64;
+        let warp_base =
+            self.config.base_addr + warp_index * self.config.region_lines * self.line_bytes;
+        Box::new(StreamWarp {
+            cfg: self.config.clone(),
+            line_bytes: self.line_bytes,
+            warp_base,
+            issued: 0,
+            gated: None,
+            pending_latency_record: false,
+        })
+    }
+}
+
+struct StreamWarp {
+    cfg: StreamConfig,
+    line_bytes: u64,
+    warp_base: u64,
+    issued: u32,
+    gated: Option<bool>,
+    pending_latency_record: bool,
+}
+
+impl WarpProgram for StreamWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        let active = *self.gated.get_or_insert_with(|| match &self.cfg.target_sms {
+            Some(sms) => sms.contains(&ctx.sm.index()),
+            None => true,
+        });
+        if !active {
+            return WarpStep::Finish;
+        }
+        if self.pending_latency_record {
+            self.pending_latency_record = false;
+            return WarpStep::Record {
+                tag: TAG_LATENCY,
+                value: ctx.last_mem_latency,
+            };
+        }
+        if self.issued >= self.cfg.batches {
+            return WarpStep::Finish;
+        }
+        // Rotate the batch window through the warp's private region so
+        // every access is a (preloaded) L2 hit on a fresh line.
+        let span = u64::from(self.cfg.requests_per_batch);
+        let offset_lines = (u64::from(self.issued) * span) % self.cfg.region_lines.max(1);
+        let base = self.warp_base + offset_lines * self.line_bytes;
+        self.issued += 1;
+        self.pending_latency_record = self.cfg.wait && self.cfg.record_latency;
+        WarpStep::Memory {
+            kind: self.cfg.kind,
+            addrs: warp_addresses(
+                base,
+                self.cfg.requests_per_batch,
+                self.cfg.uncoalesced,
+                self.line_bytes,
+            ),
+            wait: self.cfg.wait,
+        }
+    }
+}
+
+/// A kernel whose warps record their SM id and 32-bit clock, then exit —
+/// the Fig 6 measurement kernel.
+#[derive(Debug, Clone)]
+pub struct ClockReadKernel {
+    blocks: usize,
+}
+
+impl ClockReadKernel {
+    /// One block per SM slot the caller wants sampled (launch with the SM
+    /// count to cover the whole GPU).
+    pub fn new(blocks: usize) -> Self {
+        Self { blocks }
+    }
+}
+
+impl KernelProgram for ClockReadKernel {
+    fn name(&self) -> &str {
+        "clock-read"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        1
+    }
+
+    fn create_warp(&self, _block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+        Box::new(ClockReadWarp { stage: 0 })
+    }
+}
+
+struct ClockReadWarp {
+    stage: u8,
+}
+
+impl WarpProgram for ClockReadWarp {
+    fn step(&mut self, ctx: &WarpContext) -> WarpStep {
+        match self.stage {
+            0 => {
+                self.stage = 1;
+                WarpStep::Record {
+                    tag: TAG_SMID,
+                    value: ctx.sm.index() as u64,
+                }
+            }
+            1 => {
+                self.stage = 2;
+                WarpStep::Record {
+                    tag: TAG_CLOCK,
+                    value: u64::from(ctx.clock32),
+                }
+            }
+            _ => WarpStep::Finish,
+        }
+    }
+}
+
+/// A compute-only kernel: spins for a fixed cycle count without touching
+/// memory. Used as the "compute-intensive workload" in the §6 SRR
+/// overhead study (its performance must be arbitration-independent).
+#[derive(Debug, Clone)]
+pub struct ComputeKernel {
+    blocks: usize,
+    warps_per_block: usize,
+    spin_cycles: u32,
+}
+
+impl ComputeKernel {
+    /// Builds a spinner of `spin_cycles` per warp.
+    pub fn new(blocks: usize, warps_per_block: usize, spin_cycles: u32) -> Self {
+        Self {
+            blocks,
+            warps_per_block,
+            spin_cycles,
+        }
+    }
+}
+
+impl KernelProgram for ComputeKernel {
+    fn name(&self) -> &str {
+        "compute"
+    }
+
+    fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    fn warps_per_block(&self) -> usize {
+        self.warps_per_block
+    }
+
+    fn create_warp(&self, _block: BlockId, _warp: WarpId) -> Box<dyn WarpProgram> {
+        Box::new(SpinWarp {
+            remaining: self.spin_cycles,
+        })
+    }
+}
+
+struct SpinWarp {
+    remaining: u32,
+}
+
+impl WarpProgram for SpinWarp {
+    fn step(&mut self, _ctx: &WarpContext) -> WarpStep {
+        if self.remaining == 0 {
+            WarpStep::Finish
+        } else {
+            let chunk = self.remaining.min(64);
+            self.remaining -= chunk;
+            WarpStep::Sleep(chunk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::Gpu;
+    use gnc_common::ids::StreamId;
+
+    #[test]
+    fn stream_kernel_working_set_covers_all_warps() {
+        let cfg = GpuConfig::volta_v100();
+        let k = StreamKernel::new(StreamConfig::writer(4, 2, 10), &cfg);
+        let (base, lines) = k.working_set();
+        assert_eq!(base, 0);
+        assert_eq!(lines, 4 * 2 * 96);
+    }
+
+    #[test]
+    fn clock_kernel_records_one_clock_per_block() {
+        let cfg = GpuConfig::volta_v100();
+        let mut gpu = Gpu::new(cfg).expect("valid");
+        let k = gpu.launch(Box::new(ClockReadKernel::new(80)), StreamId::new(0));
+        assert!(gpu.run_until_idle(10_000).is_idle());
+        let clocks: Vec<_> = gpu
+            .recorder()
+            .for_kernel(k)
+            .filter(|r| r.tag == TAG_CLOCK)
+            .collect();
+        assert_eq!(clocks.len(), 80);
+        // TPC siblings read nearly identical values.
+        let mut by_sm = vec![0u64; 80];
+        for r in &clocks {
+            by_sm[r.sm.index()] = r.value;
+        }
+        for t in 0..40 {
+            let d = by_sm[2 * t].abs_diff(by_sm[2 * t + 1]);
+            assert!(d <= 4, "TPC{t} clock skew {d} too large");
+        }
+    }
+
+    #[test]
+    fn gated_stream_kernel_only_runs_on_targets() {
+        let cfg = GpuConfig::volta_v100();
+        let mut gpu = Gpu::new(cfg.clone()).expect("valid");
+        let mut sc = StreamConfig::reader(80, 1, 3);
+        sc.target_sms = Some(vec![0, 5]);
+        let kern = StreamKernel::new(sc, &cfg);
+        let (base, lines) = kern.working_set();
+        gpu.preload_range(base, lines);
+        let k = gpu.launch(Box::new(kern), StreamId::new(0));
+        assert!(gpu.run_until_idle(100_000).is_idle());
+        let sms: std::collections::HashSet<usize> = gpu
+            .recorder()
+            .for_kernel(k)
+            .filter(|r| r.tag == TAG_LATENCY)
+            .map(|r| r.sm.index())
+            .collect();
+        assert_eq!(sms, [0usize, 5].into_iter().collect());
+    }
+
+    #[test]
+    fn measuring_reader_latency_is_in_the_l2_hit_band() {
+        let cfg = GpuConfig::volta_v100();
+        let mut gpu = Gpu::new(cfg.clone()).expect("valid");
+        let mut sc = StreamConfig::reader(1, 1, 5);
+        sc.requests_per_batch = 1;
+        let kern = StreamKernel::new(sc, &cfg);
+        let (base, lines) = kern.working_set();
+        gpu.preload_range(base, lines);
+        let k = gpu.launch(Box::new(kern), StreamId::new(0));
+        assert!(gpu.run_until_idle(100_000).is_idle());
+        let lat: Vec<u64> = gpu
+            .recorder()
+            .for_kernel(k)
+            .filter(|r| r.tag == TAG_LATENCY)
+            .map(|r| r.value)
+            .collect();
+        assert_eq!(lat.len(), 5);
+        // The paper quotes ~200–250 cycles for an L2 round trip; our
+        // pipeline should land in that band for a single read.
+        for &l in &lat {
+            assert!((180..280).contains(&l), "latency {l} outside L2 band");
+        }
+    }
+
+    #[test]
+    fn compute_kernel_duration_scales_with_spin() {
+        let cfg = GpuConfig::volta_v100();
+        let run = |spin: u32| -> u64 {
+            let mut gpu = Gpu::new(cfg.clone()).expect("valid");
+            let k = gpu.launch(Box::new(ComputeKernel::new(2, 1, spin)), StreamId::new(0));
+            assert!(gpu.run_until_idle(100_000).is_idle());
+            let (s, e) = gpu.kernel_span(k);
+            e.unwrap() - s.unwrap()
+        };
+        let short = run(100);
+        let long = run(1000);
+        assert!(long > short + 500, "spin scaling broken: {short} vs {long}");
+    }
+
+    #[test]
+    fn writer_saturates_its_tpc_channel() {
+        // A 1-block, 5-warp fire-and-forget writer should keep the TPC
+        // request channel near 100% utilisation.
+        let cfg = GpuConfig::volta_v100();
+        let mut gpu = Gpu::new(cfg.clone()).expect("valid");
+        let kern = StreamKernel::new(StreamConfig::writer(1, 5, 200), &cfg);
+        let (base, lines) = kern.working_set();
+        gpu.preload_range(base, lines);
+        gpu.launch(Box::new(kern), StreamId::new(0));
+        let outcome = gpu.run_until_idle(200_000);
+        assert!(outcome.is_idle());
+        // 5 warps × 200 batches × 32 packets × 2 flits (scattered 4-byte
+        // stores) = 64_000 flit-cycles on a 1 flit/cycle channel: the run
+        // must take at least that long, and saturation means barely
+        // longer.
+        let total = outcome.cycle();
+        assert!(
+            total >= 64_000,
+            "writer finished impossibly fast: {total} cycles"
+        );
+        assert!(
+            total < 72_000,
+            "writer badly under-utilises the channel: {total} cycles"
+        );
+    }
+}

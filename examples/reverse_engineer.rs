@@ -1,0 +1,54 @@
+//! Reverse-engineer the GPU's on-chip network blind, as §3 does on real
+//! silicon: recover the SM pairing (Fig 2), then the full TPC→GPC
+//! mapping (Figs 3–4), and verify against the simulator's ground truth
+//! only at the end.
+//!
+//! ```text
+//! cargo run --release --example reverse_engineer
+//! ```
+
+use gpu_noc_covert::common::ids::GpcId;
+use gpu_noc_covert::common::GpuConfig;
+use gpu_noc_covert::covert::reverse::{
+    recover_mapping, sibling_from_sweep, tpc_pairing_sweep,
+};
+
+fn main() {
+    let cfg = GpuConfig::volta_v100();
+
+    // --- Fig 2: which SM shares SM0's injection channel? -------------
+    println!("== TPC channel discovery (Fig 2) ==");
+    let sweep = tpc_pairing_sweep(&cfg, 0, 40, 0);
+    for point in sweep.iter().take(6) {
+        println!(
+            "  SM0 + SM{:<2}  -> normalized exec {:.2}",
+            point.other_sm, point.normalized
+        );
+    }
+    let sibling = sibling_from_sweep(&sweep).expect("a unique sibling should emerge");
+    println!("  => SM0's TPC sibling is SM{sibling} (2x slowdown)\n");
+
+    // --- Figs 3-4: which TPCs share each GPC channel? -----------------
+    println!("== GPC membership recovery (Figs 3-4, two-phase) ==");
+    let mapping = recover_mapping(&cfg, 400, 10, 0);
+    for (g, group) in mapping.groups.iter().enumerate() {
+        let ids: Vec<usize> = group.iter().map(|t| t.index()).collect();
+        println!("  recovered group {g}: TPCs {ids:?}");
+    }
+
+    // --- Verify against ground truth (the recovery never read it). ----
+    let ok = mapping.matches_ground_truth(&cfg);
+    println!(
+        "\nground-truth check: {}",
+        if ok { "EXACT MATCH" } else { "MISMATCH" }
+    );
+    for g in 0..cfg.num_gpcs {
+        let truth: Vec<usize> = cfg
+            .tpcs_of_gpc(GpcId::new(g))
+            .iter()
+            .map(|t| t.index())
+            .collect();
+        println!("  ground truth GPC{g}: {truth:?}");
+    }
+    assert!(ok, "recovered mapping does not match ground truth");
+}

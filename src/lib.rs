@@ -1,0 +1,38 @@
+//! `gpu-noc-covert` — a from-scratch Rust reproduction of
+//! *Network-on-Chip Microarchitecture-based Covert Channel in GPUs*
+//! (MICRO 2021).
+//!
+//! This umbrella crate re-exports the workspace layers:
+//!
+//! * [`common`] — identifiers, the Table-1 GPU configuration, statistics
+//!   and bit utilities.
+//! * [`noc`] — the hierarchical on-chip network: concentrating muxes,
+//!   arbiters (RR / CRR / SRR / age-based), crossbar, request and reply
+//!   fabrics.
+//! * [`mem`] — banked L2 slices with MSHRs over an HBM2-style DRAM
+//!   timing model.
+//! * [`sim`] — the cycle-level GPU engine: SMs, warps, coalescing, clock
+//!   registers, the §4.3 block scheduler, streams.
+//! * [`covert`] — the paper's contribution: NoC reverse engineering,
+//!   clock synchronization, the TPC/GPC covert channels, multi-level
+//!   encoding, and the secure-arbitration countermeasure.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gpu_noc_covert::common::bits::BitVec;
+//! use gpu_noc_covert::common::GpuConfig;
+//! use gpu_noc_covert::covert::channel::ChannelPlan;
+//! use gpu_noc_covert::covert::protocol::ProtocolConfig;
+//!
+//! let cfg = GpuConfig::volta_v100();
+//! let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+//! let report = plan.transmit(&cfg, &BitVec::from_bytes(b"hi"), 0);
+//! assert!(report.error_rate < 0.05);
+//! ```
+
+pub use gnc_common as common;
+pub use gnc_covert as covert;
+pub use gnc_mem as mem;
+pub use gnc_noc as noc;
+pub use gnc_sim as sim;

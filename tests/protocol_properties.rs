@@ -1,0 +1,133 @@
+//! Property-based tests over the covert-channel stack's invariants.
+
+use gpu_noc_covert::common::bits::{BitVec, SymbolVec};
+use gpu_noc_covert::common::config::Arbitration;
+use gpu_noc_covert::common::GpuConfig;
+use gpu_noc_covert::covert::channel::decode_stream;
+use gpu_noc_covert::covert::protocol::{ChannelKind, ProtocolConfig};
+use gpu_noc_covert::sim::coalesce::coalesce;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte↔bit packing is lossless for whole bytes.
+    #[test]
+    fn bitvec_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let bits = BitVec::from_bytes(&bytes);
+        prop_assert_eq!(bits.to_bytes(), bytes);
+    }
+
+    /// Hamming distance is a metric: symmetric, zero iff equal.
+    #[test]
+    fn hamming_is_symmetric(a in proptest::collection::vec(any::<bool>(), 0..128),
+                            b in proptest::collection::vec(any::<bool>(), 0..128)) {
+        let va = BitVec::from_bits(a.clone());
+        let vb = BitVec::from_bits(b.clone());
+        prop_assert_eq!(va.hamming_distance(&vb), vb.hamming_distance(&va));
+        prop_assert_eq!(va.hamming_distance(&va), 0);
+        if a != b {
+            prop_assert!(va.hamming_distance(&vb) > 0);
+        }
+    }
+
+    /// Symbols pack two bits each, losslessly for even bit counts.
+    #[test]
+    fn symbolvec_round_trip(bits in proptest::collection::vec(any::<bool>(), 0..96)) {
+        let even: Vec<bool> = bits.chunks_exact(2).flatten().copied().collect();
+        let bv = BitVec::from_bits(even.clone());
+        prop_assert_eq!(SymbolVec::from_bits(&bv).to_bits(), bv);
+    }
+
+    /// Coalescing never produces more transactions than accesses, never
+    /// zero for nonempty input, and each transaction's bytes stay within
+    /// one line.
+    #[test]
+    fn coalesce_bounds(addrs in proptest::collection::vec(0u64..(1 << 24), 1..96)) {
+        let txns = coalesce(&addrs, 128);
+        prop_assert!(!txns.is_empty());
+        prop_assert!(txns.len() <= addrs.len());
+        for t in &txns {
+            prop_assert_eq!(t.line_base % 128, 0);
+            prop_assert!(t.bytes >= 4 && t.bytes <= 128);
+        }
+        // Distinct line bases.
+        let mut bases: Vec<u64> = txns.iter().map(|t| t.line_base).collect();
+        bases.sort_unstable();
+        bases.dedup();
+        prop_assert_eq!(bases.len(), txns.len());
+    }
+
+    /// Auto-sized protocol slots are powers of two and scale with
+    /// iterations for both channel kinds.
+    #[test]
+    fn protocol_slots_well_formed(k in 1u32..8) {
+        for proto in [ProtocolConfig::tpc(k), ProtocolConfig::gpc(k)] {
+            prop_assert!(proto.slot_cycles.is_power_of_two());
+            prop_assert!(proto.sync_window() % proto.slot_cycles == 0);
+            prop_assert!(proto.guard_cycles < proto.slot_cycles);
+            prop_assert_eq!(proto.iterations, k);
+        }
+    }
+
+    /// Burst address builders always emit iterations × requests accesses
+    /// and respect the coalescing mode.
+    #[test]
+    fn burst_addresses_shape(k in 1u32..6, level in prop::sample::select(vec![8u32, 16, 32])) {
+        let proto = ProtocolConfig::tpc(k);
+        let unc = proto.burst_addresses(0, true, 128, level);
+        prop_assert_eq!(unc.len() as u32, k * 32);
+        let lines: std::collections::HashSet<u64> = unc.iter().map(|a| a / 128).collect();
+        prop_assert_eq!(lines.len() as u32, k * level.min(32));
+        let coal = proto.burst_addresses(0, false, 128, level);
+        let lines: std::collections::HashSet<u64> = coal.iter().map(|a| a / 128).collect();
+        prop_assert_eq!(lines.len() as u32, k);
+    }
+
+    /// The preamble-calibrated decoder recovers any payload whenever the
+    /// two latency populations are separated.
+    #[test]
+    fn decoder_recovers_separated_populations(
+        payload in proptest::collection::vec(any::<bool>(), 1..64),
+        quiet in 100u64..400,
+        gap in 50u64..500,
+    ) {
+        let loud = quiet + gap;
+        let preamble = 8usize;
+        let mut latencies: Vec<u64> = (0..preamble)
+            .map(|i| if i % 2 == 0 { quiet } else { loud })
+            .collect();
+        latencies.extend(payload.iter().map(|&b| if b { loud } else { quiet }));
+        let (thr, decoded) = decode_stream(&latencies, preamble, payload.len());
+        prop_assert!(thr > quiet as f64 && thr < loud as f64);
+        prop_assert_eq!(decoded, payload);
+    }
+}
+
+#[test]
+fn arbitration_all_is_exhaustive_and_distinct() {
+    let mut labels: Vec<&str> = Arbitration::ALL.iter().map(|a| a.label()).collect();
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), 4);
+}
+
+#[test]
+fn channel_kind_matches_paper_weapons() {
+    use gpu_noc_covert::sim::kernel::AccessKind;
+    assert_eq!(ChannelKind::Tpc.access_kind(), AccessKind::Write);
+    assert_eq!(ChannelKind::Gpc.access_kind(), AccessKind::Read);
+}
+
+#[test]
+fn presets_are_internally_consistent() {
+    for cfg in [
+        GpuConfig::volta_v100(),
+        GpuConfig::pascal_p100(),
+        GpuConfig::turing_tu102(),
+        GpuConfig::tiny(),
+    ] {
+        cfg.validate().unwrap();
+        assert_eq!(cfg.num_sms(), cfg.num_tpcs() * cfg.sms_per_tpc);
+    }
+}

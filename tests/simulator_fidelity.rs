@@ -1,0 +1,152 @@
+//! Integration tests pinning the simulator behaviours the attack relies
+//! on (the DESIGN.md calibration contract), across crate boundaries.
+
+use gpu_noc_covert::common::ids::{SmId, StreamId, TpcId};
+use gpu_noc_covert::common::GpuConfig;
+use gpu_noc_covert::covert::characterize::{gpc_contention, tpc_contention};
+use gpu_noc_covert::covert::sync::skew_stats;
+use gpu_noc_covert::sim::gpu::Gpu;
+use gpu_noc_covert::sim::workloads::{StreamConfig, StreamKernel, TAG_LATENCY};
+
+/// The paper quotes 200–250 cycles for an L2 round trip; the covert
+/// channel's thresholds sit inside this band.
+#[test]
+fn l2_round_trip_is_in_the_paper_band() {
+    let cfg = GpuConfig::volta_v100();
+    let mut gpu = Gpu::new(cfg.clone()).unwrap();
+    let mut sc = StreamConfig::reader(cfg.num_sms(), 1, 8);
+    sc.requests_per_batch = 1;
+    sc.target_sms = Some(vec![0]);
+    let kernel = StreamKernel::new(sc, &cfg);
+    let (base, lines) = kernel.working_set();
+    gpu.preload_range(base, lines);
+    let k = gpu.launch(Box::new(kernel), StreamId::new(0));
+    assert!(gpu.run_until_idle(100_000).is_idle());
+    let latencies: Vec<u64> = gpu
+        .recorder()
+        .for_kernel(k)
+        .filter(|r| r.tag == TAG_LATENCY)
+        .map(|r| r.value)
+        .collect();
+    assert_eq!(latencies.len(), 8);
+    for l in latencies {
+        assert!((190..=260).contains(&l), "L2 RTT {l} outside 200-250 band");
+    }
+}
+
+/// The contention asymmetry that defines the two channel types (§3.4):
+/// TPC = writes, GPC = reads.
+#[test]
+fn contention_asymmetry_matches_fig5() {
+    let cfg = GpuConfig::volta_v100();
+    let tpc = tpc_contention(&cfg, 24, 8);
+    assert!(tpc.write_slowdown > 1.7, "TPC writes: {}", tpc.write_slowdown);
+    assert!(tpc.read_slowdown < 1.3, "TPC reads: {}", tpc.read_slowdown);
+
+    let members = cfg.tpcs_of_gpc(gpu_noc_covert::common::ids::GpcId::new(1));
+    let gpc = gpc_contention(&cfg, &members, 20, 9);
+    let n = gpc.read_slowdown.len();
+    assert!(gpc.read_slowdown[n - 1] > 1.8, "GPC reads: {:?}", gpc.read_slowdown);
+    assert!(gpc.write_slowdown[n - 1] < 1.4, "GPC writes: {:?}", gpc.write_slowdown);
+}
+
+/// Clock skew must stay far below the L2 latency on every preset —
+/// otherwise clock-register synchronization (§4.1) would not work.
+#[test]
+fn clock_skew_usable_on_all_presets() {
+    for cfg in [
+        GpuConfig::volta_v100(),
+        GpuConfig::pascal_p100(),
+        GpuConfig::turing_tu102(),
+    ] {
+        let stats = skew_stats(&cfg, 10, 3);
+        assert!(
+            stats.avg_tpc_skew < 5.0 && stats.avg_gpc_skew < 15.0,
+            "{}: skew {:?}",
+            cfg.name,
+            stats
+        );
+    }
+}
+
+/// §4.3's placement guarantee: 40 + 40 blocks from two streams co-locate
+/// pairwise on TPC siblings, for every architecture preset.
+#[test]
+fn colocation_recipe_works_on_all_presets() {
+    for cfg in [
+        GpuConfig::volta_v100(),
+        GpuConfig::pascal_p100(),
+        GpuConfig::turing_tu102(),
+    ] {
+        let mut gpu = Gpu::new(cfg.clone()).unwrap();
+        let n = cfg.num_tpcs();
+        let mk = || {
+            let mut sc = StreamConfig::writer(n, 1, 0);
+            sc.target_sms = Some(vec![]);
+            Box::new(StreamKernel::new(sc, &cfg))
+        };
+        let trojan = gpu.launch(mk(), StreamId::new(0));
+        let spy = gpu.launch(mk(), StreamId::new(1));
+        gpu.tick();
+        let trojan_sms: Vec<usize> = gpu.block_spans(trojan).iter().map(|s| s.sm.index()).collect();
+        let spy_sms: Vec<usize> = gpu.block_spans(spy).iter().map(|s| s.sm.index()).collect();
+        assert_eq!(trojan_sms.len(), n, "{}", cfg.name);
+        for (t, s) in trojan_sms.iter().zip(&spy_sms) {
+            assert_eq!(
+                cfg.tpc_of_sm(SmId::new(*t)),
+                cfg.tpc_of_sm(SmId::new(*s)),
+                "{}: trojan SM{t} and spy SM{s} not co-located",
+                cfg.name
+            );
+            assert_ne!(t, s);
+        }
+        gpu.run_until_idle(10_000);
+    }
+}
+
+/// A third kernel sharing the L2 pushes the covert working set out and
+/// floods DRAM — the §5 noise scenario. With all TPC channels active the
+/// attacker owns every SM, so no third kernel can even be placed: the
+/// "favorable environment" defence the paper describes.
+#[test]
+fn full_occupancy_excludes_third_kernels() {
+    let cfg = GpuConfig::volta_v100();
+    let mut gpu = Gpu::new(cfg.clone()).unwrap();
+    // Attacker: 80 long-running blocks (all SMs).
+    let mut sc = StreamConfig::writer(80, 1, 500);
+    sc.target_sms = None;
+    let attacker = StreamKernel::new(sc, &cfg);
+    let (base, lines) = attacker.working_set();
+    gpu.preload_range(base, lines);
+    gpu.launch(Box::new(attacker), StreamId::new(0));
+    // Victim third kernel in another stream.
+    let mut vc = StreamConfig::writer(4, 1, 1);
+    vc.base_addr = 0x0800_0000;
+    let victim_kernel = StreamKernel::new(vc, &cfg);
+    let victim = gpu.launch(Box::new(victim_kernel), StreamId::new(2));
+    gpu.run_for(2_000);
+    // While the attacker runs, the victim has no SM to land on.
+    let (victim_start, _) = gpu.kernel_span(victim);
+    assert!(
+        victim_start.is_none(),
+        "third kernel placed despite full occupancy"
+    );
+    assert!(gpu.run_until_idle(2_000_000).is_idle());
+    let (victim_start, _) = gpu.kernel_span(victim);
+    assert!(victim_start.is_some(), "victim eventually runs");
+}
+
+/// Ground-truth topology invariants consumed by the attack (per preset).
+#[test]
+fn topology_invariants() {
+    let cfg = GpuConfig::volta_v100();
+    // Each TPC's SMs are exactly {2t, 2t+1}.
+    for t in 0..cfg.num_tpcs() {
+        let sms = cfg.sms_of_tpc(TpcId::new(t));
+        assert_eq!(sms, vec![SmId::new(2 * t), SmId::new(2 * t + 1)]);
+    }
+    // Every GPC has at least 2 TPCs (needed for a GPC channel).
+    for g in 0..cfg.num_gpcs {
+        assert!(cfg.tpcs_of_gpc(gpu_noc_covert::common::ids::GpcId::new(g)).len() >= 2);
+    }
+}
