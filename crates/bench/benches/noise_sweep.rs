@@ -1,0 +1,34 @@
+//! Bench: BER-vs-noise curves — naive vs hardened decoding and
+//! ACK/NACK delivery rate across the fault-injection presets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnc_bench::{noise_sweep, platform, Scale};
+
+fn bench(c: &mut Criterion) {
+    let cfg = platform();
+    let mut group = c.benchmark_group("noise_sweep");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(30));
+    group.warm_up_time(std::time::Duration::from_secs(2));
+    group.bench_function("presets_naive_vs_hardened", |b| {
+        b.iter(|| {
+            let points = noise_sweep(&cfg, Scale::Quick);
+            // The hardened decoder must not lose to a naive decoder that
+            // still has signal.
+            for p in &points {
+                assert!(
+                    p.hardened_ber <= p.naive_ber || p.naive_ber > 0.25,
+                    "{}: hardened {} vs naive {}",
+                    p.preset,
+                    p.hardened_ber,
+                    p.naive_ber
+                );
+            }
+            points
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

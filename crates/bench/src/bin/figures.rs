@@ -1,7 +1,7 @@
 //! Regenerates the paper's tables and figures on the simulator.
 //!
 //! ```text
-//! figures [--full] [--json DIR] [--fig N]... [--table N]... [--srr-overhead] [--all]
+//! figures [--full] [--json DIR] [--fig N]... [--table N]... [--srr-overhead] [--noise-sweep] [--all]
 //! ```
 //!
 //! With no selection flags, everything is produced. `--full` uses
@@ -21,6 +21,7 @@ struct Args {
     tables: BTreeSet<u32>,
     srr: bool,
     ablation: bool,
+    noise: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +32,7 @@ fn parse_args() -> Args {
         tables: BTreeSet::new(),
         srr: false,
         ablation: false,
+        noise: false,
     };
     let mut all = true;
     let mut iter = std::env::args().skip(1);
@@ -66,15 +68,21 @@ fn parse_args() -> Args {
                 all = false;
                 args.ablation = true;
             }
+            "--noise-sweep" => {
+                all = false;
+                args.noise = true;
+            }
             "--all" => all = true,
             other => panic!("unknown argument {other}"),
         }
     }
     if all {
-        args.figs.extend([2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15]);
+        args.figs
+            .extend([2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14, 15]);
         args.tables.extend([1, 2]);
         args.srr = true;
         args.ablation = true;
+        args.noise = true;
     }
     args
 }
@@ -83,8 +91,11 @@ fn emit<T: Serialize>(args: &Args, name: &str, value: &T) {
     if let Some(dir) = &args.json_dir {
         std::fs::create_dir_all(dir).expect("create json dir");
         let path = dir.join(format!("{name}.json"));
-        std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(value).expect("serialize"),
+        )
+        .expect("write json");
         println!("  [json] {}", path.display());
     }
 }
@@ -218,7 +229,10 @@ fn main() {
         let f = fig08(&cfg, args.scale);
         println!("  fraction   SM1(shared)   SM12(isolated)");
         for ((fr, s), d) in f.fractions.iter().zip(&f.sibling).zip(&f.distant) {
-            println!("  {fr:>7.2}   {:>10.2}x   {:>12.2}x", s.normalized, d.normalized);
+            println!(
+                "  {fr:>7.2}   {:>10.2}x   {:>12.2}x",
+                s.normalized, d.normalized
+            );
         }
         println!();
         emit(&args, "fig08", &f);
@@ -260,7 +274,10 @@ fn main() {
         let f = fig11(&cfg, args.scale);
         println!("  fraction   same-GPC   different-GPC");
         for ((fr, s), d) in f.fractions.iter().zip(&f.same_gpc).zip(&f.different_gpc) {
-            println!("  {fr:>7.2}   {:>7.3}x   {:>10.3}x", s.normalized, d.normalized);
+            println!(
+                "  {fr:>7.2}   {:>7.3}x   {:>10.3}x",
+                s.normalized, d.normalized
+            );
         }
         println!();
         emit(&args, "fig11", &f);
@@ -279,10 +296,22 @@ fn main() {
     if args.figs.contains(&13) {
         println!("== Fig 13: coalescing error matrix ==");
         let f = fig13(&cfg, args.scale);
-        println!("  sender coalesced,   receiver coalesced  : {:>6.2} %", f.coalesced_both * 100.0);
-        println!("  sender coalesced,   receiver uncoalesced: {:>6.2} %", f.coalesced_sender_only * 100.0);
-        println!("  sender uncoalesced, receiver coalesced  : {:>6.2} %", f.coalesced_receiver_only * 100.0);
-        println!("  sender uncoalesced, receiver uncoalesced: {:>6.2} %", f.uncoalesced_both * 100.0);
+        println!(
+            "  sender coalesced,   receiver coalesced  : {:>6.2} %",
+            f.coalesced_both * 100.0
+        );
+        println!(
+            "  sender coalesced,   receiver uncoalesced: {:>6.2} %",
+            f.coalesced_sender_only * 100.0
+        );
+        println!(
+            "  sender uncoalesced, receiver coalesced  : {:>6.2} %",
+            f.coalesced_receiver_only * 100.0
+        );
+        println!(
+            "  sender uncoalesced, receiver uncoalesced: {:>6.2} %",
+            f.uncoalesced_both * 100.0
+        );
         println!("  (paper: >50 %, >50 %, ~10 %, ~0.1 %)\n");
         emit(&args, "fig13", &f);
     }
@@ -306,7 +335,10 @@ fn main() {
         println!("== Fig 15: arbitration comparison ==");
         let f = fig15(&cfg, args.scale);
         for (policy, points) in &f.sweep.curves {
-            let series: Vec<String> = points.iter().map(|p| format!("{:.2}", p.normalized)).collect();
+            let series: Vec<String> = points
+                .iter()
+                .map(|p| format!("{:.2}", p.normalized))
+                .collect();
             println!("  {:<4}: {}", policy.label(), series.join(" "));
         }
         println!("  end-to-end channel error:");
@@ -344,7 +376,10 @@ fn main() {
                 p.true_intensity, p.observed_latency
             );
         }
-        println!("  correlation {:.3} (paper: 'linear correlation')\n", sc.correlation);
+        println!(
+            "  correlation {:.3} (paper: 'linear correlation')\n",
+            sc.correlation
+        );
         emit(&args, "side_channel", &sc);
 
         println!("== Section 6: scheduler partitioning countermeasure ==");
@@ -381,7 +416,11 @@ fn main() {
         let noise = ablate_noise_mean(&cfg, args.scale);
         println!("  noise mean vs error (k=1, k=4):");
         for (m, e1, e4) in &noise {
-            println!("    mean={m:<2} -> {:.2} % / {:.2} %", e1 * 100.0, e4 * 100.0);
+            println!(
+                "    mean={m:<2} -> {:.2} % / {:.2} %",
+                e1 * 100.0,
+                e4 * 100.0
+            );
         }
         emit(&args, "ablation_noise_mean", &noise);
         let warps = ablate_sender_warps(&cfg, args.scale);
@@ -396,6 +435,23 @@ fn main() {
             println!("    T={t} -> {:.2} %", e * 100.0);
         }
         emit(&args, "ablation_slot_length", &slots);
+        println!();
+    }
+
+    if args.noise {
+        println!("== Robustness: BER vs fault intensity (naive vs hardened) ==");
+        let points = noise_sweep(&cfg, args.scale);
+        for p in &points {
+            println!(
+                "  {:<10} naive {:>5.1} %  hardened {:>5.1} %  delivered {:>3.0} % (mean {:.1} attempts)",
+                p.preset,
+                p.naive_ber * 100.0,
+                p.hardened_ber * 100.0,
+                p.delivery_rate * 100.0,
+                p.mean_attempts
+            );
+        }
+        emit(&args, "noise_sweep", &points);
         println!();
     }
 

@@ -10,16 +10,16 @@
 
 use gnc_common::bits::{BitVec, SymbolVec};
 use gnc_common::config::Arbitration;
+use gnc_common::fault::FaultConfig;
 use gnc_common::ids::GpcId;
 use gnc_common::rng::experiment_rng;
 use gnc_common::GpuConfig;
 use gnc_covert::channel::ChannelPlan;
 use gnc_covert::characterize::{
     alignment_sweep, coalescing_matrix, gpc_contention, leakage_sweep, leakage_sweep_kind,
-    third_kernel_noise, tpc_contention, CoalescingMatrix, GpcContention, LeakagePoint,
-    NoiseImpact, TpcContention,
+    third_kernel_noise, tpc_contention, CoalescingMatrix, GpcContention, LeakagePoint, NoiseImpact,
+    TpcContention,
 };
-use gnc_covert::sidechannel::{spy_on_victim, SpyReport};
 use gnc_covert::countermeasure::{
     arbitration_sweep, channel_error_under, channel_error_under_scheduler, srr_overhead,
     ArbitrationSweep, OverheadReport,
@@ -28,6 +28,8 @@ use gnc_covert::encoding::{MultiLevelChannel, MultiLevelReport};
 use gnc_covert::metrics::{ground_truth_membership, table2, ComparisonRow};
 use gnc_covert::protocol::{ProtocolConfig, SyncMode};
 use gnc_covert::reverse::{gpc_scan, recover_mapping, tpc_pairing_sweep, GpcScan, TpcSweepPoint};
+use gnc_covert::robust::{compare_decoders, transmit_reliable, RobustOptions};
+use gnc_covert::sidechannel::{spy_on_victim, SpyReport};
 use gnc_covert::sync::{clock_snapshot, skew_stats, ClockSnapshot, SkewStats};
 use gnc_sim::kernel::AccessKind;
 use serde::Serialize;
@@ -478,7 +480,11 @@ mod tests {
         };
         let aligned = contrast(&f.clock_aligned);
         let drifted = contrast(&f.slot_only);
-        assert!(aligned > 100.0, "aligned tail contrast {aligned} (trace {:?})", f.clock_aligned);
+        assert!(
+            aligned > 100.0,
+            "aligned tail contrast {aligned} (trace {:?})",
+            f.clock_aligned
+        );
         assert!(
             drifted < aligned / 2.0,
             "slot-only should have decayed: {drifted} vs aligned {aligned}\n{:?}",
@@ -492,7 +498,10 @@ mod tests {
         let sweep = fig12(&cfg, Scale::Quick);
         let first = sweep.first().unwrap().1;
         let last = sweep.last().unwrap().1;
-        assert!(first > last, "error must fall with more requests: {sweep:?}");
+        assert!(
+            first > last,
+            "error must fall with more requests: {sweep:?}"
+        );
     }
 }
 
@@ -572,7 +581,73 @@ pub fn ablate_slot_length(cfg: &GpuConfig, scale: Scale) -> Vec<(u32, f64)> {
             let plan = ChannelPlan::tpc(cfg, proto, &[0]);
             let mut rng = experiment_rng("ablate-slot", u64::from(slot));
             let payload = BitVec::random(&mut rng, bits);
-            (slot, plan.transmit(cfg, &payload, u64::from(slot)).error_rate)
+            (
+                slot,
+                plan.transmit(cfg, &payload, u64::from(slot)).error_rate,
+            )
+        })
+        .collect()
+}
+
+/// One fault preset's point on the BER-vs-noise curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct NoisePoint {
+    /// Preset name (`off`, `mild`, `moderate`, `severe`, `jammed`).
+    pub preset: String,
+    /// Post-FEC bit-error rate of the naive static-threshold decoder.
+    pub naive_ber: f64,
+    /// Post-FEC bit-error rate of the adaptive erasure decoder, on the
+    /// identical traces.
+    pub hardened_ber: f64,
+    /// Fraction of trials the hardened ACK/NACK loop delivered
+    /// (CRC-verified) within its retry budget.
+    pub delivery_rate: f64,
+    /// Mean attempts used by the delivered trials.
+    pub mean_attempts: f64,
+}
+
+/// The robustness noise sweep: naive vs hardened post-FEC BER and
+/// ACK/NACK delivery rate across every fault preset.
+pub fn noise_sweep(cfg: &GpuConfig, scale: Scale) -> Vec<NoisePoint> {
+    let trials = scale.pick(2, 8);
+    let bits = scale.pick(24, 64);
+    let plan = ChannelPlan::tpc(cfg, ProtocolConfig::tpc(4), &[0]);
+    let opts = RobustOptions::default();
+    ["off", "mild", "moderate", "severe", "jammed"]
+        .iter()
+        .map(|preset| {
+            let mut naive = 0usize;
+            let mut hardened = 0usize;
+            let mut delivered = 0usize;
+            let mut attempts = 0u32;
+            let mut total_bits = 0usize;
+            for trial in 0..trials as u64 {
+                let mut rng = experiment_rng("noise-sweep", trial);
+                let payload = BitVec::random(&mut rng, bits);
+                let faults = FaultConfig::parse(preset)
+                    .expect("preset names parse")
+                    .with_seed(trial * 17 + 3);
+                let cmp = compare_decoders(&plan, cfg, &payload, trial, &faults, &opts);
+                naive += cmp.naive_errors;
+                hardened += cmp.hardened_errors;
+                total_bits += cmp.payload_bits;
+                let rel = transmit_reliable(&plan, cfg, &payload, trial, Some(&faults), &opts);
+                if rel.outcome.is_delivered() {
+                    delivered += 1;
+                    attempts += rel.attempts;
+                }
+            }
+            NoisePoint {
+                preset: (*preset).to_owned(),
+                naive_ber: naive as f64 / total_bits as f64,
+                hardened_ber: hardened as f64 / total_bits as f64,
+                delivery_rate: delivered as f64 / trials as f64,
+                mean_attempts: if delivered > 0 {
+                    f64::from(attempts) / delivered as f64
+                } else {
+                    0.0
+                },
+            }
         })
         .collect()
 }

@@ -35,6 +35,18 @@ pub enum Command {
         fec: bool,
         /// Deterministic seed.
         seed: u64,
+        /// Fault-injection spec (preset[@seed][,key=val...]); switches to
+        /// the hardened CRC/ACK protocol.
+        faults: Option<String>,
+    },
+    /// Sweep the fault presets, comparing naive vs hardened decoding.
+    Chaos {
+        /// Architecture preset.
+        arch: Arch,
+        /// The message bytes.
+        message: String,
+        /// Deterministic seed.
+        seed: u64,
     },
     /// Meter a victim's activity profile through the side channel.
     SideChannel {
@@ -92,6 +104,7 @@ COMMANDS:
     info                         print the simulated GPU topology
     reverse                      reverse-engineer TPC/GPC placement blind
     send --message <TEXT>        exfiltrate a message over the channel
+    chaos                        sweep fault presets, naive vs hardened
     sidechannel --profile <CSV>  meter a victim's per-phase L2 activity
     help                         show this text
 
@@ -106,6 +119,15 @@ OPTIONS (send):
     --iterations <K>               memory ops per bit    [default: 4]
     --arbitration <rr|crr|srr|age> NoC arbitration       [default: rr]
     --fec                          Hamming(7,4) protection
+    --seed <N>                     deterministic seed    [default: 42]
+    --faults <SPEC>                inject faults and use the hardened
+                                   ACK/NACK protocol; SPEC is
+                                   off|mild|moderate|severe|jammed with
+                                   optional @seed and key=value overrides
+                                   (e.g. moderate@7,sample_drop_rate=0.2)
+
+OPTIONS (chaos):
+    --message <TEXT>               payload                [default: noc]
     --seed <N>                     deterministic seed    [default: 42]
 
 OPTIONS (sidechannel):
@@ -149,6 +171,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut arbitration = Arbitration::RoundRobin;
     let mut fec = false;
     let mut seed = 42u64;
+    let mut faults: Option<String> = None;
     let mut profile: Option<Vec<u32>> = None;
 
     let take_value = |iter: &mut std::slice::Iter<String>, flag: &str| {
@@ -181,6 +204,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .parse()
                     .map_err(|_| ParseError("--seed requires a number".into()))?;
             }
+            "--faults" => faults = Some(take_value(&mut iter, "--faults")?),
             "--profile" => {
                 let csv = take_value(&mut iter, "--profile")?;
                 let parsed: Result<Vec<u32>, _> =
@@ -197,8 +221,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "info" => Ok(Command::Info { arch }),
         "reverse" => Ok(Command::Reverse { arch, trials }),
         "send" => {
-            let message =
-                message.ok_or_else(|| ParseError("send requires --message".into()))?;
+            let message = message.ok_or_else(|| ParseError("send requires --message".into()))?;
             Ok(Command::Send {
                 arch,
                 message,
@@ -207,8 +230,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 arbitration,
                 fec,
                 seed,
+                faults,
             })
         }
+        "chaos" => Ok(Command::Chaos {
+            arch,
+            message: message.unwrap_or_else(|| "noc".into()),
+            seed,
+        }),
         "sidechannel" => {
             let profile =
                 profile.ok_or_else(|| ParseError("sidechannel requires --profile".into()))?;
@@ -279,6 +308,36 @@ mod tests {
                 arbitration: Arbitration::StrictRoundRobin,
                 fec: true,
                 seed: 7,
+                faults: None,
+            }
+        );
+    }
+
+    #[test]
+    fn send_with_faults_spec() {
+        let cmd = parse(&argv("send --message hi --faults moderate@9")).unwrap();
+        let Command::Send { faults, .. } = cmd else {
+            panic!("expected send");
+        };
+        assert_eq!(faults.as_deref(), Some("moderate@9"));
+    }
+
+    #[test]
+    fn chaos_defaults_and_override() {
+        assert_eq!(
+            parse(&argv("chaos")).unwrap(),
+            Command::Chaos {
+                arch: Arch::Volta,
+                message: "noc".into(),
+                seed: 42,
+            }
+        );
+        assert_eq!(
+            parse(&argv("chaos --message x --seed 5 --arch turing")).unwrap(),
+            Command::Chaos {
+                arch: Arch::Turing,
+                message: "x".into(),
+                seed: 5,
             }
         );
     }

@@ -13,11 +13,13 @@ mod args;
 
 use args::{Arch, Command, USAGE};
 use gnc_common::bits::BitVec;
+use gnc_common::fault::FaultConfig;
 use gnc_common::fec::{fec_decode, fec_encode};
 use gnc_common::ids::GpcId;
 use gnc_covert::channel::ChannelPlan;
 use gnc_covert::protocol::ProtocolConfig;
 use gnc_covert::reverse::recover_mapping;
+use gnc_covert::robust::{compare_decoders, transmit_reliable, RobustOptions};
 use gnc_covert::sidechannel::spy_on_victim;
 use std::process::ExitCode;
 
@@ -45,7 +47,22 @@ fn main() -> ExitCode {
             arbitration,
             fec,
             seed,
-        } => send(arch, &message, all_tpcs, iterations, arbitration, fec, seed),
+            faults,
+        } => send(
+            arch,
+            &message,
+            all_tpcs,
+            iterations,
+            arbitration,
+            fec,
+            seed,
+            faults.as_deref(),
+        ),
+        Command::Chaos {
+            arch,
+            message,
+            seed,
+        } => chaos(arch, &message, seed),
         Command::SideChannel { arch, profile } => sidechannel(arch, &profile),
     }
 }
@@ -105,6 +122,7 @@ fn reverse(arch: Arch, trials: usize) -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn send(
     arch: Arch,
     message: &str,
@@ -113,6 +131,7 @@ fn send(
     arbitration: gnc_common::config::Arbitration,
     fec: bool,
     seed: u64,
+    faults: Option<&str>,
 ) -> ExitCode {
     let mut cfg = arch.config();
     cfg.noc.arbitration = arbitration;
@@ -123,7 +142,21 @@ fn send(
         ChannelPlan::tpc(&cfg, proto, &[0])
     };
     let payload = BitVec::from_bytes(message.as_bytes());
-    let coded = if fec { fec_encode(&payload) } else { payload.clone() };
+    if let Some(spec) = faults {
+        let fault_cfg = match FaultConfig::parse(spec) {
+            Ok(fc) => fc,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return send_hardened(&plan, &cfg, &payload, message, seed, &fault_cfg);
+    }
+    let coded = if fec {
+        fec_encode(&payload)
+    } else {
+        payload.clone()
+    };
     println!(
         "transmitting {} payload bits ({} on the wire{}) over {} channel(s) under {} arbitration...",
         payload.len(),
@@ -152,6 +185,96 @@ fn send(
         ExitCode::SUCCESS
     } else {
         println!("message corrupted (as expected under an effective countermeasure).");
+        ExitCode::FAILURE
+    }
+}
+
+fn send_hardened(
+    plan: &ChannelPlan,
+    cfg: &gnc_common::GpuConfig,
+    payload: &BitVec,
+    message: &str,
+    seed: u64,
+    fault_cfg: &FaultConfig,
+) -> ExitCode {
+    println!(
+        "transmitting {} payload bits under fault injection (seed {}) with the hardened CRC/ACK protocol...",
+        payload.len(),
+        fault_cfg.seed,
+    );
+    let opts = RobustOptions::default();
+    let report = transmit_reliable(plan, cfg, payload, seed, Some(fault_cfg), &opts);
+    println!(
+        "outcome: {:?} after {} attempt(s), {} residual bit error(s), {} cycles",
+        report.outcome, report.attempts, report.residual_errors, report.elapsed_cycles,
+    );
+    if let Some(stats) = &report.fault_stats {
+        println!(
+            "faults fired: {} burst cycles, {} dropped / {} duplicated / {} jittered samples, {} glitched clock reads, {} L2 stall cycles",
+            stats.noc_burst_cycles,
+            stats.samples_dropped,
+            stats.samples_duplicated,
+            stats.samples_jittered,
+            stats.glitched_clock_reads,
+            stats.l2_stall_cycles,
+        );
+    }
+    let recovered = report.delivered.to_bytes();
+    println!("received: {:?}", String::from_utf8_lossy(&recovered));
+    if report.crc_ok && recovered == message.as_bytes() {
+        println!("message recovered exactly.");
+        ExitCode::SUCCESS
+    } else {
+        println!("delivery failed: the channel stayed jammed through every retry.");
+        ExitCode::FAILURE
+    }
+}
+
+fn chaos(arch: Arch, message: &str, seed: u64) -> ExitCode {
+    let cfg = arch.config();
+    let proto = ProtocolConfig::tpc(4);
+    let plan = ChannelPlan::tpc(&cfg, proto, &[0]);
+    let payload = BitVec::from_bytes(message.as_bytes());
+    let opts = RobustOptions::default();
+    println!(
+        "chaos sweep: {} payload bits per preset, naive vs hardened decoding of the same traces (seed {seed})",
+        payload.len()
+    );
+    println!(
+        "{:<10} {:>11} {:>14} {:>9} delivery",
+        "preset", "naive BER", "hardened BER", "attempts"
+    );
+    let mut naive_total = 0usize;
+    let mut hardened_total = 0usize;
+    for preset in ["off", "mild", "moderate", "severe", "jammed"] {
+        let fault_cfg = FaultConfig::parse(preset)
+            .expect("preset names are valid specs")
+            .with_seed(seed);
+        let cmp = compare_decoders(&plan, &cfg, &payload, seed, &fault_cfg, &opts);
+        let delivery = transmit_reliable(&plan, &cfg, &payload, seed, Some(&fault_cfg), &opts);
+        let bits = payload.len() as f64;
+        println!(
+            "{:<10} {:>10.1}% {:>13.1}% {:>9} {:?}",
+            preset,
+            cmp.naive_errors as f64 / bits * 100.0,
+            cmp.hardened_errors as f64 / bits * 100.0,
+            delivery.attempts,
+            delivery.outcome,
+        );
+        naive_total += cmp.naive_errors;
+        hardened_total += cmp.hardened_errors;
+    }
+    // Per-preset rows on a short payload are single samples; the sweep
+    // total is the statistically meaningful comparison.
+    if hardened_total <= naive_total {
+        println!(
+            "hardened decoding won the sweep: {hardened_total} total bit errors vs {naive_total} naive."
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "hardened decoding lost the sweep ({hardened_total} vs {naive_total} naive) — investigate."
+        );
         ExitCode::FAILURE
     }
 }

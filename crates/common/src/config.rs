@@ -442,11 +442,7 @@ impl GpuConfig {
         if self.tpc_to_gpc.is_empty() {
             return Err(ConfigError::new("tpc_to_gpc must not be empty"));
         }
-        if let Some(bad) = self
-            .tpc_to_gpc
-            .iter()
-            .find(|g| g.index() >= self.num_gpcs)
-        {
+        if let Some(bad) = self.tpc_to_gpc.iter().find(|g| g.index() >= self.num_gpcs) {
             return Err(ConfigError::new(format!(
                 "tpc_to_gpc references {bad} but num_gpcs = {}",
                 self.num_gpcs
@@ -455,7 +451,7 @@ impl GpuConfig {
         if self.mem.num_mcs == 0 || self.mem.num_l2_slices == 0 {
             return Err(ConfigError::new("memory system must have slices and MCs"));
         }
-        if self.mem.num_l2_slices % self.mem.num_mcs != 0 {
+        if !self.mem.num_l2_slices.is_multiple_of(self.mem.num_mcs) {
             return Err(ConfigError::new(format!(
                 "{} L2 slices do not divide evenly among {} MCs",
                 self.mem.num_l2_slices, self.mem.num_mcs
@@ -580,7 +576,8 @@ mod tests {
             GpuConfig::turing_tu102(),
             GpuConfig::tiny(),
         ] {
-            cfg.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
         }
     }
 

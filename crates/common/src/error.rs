@@ -37,6 +37,91 @@ impl fmt::Display for ConfigError {
 
 impl StdError for ConfigError {}
 
+/// Workspace-wide simulation error taxonomy.
+///
+/// Everything that can go wrong across the stack — bad configuration,
+/// malformed fault specs, channels that never synchronize or never
+/// deliver a decodable frame — funnels into this one enum so callers
+/// (the CLI, benches, tests) match on *kinds* instead of strings.
+///
+/// Marked `#[non_exhaustive]`: future PRs add variants without a
+/// breaking change, so downstream `match` arms must carry a wildcard.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An invalid or internally inconsistent configuration.
+    Config(ConfigError),
+    /// A fault-injection spec string that could not be parsed.
+    FaultSpec {
+        /// The offending spec, verbatim.
+        spec: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A transmission exhausted its retransmission budget without ever
+    /// delivering a frame that passed its integrity check.
+    ChannelJammed {
+        /// Label of the channel that gave up.
+        label: String,
+        /// Transmission attempts made (initial try plus retries).
+        attempts: u32,
+    },
+    /// The receiver lost synchronization: the measured trace is shorter
+    /// than the frame the sender modulated.
+    SyncLost {
+        /// Label of the affected channel.
+        label: String,
+        /// Samples the decoder expected.
+        expected: usize,
+        /// Samples actually observed.
+        got: usize,
+    },
+    /// A decoded frame failed a structural check (bad preamble, failed
+    /// checksum, undecodable block).
+    DecodeFailed {
+        /// What the decoder choked on.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => e.fmt(f),
+            Self::FaultSpec { spec, reason } => {
+                write!(f, "invalid fault spec {spec:?}: {reason}")
+            }
+            Self::ChannelJammed { label, attempts } => {
+                write!(f, "channel {label:?} jammed after {attempts} attempts")
+            }
+            Self::SyncLost {
+                label,
+                expected,
+                got,
+            } => write!(
+                f,
+                "channel {label:?} lost sync: expected {expected} samples, got {got}"
+            ),
+            Self::DecodeFailed { reason } => write!(f, "decode failed: {reason}"),
+        }
+    }
+}
+
+impl StdError for SimError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -59,5 +144,29 @@ mod tests {
         let err = ConfigError::new("x");
         let dyn_err: &dyn StdError = &err;
         assert!(dyn_err.source().is_none());
+    }
+
+    #[test]
+    fn sim_error_displays_and_chains() {
+        let e: SimError = ConfigError::new("zero SMs").into();
+        assert_eq!(e.to_string(), "invalid configuration: zero SMs");
+        let dyn_err: &dyn StdError = &e;
+        assert!(dyn_err.source().is_some());
+        let jam = SimError::ChannelJammed {
+            label: "gpc0".into(),
+            attempts: 4,
+        };
+        assert_eq!(jam.to_string(), "channel \"gpc0\" jammed after 4 attempts");
+        let sync = SimError::SyncLost {
+            label: "tpc".into(),
+            expected: 40,
+            got: 12,
+        };
+        assert!(sync.to_string().contains("expected 40"));
+        assert!(SimError::DecodeFailed {
+            reason: "checksum".into()
+        }
+        .to_string()
+        .contains("checksum"));
     }
 }

@@ -1,0 +1,584 @@
+//! Deterministic, seeded fault injection.
+//!
+//! The §5 noise study asks how the covert channel behaves when the GPU
+//! is *not* a quiet laboratory: co-tenant kernels burst traffic through
+//! the shared muxes, the measurement path drops or duplicates latency
+//! samples, the per-SM clocks drift and glitch, and L2 slices are
+//! hot-spotted by other workloads. A [`FaultPlan`] injects exactly those
+//! disturbances — reproducibly.
+//!
+//! # Determinism
+//!
+//! Every fault decision is a *pure function* of `(seed, domain, site,
+//! time-window)` through a SplitMix64 hash — no sequential RNG state.
+//! Subsystems may therefore consult the plan in any order, any number of
+//! times, and the injected fault pattern never changes for a given seed:
+//! two simulations with the same configuration, payload, and seed produce
+//! bit-identical reports.
+//!
+//! # Consumers
+//!
+//! The plan is shared (`Arc<FaultPlan>`) by four subsystems:
+//!
+//! * `gnc_noc::mux::ConcentratorMux` — background-traffic bursts steal
+//!   output flit slots at the shared TPC/GPC muxes ([`FaultPlan::burst_flits`]).
+//! * the simulator's measurement path — per-sample latency jitter,
+//!   dropped samples, duplicated samples
+//!   ([`FaultPlan::sample_jitter`], [`FaultPlan::drop_sample`],
+//!   [`FaultPlan::dup_sample`]).
+//! * `gnc_sim::clock::ClockDomain` — per-SM drift and transient glitch
+//!   events ([`FaultPlan::clock_offset`]).
+//! * `gnc_mem::l2::L2Slice` — hot-spot windows during which a slice's
+//!   lookup stage stalls ([`FaultPlan::l2_stall`]).
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fault-injection knobs. All rates are probabilities in `[0, 1]`;
+/// all-zero means a plan that never fires.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed of the whole fault pattern.
+    pub seed: u64,
+    /// Probability that a given burst window at a given mux carries
+    /// background traffic.
+    pub noc_burst_rate: f64,
+    /// Length of one burst window in cycles.
+    pub noc_burst_cycles: u32,
+    /// Output flit slots stolen per cycle while a burst is active.
+    pub noc_burst_flits: u32,
+    /// Maximum extra cycles added to a recorded latency sample.
+    pub sample_jitter_cycles: u32,
+    /// Probability a latency sample is lost before it is recorded.
+    pub sample_drop_rate: f64,
+    /// Probability a latency sample is recorded twice.
+    pub sample_dup_rate: f64,
+    /// Per-SM clock drift in parts per million (sign varies per SM).
+    pub clock_drift_ppm: u32,
+    /// Probability, per SM per 1024-cycle window, of a transient clock
+    /// glitch.
+    pub clock_glitch_rate: f64,
+    /// Cycles the clock jumps forward while a glitch window is active.
+    pub clock_glitch_cycles: u32,
+    /// Probability that a given hot-spot window at a given L2 slice is
+    /// hot.
+    pub l2_hotspot_rate: f64,
+    /// Length of one hot-spot window in cycles.
+    pub l2_hotspot_cycles: u32,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all (every probe returns "inactive").
+    pub fn off() -> Self {
+        Self {
+            seed: 0,
+            noc_burst_rate: 0.0,
+            noc_burst_cycles: 64,
+            noc_burst_flits: 1,
+            sample_jitter_cycles: 0,
+            sample_drop_rate: 0.0,
+            sample_dup_rate: 0.0,
+            clock_drift_ppm: 0,
+            clock_glitch_rate: 0.0,
+            clock_glitch_cycles: 0,
+            l2_hotspot_rate: 0.0,
+            l2_hotspot_cycles: 256,
+        }
+    }
+
+    /// Light ambient noise: occasional bursts and a few lost samples.
+    pub fn mild() -> Self {
+        Self {
+            noc_burst_rate: 0.05,
+            noc_burst_cycles: 64,
+            noc_burst_flits: 1,
+            sample_jitter_cycles: 12,
+            sample_drop_rate: 0.01,
+            sample_dup_rate: 0.005,
+            clock_drift_ppm: 20,
+            clock_glitch_rate: 0.001,
+            clock_glitch_cycles: 8,
+            l2_hotspot_rate: 0.01,
+            l2_hotspot_cycles: 128,
+            ..Self::off()
+        }
+    }
+
+    /// A busy co-tenant: the regime the hardened protocol is built for.
+    pub fn moderate() -> Self {
+        Self {
+            noc_burst_rate: 0.10,
+            noc_burst_cycles: 96,
+            noc_burst_flits: 1,
+            sample_jitter_cycles: 24,
+            sample_drop_rate: 0.03,
+            sample_dup_rate: 0.015,
+            clock_drift_ppm: 60,
+            clock_glitch_rate: 0.002,
+            clock_glitch_cycles: 16,
+            l2_hotspot_rate: 0.02,
+            l2_hotspot_cycles: 128,
+            ..Self::off()
+        }
+    }
+
+    /// Heavy interference; the channel degrades but should survive with
+    /// FEC and retransmission.
+    pub fn severe() -> Self {
+        Self {
+            noc_burst_rate: 0.15,
+            noc_burst_cycles: 128,
+            noc_burst_flits: 1,
+            sample_jitter_cycles: 40,
+            sample_drop_rate: 0.05,
+            sample_dup_rate: 0.025,
+            clock_drift_ppm: 100,
+            clock_glitch_rate: 0.004,
+            clock_glitch_cycles: 24,
+            l2_hotspot_rate: 0.03,
+            l2_hotspot_cycles: 96,
+            ..Self::off()
+        }
+    }
+
+    /// An adversarial jammer saturating the shared muxes; transmissions
+    /// are expected to fail.
+    pub fn jammed() -> Self {
+        Self {
+            noc_burst_rate: 0.92,
+            noc_burst_cycles: 256,
+            noc_burst_flits: 8,
+            sample_jitter_cycles: 256,
+            sample_drop_rate: 0.30,
+            sample_dup_rate: 0.10,
+            clock_drift_ppm: 500,
+            clock_glitch_rate: 0.03,
+            clock_glitch_cycles: 96,
+            l2_hotspot_rate: 0.25,
+            l2_hotspot_cycles: 512,
+            ..Self::off()
+        }
+    }
+
+    /// The same configuration with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether any fault class can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.noc_burst_rate <= 0.0
+            && self.sample_jitter_cycles == 0
+            && self.sample_drop_rate <= 0.0
+            && self.sample_dup_rate <= 0.0
+            && self.clock_drift_ppm == 0
+            && self.clock_glitch_rate <= 0.0
+            && self.l2_hotspot_rate <= 0.0
+    }
+
+    /// Parses a CLI fault spec.
+    ///
+    /// Grammar: a preset name (`off`, `mild`, `moderate`, `severe`,
+    /// `jammed`), optionally suffixed with `@<seed>`, optionally followed
+    /// by comma-separated `key=value` overrides using the field names of
+    /// [`FaultConfig`] — e.g. `moderate@7,sample_drop_rate=0.1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FaultSpec`] on unknown presets, unknown keys,
+    /// or unparsable values.
+    pub fn parse(spec: &str) -> Result<Self, SimError> {
+        let bad = |reason: &str| SimError::FaultSpec {
+            spec: spec.to_string(),
+            reason: reason.to_string(),
+        };
+        if spec.trim().is_empty() {
+            return Err(bad("empty spec (use \"off\" for no faults)"));
+        }
+        let mut parts = spec.split(',');
+        let head = parts.next().unwrap_or("").trim();
+        let (preset, seed) = match head.split_once('@') {
+            Some((p, s)) => {
+                let seed: u64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("seed after '@' must be an integer"))?;
+                (p.trim(), Some(seed))
+            }
+            None => (head, None),
+        };
+        let mut cfg = match preset {
+            "off" | "" => Self::off(),
+            "mild" => Self::mild(),
+            "moderate" => Self::moderate(),
+            "severe" => Self::severe(),
+            "jammed" => Self::jammed(),
+            _ => return Err(bad("unknown preset (off|mild|moderate|severe|jammed)")),
+        };
+        if let Some(seed) = seed {
+            cfg.seed = seed;
+        }
+        for kv in parts {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| bad("overrides must be key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            let as_f64 = |v: &str| v.parse::<f64>().map_err(|_| bad("value must be a number"));
+            let as_u32 = |v: &str| {
+                v.parse::<u32>()
+                    .map_err(|_| bad("value must be an integer"))
+            };
+            match key {
+                "seed" => {
+                    cfg.seed = value.parse().map_err(|_| bad("seed must be an integer"))?;
+                }
+                "noc_burst_rate" => cfg.noc_burst_rate = as_f64(value)?,
+                "noc_burst_cycles" => cfg.noc_burst_cycles = as_u32(value)?,
+                "noc_burst_flits" => cfg.noc_burst_flits = as_u32(value)?,
+                "sample_jitter_cycles" => cfg.sample_jitter_cycles = as_u32(value)?,
+                "sample_drop_rate" => cfg.sample_drop_rate = as_f64(value)?,
+                "sample_dup_rate" => cfg.sample_dup_rate = as_f64(value)?,
+                "clock_drift_ppm" => cfg.clock_drift_ppm = as_u32(value)?,
+                "clock_glitch_rate" => cfg.clock_glitch_rate = as_f64(value)?,
+                "clock_glitch_cycles" => cfg.clock_glitch_cycles = as_u32(value)?,
+                "l2_hotspot_rate" => cfg.l2_hotspot_rate = as_f64(value)?,
+                "l2_hotspot_cycles" => cfg.l2_hotspot_cycles = as_u32(value)?,
+                _ => return Err(bad("unknown override key")),
+            }
+        }
+        for rate in [
+            cfg.noc_burst_rate,
+            cfg.sample_drop_rate,
+            cfg.sample_dup_rate,
+            cfg.clock_glitch_rate,
+            cfg.l2_hotspot_rate,
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(bad("rates must lie in [0, 1]"));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Hash-domain tags keeping the four fault classes statistically
+/// independent of each other under one seed.
+mod domain {
+    pub const NOC: u64 = 0x6e6f_632d_6d75_7800; // "noc-mux"
+    pub const DROP: u64 = 0x6d65_6173_2d64_7270; // "meas-drp"
+    pub const DUP: u64 = 0x6d65_6173_2d64_7570; // "meas-dup"
+    pub const JITTER: u64 = 0x6d65_6173_2d6a_6974; // "meas-jit"
+    pub const DRIFT: u64 = 0x636c_6f63_6b2d_6466; // "clock-df"
+    pub const GLITCH: u64 = 0x636c_6f63_6b2d_676c; // "clock-gl"
+    pub const L2: u64 = 0x6c32_2d68_6f74_0000; // "l2-hot"
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// How often each fault class actually fired (evidence for tests and
+/// reports; never consulted by the decision functions themselves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Mux cycles that lost at least one flit slot to a burst.
+    pub noc_burst_cycles: u64,
+    /// Latency samples dropped before recording.
+    pub samples_dropped: u64,
+    /// Latency samples recorded twice.
+    pub samples_duplicated: u64,
+    /// Latency samples that received nonzero jitter.
+    pub samples_jittered: u64,
+    /// Clock reads taken while a glitch window was active.
+    pub glitched_clock_reads: u64,
+    /// L2 lookup cycles stalled by a hot-spot window.
+    pub l2_stall_cycles: u64,
+}
+
+/// A seeded, order-independent fault oracle shared across the simulator.
+///
+/// Construct once per simulation via [`FaultPlan::new`] and hand clones
+/// of the `Arc` to each subsystem. All probes are `&self` and lock-free;
+/// the internal counters are only observability.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    noc_burst_hits: AtomicU64,
+    drops: AtomicU64,
+    dups: AtomicU64,
+    jitters: AtomicU64,
+    glitch_reads: AtomicU64,
+    l2_stalls: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Wraps `cfg` into a shareable plan.
+    pub fn new(cfg: FaultConfig) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            ..Self::default()
+        })
+    }
+
+    /// The configuration this plan runs.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Whether this plan can ever fire.
+    pub fn is_noop(&self) -> bool {
+        self.cfg.is_noop()
+    }
+
+    #[inline]
+    fn key(&self, domain: u64, site: u64, window: u64) -> u64 {
+        splitmix64(self.cfg.seed ^ splitmix64(domain ^ splitmix64(site ^ window)))
+    }
+
+    #[inline]
+    fn chance(&self, domain: u64, site: u64, window: u64, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let u = (self.key(domain, site, window) >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Output flit slots a mux at `site` loses to background traffic at
+    /// `now`. Consumed by `ConcentratorMux::tick`.
+    pub fn burst_flits(&self, site: u64, now: u64) -> u32 {
+        if self.cfg.noc_burst_rate <= 0.0 || self.cfg.noc_burst_flits == 0 {
+            return 0;
+        }
+        let window = now / u64::from(self.cfg.noc_burst_cycles.max(1));
+        if self.chance(domain::NOC, site, window, self.cfg.noc_burst_rate) {
+            self.noc_burst_hits.fetch_add(1, Ordering::Relaxed);
+            self.cfg.noc_burst_flits
+        } else {
+            0
+        }
+    }
+
+    /// Whether the latency sample identified by `(site, sample)` is lost.
+    pub fn drop_sample(&self, site: u64, sample: u64) -> bool {
+        let hit = self.chance(domain::DROP, site, sample, self.cfg.sample_drop_rate);
+        if hit {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Whether the latency sample identified by `(site, sample)` is
+    /// recorded twice.
+    pub fn dup_sample(&self, site: u64, sample: u64) -> bool {
+        let hit = self.chance(domain::DUP, site, sample, self.cfg.sample_dup_rate);
+        if hit {
+            self.dups.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Extra cycles added to the latency sample `(site, sample)`,
+    /// uniform in `[0, sample_jitter_cycles]`.
+    pub fn sample_jitter(&self, site: u64, sample: u64) -> u64 {
+        if self.cfg.sample_jitter_cycles == 0 {
+            return 0;
+        }
+        let j =
+            self.key(domain::JITTER, site, sample) % (u64::from(self.cfg.sample_jitter_cycles) + 1);
+        if j > 0 {
+            self.jitters.fetch_add(1, Ordering::Relaxed);
+        }
+        j
+    }
+
+    /// Signed offset of `sm`'s clock at `now`: slow accumulated drift
+    /// plus a transient forward jump while a glitch window is active.
+    ///
+    /// The glitch is a *bounded, transient* offset (the clock repeats a
+    /// few values when the window closes), so a warp spinning on the
+    /// clock's masked low bits is delayed by at most one mask period —
+    /// never wedged.
+    pub fn clock_offset(&self, sm: u64, now: u64) -> i64 {
+        let mut off: i64 = 0;
+        if self.cfg.clock_drift_ppm > 0 {
+            let drift = (now / 1_000_000 * u64::from(self.cfg.clock_drift_ppm))
+                .wrapping_add(now % 1_000_000 * u64::from(self.cfg.clock_drift_ppm) / 1_000_000)
+                as i64;
+            // Direction is a fixed per-SM coin flip.
+            if self.key(domain::DRIFT, sm, 0) & 1 == 0 {
+                off += drift;
+            } else {
+                off -= drift;
+            }
+        }
+        if self.cfg.clock_glitch_rate > 0.0 && self.cfg.clock_glitch_cycles > 0 {
+            let window = now >> 10;
+            if self.chance(domain::GLITCH, sm, window, self.cfg.clock_glitch_rate) {
+                self.glitch_reads.fetch_add(1, Ordering::Relaxed);
+                off += i64::from(self.cfg.clock_glitch_cycles);
+            }
+        }
+        off
+    }
+
+    /// Whether the L2 slice at `site` must stall its lookup stage at
+    /// `now` (hot-spot window).
+    pub fn l2_stall(&self, site: u64, now: u64) -> bool {
+        if self.cfg.l2_hotspot_rate <= 0.0 {
+            return false;
+        }
+        let window = now / u64::from(self.cfg.l2_hotspot_cycles.max(1));
+        let hit = self.chance(domain::L2, site, window, self.cfg.l2_hotspot_rate);
+        if hit {
+            self.l2_stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Snapshot of how often each fault class fired so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            noc_burst_cycles: self.noc_burst_hits.load(Ordering::Relaxed),
+            samples_dropped: self.drops.load(Ordering::Relaxed),
+            samples_duplicated: self.dups.load(Ordering::Relaxed),
+            samples_jittered: self.jitters.load(Ordering::Relaxed),
+            glitched_clock_reads: self.glitch_reads.load(Ordering::Relaxed),
+            l2_stall_cycles: self.l2_stalls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_plan_never_fires() {
+        let plan = FaultPlan::new(FaultConfig::off());
+        assert!(plan.is_noop());
+        for t in 0..10_000 {
+            assert_eq!(plan.burst_flits(1, t), 0);
+            assert!(!plan.drop_sample(1, t));
+            assert!(!plan.dup_sample(1, t));
+            assert_eq!(plan.sample_jitter(1, t), 0);
+            assert_eq!(plan.clock_offset(1, t), 0);
+            assert!(!plan.l2_stall(1, t));
+        }
+        assert_eq!(plan.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn decisions_are_order_independent_and_seed_deterministic() {
+        let a = FaultPlan::new(FaultConfig::severe().with_seed(9));
+        let b = FaultPlan::new(FaultConfig::severe().with_seed(9));
+        // Probe `a` forwards and `b` backwards: identical answers.
+        let fwd: Vec<bool> = (0..4096).map(|t| a.drop_sample(3, t)).collect();
+        let bwd: Vec<bool> = (0..4096).rev().map(|t| b.drop_sample(3, t)).collect();
+        let bwd: Vec<bool> = bwd.into_iter().rev().collect();
+        assert_eq!(fwd, bwd);
+        // A different seed changes the pattern.
+        let c = FaultPlan::new(FaultConfig::severe().with_seed(10));
+        let other: Vec<bool> = (0..4096).map(|t| c.drop_sample(3, t)).collect();
+        assert_ne!(fwd, other);
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plan = FaultPlan::new(FaultConfig {
+            sample_drop_rate: 0.25,
+            ..FaultConfig::off()
+        });
+        let n = 100_000;
+        let hits = (0..n).filter(|&t| plan.drop_sample(0, t)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.23..0.27).contains(&frac), "drop fraction {frac}");
+    }
+
+    #[test]
+    fn burst_windows_are_contiguous() {
+        let cfg = FaultConfig {
+            noc_burst_rate: 0.5,
+            noc_burst_cycles: 64,
+            noc_burst_flits: 2,
+            ..FaultConfig::off()
+        };
+        let plan = FaultPlan::new(cfg);
+        // Within one window the answer never changes.
+        for w in 0..64u64 {
+            let base = w * 64;
+            let first = plan.burst_flits(7, base);
+            for t in base..base + 64 {
+                assert_eq!(plan.burst_flits(7, t), first);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_accumulates_and_keeps_per_sm_sign() {
+        let plan = FaultPlan::new(FaultConfig {
+            clock_drift_ppm: 100,
+            ..FaultConfig::off()
+        });
+        let sm = 4u64;
+        let early = plan.clock_offset(sm, 1_000_000);
+        let late = plan.clock_offset(sm, 10_000_000);
+        assert_eq!(early.abs(), 100);
+        assert_eq!(late.abs(), 1000);
+        assert_eq!(early.signum(), late.signum());
+    }
+
+    #[test]
+    fn parse_presets_and_overrides() {
+        assert_eq!(FaultConfig::parse("off").unwrap(), FaultConfig::off());
+        assert_eq!(FaultConfig::parse("mild").unwrap(), FaultConfig::mild());
+        let seeded = FaultConfig::parse("severe@77").unwrap();
+        assert_eq!(seeded, FaultConfig::severe().with_seed(77));
+        let custom =
+            FaultConfig::parse("moderate@3,sample_drop_rate=0.5,noc_burst_flits=4").unwrap();
+        assert_eq!(custom.seed, 3);
+        assert!((custom.sample_drop_rate - 0.5).abs() < 1e-12);
+        assert_eq!(custom.noc_burst_flits, 4);
+        assert!(FaultConfig::parse("bogus").is_err());
+        assert!(FaultConfig::parse("mild,what=1").is_err());
+        assert!(FaultConfig::parse("mild,sample_drop_rate=2.0").is_err());
+        assert!(FaultConfig::parse("mild@x").is_err());
+    }
+
+    #[test]
+    fn stats_count_fired_faults() {
+        let plan = FaultPlan::new(FaultConfig::severe().with_seed(1));
+        for t in 0..10_000u64 {
+            let _ = plan.burst_flits(0, t);
+            let _ = plan.drop_sample(0, t);
+            let _ = plan.dup_sample(0, t);
+            let _ = plan.sample_jitter(0, t);
+            let _ = plan.clock_offset(0, t);
+            let _ = plan.l2_stall(0, t);
+        }
+        let stats = plan.stats();
+        assert!(stats.noc_burst_cycles > 0);
+        assert!(stats.samples_dropped > 0);
+        assert!(stats.samples_duplicated > 0);
+        assert!(stats.samples_jittered > 0);
+        assert!(stats.l2_stall_cycles > 0);
+    }
+}

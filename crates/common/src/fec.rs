@@ -15,8 +15,43 @@ use serde::{Deserialize, Serialize};
 pub struct FecDecode {
     /// The recovered payload bits.
     pub payload: BitVec,
-    /// Blocks in which a (correctable) single-bit error was fixed.
+    /// Full 7-bit blocks in which a (correctable) single-bit error was
+    /// fixed. Truncated blocks never count here — a zero-filled partial
+    /// block routinely produces a nonzero syndrome that is an artifact
+    /// of the missing bits, not a corrected channel error.
     pub corrected_blocks: usize,
+    /// Blocks that arrived with fewer than 7 channel bits.
+    pub truncated_blocks: usize,
+    /// Channel bits that were erased (marked unreliable by the decoder)
+    /// or missing entirely (stream truncation).
+    pub erased_bits: usize,
+}
+
+/// One received channel symbol: a hard bit or an erasure.
+///
+/// Erasures carry *location* information that plain bit flips lack:
+/// Hamming(7,4) (minimum distance 3) corrects any **two** erasures per
+/// block but only **one** unknown-position flip, so a demodulator that
+/// marks its low-confidence slots instead of guessing doubles the
+/// per-block error budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FecSymbol {
+    /// A confidently demodulated 0.
+    Zero,
+    /// A confidently demodulated 1.
+    One,
+    /// A slot whose value the demodulator refuses to guess.
+    Erased,
+}
+
+impl From<bool> for FecSymbol {
+    fn from(b: bool) -> Self {
+        if b {
+            Self::One
+        } else {
+            Self::Zero
+        }
+    }
 }
 
 /// Hamming(7,4) block positions: bits 1..=7, parity at 1, 2, 4
@@ -69,28 +104,99 @@ pub fn fec_encode(payload: &BitVec) -> BitVec {
 /// Decodes a Hamming(7,4) stream, correcting up to one bit error per
 /// 7-bit block, and truncates to `payload_len` bits.
 ///
-/// Blocks shorter than 7 bits (truncated stream) are zero-filled, which
-/// surfaces as payload errors rather than a panic.
+/// Blocks shorter than 7 bits (truncated stream) are decoded as if
+/// their missing bits were erasures — reported through
+/// [`FecDecode::truncated_blocks`] / [`FecDecode::erased_bits`] — and
+/// never contribute to [`FecDecode::corrected_blocks`].
 pub fn fec_decode(coded: &BitVec, payload_len: usize) -> FecDecode {
+    let symbols: Vec<FecSymbol> = coded.iter().map(FecSymbol::from).collect();
+    fec_decode_symbols(&symbols, payload_len)
+}
+
+fn syndrome_of(block: &[bool; 8]) -> usize {
+    let mut syndrome = 0usize;
+    for (pi, set) in parity_sets().iter().enumerate() {
+        let parity = set.iter().fold(false, |acc, &pos| acc ^ block[pos]);
+        if parity {
+            syndrome |= 1 << pi;
+        }
+    }
+    syndrome
+}
+
+/// Decodes a Hamming(7,4) symbol stream with erasure support.
+///
+/// Per 7-symbol block (missing trailing symbols of a truncated stream
+/// count as erased):
+///
+/// * no erasures — classic syndrome decode, up to one flip corrected;
+/// * 1–2 erasures — the erased positions are re-derived from the code
+///   structure: exactly one filling yields a valid codeword when the
+///   surviving symbols are error-free. If none does (an additional flip
+///   is present), the decoder falls back to zero-fill plus syndrome
+///   correction as a best effort;
+/// * 3+ erasures — beyond the code's guarantee; zero-fill best effort.
+///
+/// Corrections are only counted for full blocks, and every consumed
+/// erasure is tallied in [`FecDecode::erased_bits`].
+pub fn fec_decode_symbols(coded: &[FecSymbol], payload_len: usize) -> FecDecode {
     let mut payload = BitVec::new();
     let mut corrected_blocks = 0;
-    let bits = coded.as_slice();
-    for chunk in bits.chunks(7) {
-        let mut block = [false; 8];
-        for (i, &b) in chunk.iter().enumerate() {
-            block[i + 1] = b;
+    let mut truncated_blocks = 0;
+    let mut erased_bits = 0;
+    for chunk in coded.chunks(7) {
+        let full = chunk.len() == 7;
+        if !full {
+            truncated_blocks += 1;
         }
-        // Syndrome: which parity checks fail.
-        let mut syndrome = 0usize;
-        for (pi, set) in parity_sets().iter().enumerate() {
-            let parity = set.iter().fold(false, |acc, &pos| acc ^ block[pos]);
-            if parity {
-                syndrome |= 1 << pi;
+        let mut block = [false; 8];
+        let mut erased: Vec<usize> = Vec::new();
+        for (pos, slot) in block.iter_mut().enumerate().skip(1) {
+            match chunk.get(pos - 1) {
+                Some(FecSymbol::Zero) => {}
+                Some(FecSymbol::One) => *slot = true,
+                Some(FecSymbol::Erased) | None => erased.push(pos),
             }
         }
-        if syndrome != 0 && syndrome <= 7 {
-            block[syndrome] = !block[syndrome];
-            corrected_blocks += 1;
+        erased_bits += erased.len();
+        if erased.is_empty() {
+            let syndrome = syndrome_of(&block);
+            if syndrome != 0 {
+                block[syndrome] = !block[syndrome];
+                corrected_blocks += 1;
+            }
+        } else if erased.len() <= 2 {
+            // Try every filling of the erased positions; a codeword
+            // match (zero syndrome) is unique and exact.
+            let mut solved = false;
+            for mask in 0..(1u32 << erased.len()) {
+                let mut candidate = block;
+                for (bit, &pos) in erased.iter().enumerate() {
+                    candidate[pos] = mask & (1 << bit) != 0;
+                }
+                if syndrome_of(&candidate) == 0 {
+                    block = candidate;
+                    solved = true;
+                    break;
+                }
+            }
+            if !solved {
+                // Erasures plus at least one flip: best effort.
+                let syndrome = syndrome_of(&block);
+                if syndrome != 0 {
+                    block[syndrome] = !block[syndrome];
+                    if full {
+                        corrected_blocks += 1;
+                    }
+                }
+            }
+        } else {
+            // Too many erasures for the code; zero-fill best effort
+            // without claiming a correction.
+            let syndrome = syndrome_of(&block);
+            if syndrome != 0 {
+                block[syndrome] = !block[syndrome];
+            }
         }
         payload.push(block[3]);
         payload.push(block[5]);
@@ -101,6 +207,8 @@ pub fn fec_decode(coded: &BitVec, payload_len: usize) -> FecDecode {
     FecDecode {
         payload: truncated,
         corrected_blocks,
+        truncated_blocks,
+        erased_bits,
     }
 }
 
@@ -133,12 +241,13 @@ mod tests {
         let payload = BitVec::random(&mut rng, 32);
         let coded = fec_encode(&payload);
         for flip in 0..coded.len() {
-            let corrupted = BitVec::from_bits(
-                coded
-                    .iter()
-                    .enumerate()
-                    .map(|(i, b)| if i == flip { !b } else { b }),
-            );
+            let corrupted =
+                BitVec::from_bits(
+                    coded
+                        .iter()
+                        .enumerate()
+                        .map(|(i, b)| if i == flip { !b } else { b }),
+                );
             let out = fec_decode(&corrupted, payload.len());
             assert_eq!(out.payload, payload, "flip at {flip} not corrected");
             assert_eq!(out.corrected_blocks, 1);
@@ -149,12 +258,13 @@ mod tests {
     fn double_errors_in_one_block_are_not_corrected() {
         let payload = BitVec::from_bits([true, false, true, true]);
         let coded = fec_encode(&payload);
-        let corrupted = BitVec::from_bits(
-            coded
-                .iter()
-                .enumerate()
-                .map(|(i, b)| if i <= 1 { !b } else { b }),
-        );
+        let corrupted =
+            BitVec::from_bits(
+                coded
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| if i <= 1 { !b } else { b }),
+            );
         let out = fec_decode(&corrupted, payload.len());
         assert_ne!(out.payload, payload, "two errors must defeat Hamming(7,4)");
     }
@@ -166,6 +276,83 @@ mod tests {
         let cut = BitVec::from_bits(coded.iter().take(10));
         let out = fec_decode(&cut, 8);
         assert_eq!(out.payload.len(), 8);
+        // The partial block is surfaced, not silently "corrected".
+        assert_eq!(out.truncated_blocks, 1);
+        assert_eq!(out.erased_bits, 4);
+        assert_eq!(out.corrected_blocks, 0);
+    }
+
+    #[test]
+    fn truncation_never_counts_as_correction() {
+        let mut rng = experiment_rng("fec", 3);
+        let payload = BitVec::random(&mut rng, 40);
+        let coded = fec_encode(&payload);
+        for cut_at in 1..coded.len() {
+            let cut = BitVec::from_bits(coded.iter().take(cut_at));
+            let out = fec_decode(&cut, payload.len());
+            let full_blocks = cut_at / 7;
+            assert!(
+                out.corrected_blocks <= full_blocks,
+                "cut at {cut_at}: {} corrections claimed over {} full blocks",
+                out.corrected_blocks,
+                full_blocks
+            );
+            // A clean-but-cut stream has no errors in its full blocks.
+            assert_eq!(out.corrected_blocks, 0, "cut at {cut_at}");
+            assert_eq!(out.truncated_blocks, usize::from(cut_at % 7 != 0));
+        }
+    }
+
+    #[test]
+    fn two_erasures_per_block_decode_exactly() {
+        let mut rng = experiment_rng("fec", 4);
+        let payload = BitVec::random(&mut rng, 32);
+        let coded = fec_encode(&payload);
+        // Erase two symbols in every block: still byte-exact.
+        for (e1, e2) in [(0usize, 1usize), (2, 5), (3, 6), (4, 5)] {
+            let symbols: Vec<FecSymbol> = coded
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    if i % 7 == e1 || i % 7 == e2 {
+                        FecSymbol::Erased
+                    } else {
+                        FecSymbol::from(b)
+                    }
+                })
+                .collect();
+            let out = fec_decode_symbols(&symbols, payload.len());
+            assert_eq!(out.payload, payload, "erasures at {e1},{e2}");
+            assert_eq!(out.corrected_blocks, 0);
+            assert_eq!(out.erased_bits, 2 * coded.len() / 7);
+        }
+    }
+
+    #[test]
+    fn erasures_beat_hard_decisions_on_the_same_damage() {
+        // Flip two bits per block (defeats hard-decision Hamming) vs
+        // erasing the same two positions (decodes exactly).
+        let payload = BitVec::from_bits([true, false, true, true]);
+        let coded = fec_encode(&payload);
+        let flipped = BitVec::from_bits(
+            coded
+                .iter()
+                .enumerate()
+                .map(|(i, b)| if i <= 1 { !b } else { b }),
+        );
+        assert_ne!(fec_decode(&flipped, 4).payload, payload);
+        let erased: Vec<FecSymbol> = coded
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                if i <= 1 {
+                    FecSymbol::Erased
+                } else {
+                    FecSymbol::from(b)
+                }
+            })
+            .collect();
+        assert_eq!(fec_decode_symbols(&erased, 4).payload, payload);
     }
 
     #[test]
@@ -177,11 +364,8 @@ mod tests {
         let payload = BitVec::random(&mut rng, 400);
         let coded = fec_encode(&payload);
         for (raw, budget) in [(0.02, 0.015), (0.03, 0.025)] {
-            let corrupted = BitVec::from_bits(
-                coded
-                    .iter()
-                    .map(|b| if rng.gen_bool(raw) { !b } else { b }),
-            );
+            let corrupted =
+                BitVec::from_bits(coded.iter().map(|b| if rng.gen_bool(raw) { !b } else { b }));
             let out = fec_decode(&corrupted, payload.len());
             let residual = out.payload.bit_error_rate(&payload);
             assert!(

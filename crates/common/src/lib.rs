@@ -14,6 +14,9 @@
 //!   (packing, unpacking, bit-error-rate computation).
 //! * [`fec`] — Hamming(7,4) forward error correction, so fast-but-noisy
 //!   channel operating points still deliver byte-exact payloads.
+//! * [`fault`] — deterministic, seeded fault injection consumed by the
+//!   NoC muxes, the measurement path, the clock domain, and the L2
+//!   slices to study the channel under realistic interference.
 //! * [`rng`] — deterministic random number generation so experiments are
 //!   reproducible run-to-run.
 //!
@@ -32,6 +35,7 @@
 pub mod bits;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod fec;
 pub mod ids;
 pub mod rng;
@@ -45,4 +49,5 @@ pub mod stats;
 pub type Cycle = u64;
 
 pub use config::GpuConfig;
-pub use error::{ConfigError, Result};
+pub use error::{ConfigError, Result, SimError};
+pub use fault::{FaultConfig, FaultPlan, FaultStats};

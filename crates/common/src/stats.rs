@@ -110,8 +110,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -231,8 +231,7 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
         let s: OnlineStats = xs.iter().copied().collect();
         let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let naive_var =
-            xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        let naive_var = xs.iter().map(|x| (x - naive_mean).powi(2)).sum::<f64>() / xs.len() as f64;
         assert!((s.mean() - naive_mean).abs() < 1e-10);
         assert!((s.population_variance() - naive_var).abs() < 1e-10);
     }

@@ -377,8 +377,7 @@ mod tests {
         let cfg = GpuConfig::volta_v100();
         let pp = PrimeProbeChannel::default();
         let pp_bw = cfg.core_clock_hz as f64 / f64::from(pp.slot_cycles);
-        let noc_multi =
-            crate::protocol::ProtocolConfig::tpc(5).bits_per_second(&cfg) / 2.0 * 40.0;
+        let noc_multi = crate::protocol::ProtocolConfig::tpc(5).bits_per_second(&cfg) / 2.0 * 40.0;
         assert!(
             noc_multi > pp_bw * 10.0,
             "NoC {noc_bw} vs prime+probe {pp_bw}",

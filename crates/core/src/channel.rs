@@ -13,6 +13,7 @@ use crate::protocol::{
     SENDER_BASE,
 };
 use gnc_common::bits::BitVec;
+use gnc_common::fec::FecSymbol;
 use gnc_common::ids::{KernelId, StreamId, TpcId};
 use gnc_common::{Cycle, GpuConfig};
 use gnc_sim::gpu::Gpu;
@@ -50,6 +51,39 @@ pub struct ChannelOutcome {
     pub errors: usize,
 }
 
+/// Why a transmission that still delivered data is not pristine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationReason {
+    /// Residual bit errors survived in the delivered payload.
+    BitErrors,
+    /// Latency samples were missing (short trace, dropped measurements);
+    /// the decoder had to pad or erase.
+    SamplesMissing,
+    /// The FEC layer had to correct blocks or consume erasures.
+    FecCorrected,
+    /// The payload only got through after at least one retransmission.
+    Retransmitted,
+}
+
+/// Terminal state of a transmission attempt (or retry loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransmissionOutcome {
+    /// Delivered with zero bit errors and a complete trace.
+    Clean,
+    /// Delivered, but something had to be repaired along the way.
+    Degraded(DegradationReason),
+    /// Not delivered: the run timed out, the trace was unusable, or the
+    /// error rate is indistinguishable from guessing.
+    Failed,
+}
+
+impl TransmissionOutcome {
+    /// Whether the payload made it across (possibly degraded).
+    pub fn is_delivered(self) -> bool {
+        !matches!(self, Self::Failed)
+    }
+}
+
 /// Aggregate outcome of one transmission.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TransmissionReport {
@@ -73,6 +107,26 @@ pub struct TransmissionReport {
     pub channels_used: usize,
     /// Per-channel details.
     pub per_channel: Vec<ChannelOutcome>,
+    /// Health classification of this transmission.
+    pub outcome: TransmissionOutcome,
+}
+
+/// The raw tagged measurement stream of one channel, before any
+/// decoding. `samples` preserves arrival order, duplicate tags and all —
+/// the robust decoder ([`crate::robust`]) needs exactly this to undo
+/// measurement-path damage that the naive slot-ordered view bakes in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelTrace {
+    /// The channel's label.
+    pub label: String,
+    /// Receiving SM.
+    pub receiver_sm: usize,
+    /// `(slot tag, measured latency)` pairs in arrival order.
+    pub samples: Vec<(u32, u64)>,
+    /// Slots the sender actually modulated (preamble + chunk).
+    pub expected_samples: usize,
+    /// Ground-truth payload chunk this channel carried.
+    pub chunk: Vec<bool>,
 }
 
 /// A set of parallel covert channels under one protocol.
@@ -207,6 +261,23 @@ impl ChannelPlan {
         self.transmit_on(&mut gpu, payload, seed)
     }
 
+    /// [`transmit`](Self::transmit) on a GPU with a fault-injection plan
+    /// wired in (see [`Gpu::with_faults`]). Returns the naive-decoded
+    /// report *and* the raw per-channel traces so callers can run the
+    /// hardened decoder of [`crate::robust`] over the very same
+    /// measurements.
+    pub fn transmit_with_faults(
+        &self,
+        gpu_cfg: &GpuConfig,
+        payload: &BitVec,
+        seed: u64,
+        plan: &std::sync::Arc<gnc_common::fault::FaultPlan>,
+    ) -> (TransmissionReport, Vec<ChannelTrace>) {
+        let mut gpu = Gpu::with_faults(gpu_cfg.clone(), seed, std::sync::Arc::clone(plan))
+            .expect("valid GPU config");
+        self.transmit_inner(&mut gpu, payload, seed, 0)
+    }
+
     /// MPS-style multiprogramming (§2.1): the trojan and spy come from
     /// *different processes*, so their kernels launch `skew_cycles`
     /// apart. As the paper observes, the only cost is the one-time
@@ -220,18 +291,24 @@ impl ChannelPlan {
         skew_cycles: Cycle,
     ) -> TransmissionReport {
         let mut gpu = Gpu::with_clock_seed(gpu_cfg.clone(), seed).expect("valid GPU config");
-        self.transmit_inner(&mut gpu, payload, seed, skew_cycles)
+        self.transmit_inner(&mut gpu, payload, seed, skew_cycles).0
     }
 
     /// Runs one full transmission on an existing GPU (lets callers
     /// pre-configure arbitration, noise kernels, etc.). The GPU should be
     /// idle; records are cleared.
-    pub fn transmit_on(
+    pub fn transmit_on(&self, gpu: &mut Gpu, payload: &BitVec, seed: u64) -> TransmissionReport {
+        self.transmit_inner(gpu, payload, seed, 0).0
+    }
+
+    /// [`transmit_on`](Self::transmit_on), additionally returning the
+    /// raw per-channel traces for external (re-)decoding.
+    pub fn transmit_traced_on(
         &self,
         gpu: &mut Gpu,
         payload: &BitVec,
         seed: u64,
-    ) -> TransmissionReport {
+    ) -> (TransmissionReport, Vec<ChannelTrace>) {
         self.transmit_inner(gpu, payload, seed, 0)
     }
 
@@ -241,7 +318,7 @@ impl ChannelPlan {
         payload: &BitVec,
         seed: u64,
         launch_skew: Cycle,
-    ) -> TransmissionReport {
+    ) -> (TransmissionReport, Vec<ChannelTrace>) {
         let gpu_cfg = gpu.config().clone();
         let line_bytes = u64::from(gpu_cfg.mem.line_bytes);
         gpu.clear_records();
@@ -296,9 +373,10 @@ impl ChannelPlan {
             + (stream_bits as u64 + 4) * u64::from(self.proto.slot_cycles) * 6
             + 200_000;
         let outcome = gpu.run_until_idle(budget);
-        debug_assert!(outcome.is_idle(), "transmission did not finish: {outcome:?}");
-
-        self.decode(gpu, receiver_id, payload, &chunks)
+        // A run that never drains (e.g. a jammed NoC) is not a panic —
+        // it decodes whatever the receiver managed to record, and the
+        // report's outcome field says `Failed`.
+        self.decode(gpu, receiver_id, payload, &chunks, outcome.is_idle())
     }
 
     fn decode(
@@ -307,7 +385,8 @@ impl ChannelPlan {
         receiver_id: KernelId,
         payload: &BitVec,
         chunks: &[Vec<bool>],
-    ) -> TransmissionReport {
+        completed: bool,
+    ) -> (TransmissionReport, Vec<ChannelTrace>) {
         let gpu_cfg = gpu.config();
         // Collect per-receiver-SM latencies in slot order.
         let mut by_sm: HashMap<usize, Vec<(u32, u64, Cycle)>> = HashMap::new();
@@ -323,15 +402,25 @@ impl ChannelPlan {
         }
 
         let mut per_channel = Vec::with_capacity(self.channels.len());
+        let mut traces = Vec::with_capacity(self.channels.len());
+        let mut short_trace = false;
         for (spec, chunk) in self.channels.iter().zip(chunks) {
-            let mut slots = by_sm.remove(&spec.receiver_sm).unwrap_or_default();
+            let arrival = by_sm.remove(&spec.receiver_sm).unwrap_or_default();
+            traces.push(ChannelTrace {
+                label: spec.label.clone(),
+                receiver_sm: spec.receiver_sm,
+                samples: arrival.iter().map(|&(tag, v, _)| (tag, v)).collect(),
+                expected_samples: self.proto.preamble_bits + chunk.len(),
+                chunk: chunk.clone(),
+            });
+            let mut slots = arrival;
             slots.sort_by_key(|&(tag, _, _)| tag);
             let latencies: Vec<u64> = slots.iter().map(|&(_, v, _)| v).collect();
-            let (threshold, decoded_bits) = decode_stream(
-                &latencies,
-                self.proto.preamble_bits,
-                chunk.len(),
-            );
+            if latencies.len() < self.proto.preamble_bits + chunk.len() {
+                short_trace = true;
+            }
+            let (threshold, decoded_bits) =
+                decode_stream(&latencies, self.proto.preamble_bits, chunk.len());
             let sent = BitVec::from_bits(chunk.iter().copied());
             let decoded = BitVec::from_bits(decoded_bits);
             let errors = decoded.hamming_distance(&sent);
@@ -364,12 +453,18 @@ impl ChannelPlan {
         } else {
             last_cycle - first_cycle + u64::from(self.proto.slot_cycles)
         };
-        let total_bits: usize = per_channel
-            .iter()
-            .map(|c| c.latencies.len())
-            .sum();
+        let total_bits: usize = per_channel.iter().map(|c| c.latencies.len()).sum();
         let secs = gpu_cfg.cycles_to_seconds(elapsed_cycles.max(1));
-        TransmissionReport {
+        let outcome = if !completed || error_rate > 0.25 {
+            TransmissionOutcome::Failed
+        } else if errors == 0 && !short_trace {
+            TransmissionOutcome::Clean
+        } else if short_trace {
+            TransmissionOutcome::Degraded(DegradationReason::SamplesMissing)
+        } else {
+            TransmissionOutcome::Degraded(DegradationReason::BitErrors)
+        };
+        let report = TransmissionReport {
             sent: payload.clone(),
             received,
             errors,
@@ -379,7 +474,9 @@ impl ChannelPlan {
             payload_bandwidth_bps: payload.len() as f64 / secs,
             channels_used: n,
             per_channel,
-        }
+            outcome,
+        };
+        (report, traces)
     }
 }
 
@@ -391,11 +488,36 @@ impl ChannelPlan {
 /// latencies. A dead channel yields a degenerate threshold and the
 /// decoded bits collapse to one value — i.e. ~50 % error on random data,
 /// which is exactly how Fig 13 reports a failed channel.
+///
+/// The returned bit vector is **always exactly `payload_len` long**: a
+/// trace shorter than `preamble_bits + payload_len` (the receiver kernel
+/// died early, or the measurement path lost samples) is padded with
+/// `false` so downstream de-striping and error accounting stay aligned.
+/// Callers that can exploit the distinction between "measured 0" and
+/// "never measured" should use [`decode_stream_symbols`], which marks
+/// the padded tail as explicit erasures instead of guessing.
 pub fn decode_stream(
     latencies: &[u64],
     preamble_bits: usize,
     payload_len: usize,
 ) -> (f64, Vec<bool>) {
+    let (threshold, symbols) = decode_stream_symbols(latencies, preamble_bits, payload_len);
+    let bits = symbols
+        .into_iter()
+        .map(|s| matches!(s, FecSymbol::One))
+        .collect();
+    (threshold, bits)
+}
+
+/// [`decode_stream`] with erasure-aware output: slots past the end of a
+/// short trace come back as [`FecSymbol::Erased`] rather than a guessed
+/// `0`, so an FEC layer can treat them as located losses. The result
+/// always holds exactly `payload_len` symbols.
+pub fn decode_stream_symbols(
+    latencies: &[u64],
+    preamble_bits: usize,
+    payload_len: usize,
+) -> (f64, Vec<FecSymbol>) {
     let pre = &latencies[..preamble_bits.min(latencies.len())];
     let mut quiet = 0.0;
     let mut quiet_n = 0.0;
@@ -413,13 +535,14 @@ pub fn decode_stream(
     let quiet_mean = if quiet_n > 0.0 { quiet / quiet_n } else { 0.0 };
     let loud_mean = if loud_n > 0.0 { loud / loud_n } else { 0.0 };
     let threshold = (quiet_mean + loud_mean) / 2.0;
-    let payload = latencies
+    let mut symbols: Vec<FecSymbol> = latencies
         .iter()
         .skip(preamble_bits)
         .take(payload_len)
-        .map(|&l| (l as f64) > threshold)
+        .map(|&l| FecSymbol::from((l as f64) > threshold))
         .collect();
-    (threshold, payload)
+    symbols.resize(payload_len, FecSymbol::Erased);
+    (threshold, symbols)
 }
 
 #[cfg(test)]

@@ -90,6 +90,7 @@ pub fn gpc_contention(
 /// Runs the probe kernel concurrently with an interferer that issues a
 /// fraction of the probe's traffic, returning the probe's execution time
 /// (the Fig 8 / Fig 11 primitive).
+#[allow(clippy::too_many_arguments)]
 pub fn probe_with_interferer(
     cfg: &GpuConfig,
     probe_sm: usize,
@@ -376,7 +377,10 @@ mod tests {
             "write n=7 slowdown {}",
             c.write_slowdown[6]
         );
-        assert!(c.write_slowdown[6] > 1.05, "writes should show mild contention");
+        assert!(
+            c.write_slowdown[6] > 1.05,
+            "writes should show mild contention"
+        );
     }
 
     #[test]
@@ -437,14 +441,22 @@ mod tests {
         // not. Per sender SM, the GPC slope is much shallower than the
         // TPC channel's 1+f (five senders produce less than five TPC
         // siblings' worth of slowdown — the speedup absorbs most of it).
-        assert!(same[1].normalized > diff[1].normalized + 0.03,
-            "same {} vs diff {}", same[1].normalized, diff[1].normalized);
+        assert!(
+            same[1].normalized > diff[1].normalized + 0.03,
+            "same {} vs diff {}",
+            same[1].normalized,
+            diff[1].normalized
+        );
         let per_sender_slope = (same[1].normalized - 1.0) / 5.0;
         assert!(
             per_sender_slope < 0.6,
             "per-sender GPC slope {per_sender_slope} not shallower than TPC's ~1.0"
         );
-        assert!(diff[1].normalized < 1.1, "different-GPC must be flat: {}", diff[1].normalized);
+        assert!(
+            diff[1].normalized < 1.1,
+            "different-GPC must be flat: {}",
+            diff[1].normalized
+        );
     }
 
     #[test]
@@ -464,7 +476,11 @@ mod tests {
     fn third_kernel_raises_error_via_l2_eviction() {
         let cfg = volta();
         let impact = third_kernel_noise(&cfg, 24, 9);
-        assert!(impact.clean_error < 0.05, "clean error {}", impact.clean_error);
+        assert!(
+            impact.clean_error < 0.05,
+            "clean error {}",
+            impact.clean_error
+        );
         assert!(
             impact.noisy_error > impact.clean_error,
             "third kernel should hurt: clean {} noisy {}",

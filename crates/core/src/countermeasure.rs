@@ -62,7 +62,10 @@ pub fn arbitration_sweep(
         .map(|&policy| {
             let mut cfg = cfg.clone();
             cfg.noc.arbitration = policy;
-            (policy, leakage_sweep(&cfg, 1, fractions, probe_batches, seed))
+            (
+                policy,
+                leakage_sweep(&cfg, 1, fractions, probe_batches, seed),
+            )
         })
         .collect();
     ArbitrationSweep { curves }
@@ -168,8 +171,16 @@ mod tests {
         let crr = curve(Arbitration::CoarseRoundRobin);
         let srr = curve(Arbitration::StrictRoundRobin);
         // RR and CRR: ≈ 1 + f.
-        assert!((rr[1].normalized - 2.0).abs() < 0.25, "RR {}", rr[1].normalized);
-        assert!((crr[1].normalized - 2.0).abs() < 0.25, "CRR {}", crr[1].normalized);
+        assert!(
+            (rr[1].normalized - 2.0).abs() < 0.25,
+            "RR {}",
+            rr[1].normalized
+        );
+        assert!(
+            (crr[1].normalized - 2.0).abs() < 0.25,
+            "CRR {}",
+            crr[1].normalized
+        );
         // SRR: flat to within ~10 % — the request-channel observable is
         // gone (a small residue remains through the unsecured write-ack
         // reply path, which the paper's request-side SRR also leaves).
@@ -213,8 +224,7 @@ mod tests {
         let cfg = volta();
         let baseline =
             channel_error_under_scheduler(&cfg, SchedulerPolicy::PaperInterleaved, 32, 5);
-        let isolated =
-            channel_error_under_scheduler(&cfg, SchedulerPolicy::StreamIsolated, 32, 5);
+        let isolated = channel_error_under_scheduler(&cfg, SchedulerPolicy::StreamIsolated, 32, 5);
         assert!(baseline < 0.05, "baseline error {baseline}");
         assert!(
             isolated > 0.30,

@@ -96,7 +96,12 @@ impl MultiLevelChannel {
         let mut levels: Vec<u32> = (0..self.preamble_symbols)
             .map(|i| SYMBOL_LEVELS[i % 4])
             .collect();
-        levels.extend(symbols.as_slice().iter().map(|&s| SYMBOL_LEVELS[s as usize]));
+        levels.extend(
+            symbols
+                .as_slice()
+                .iter()
+                .map(|&s| SYMBOL_LEVELS[s as usize]),
+        );
         let n_slots = levels.len();
         let levels = Arc::new(levels);
         let mut level_map = HashMap::new();
@@ -128,7 +133,10 @@ impl MultiLevelChannel {
             + (n_slots as u64 + 4) * u64::from(self.proto.slot_cycles) * 2
             + 50_000;
         let outcome = gpu.run_until_idle(budget);
-        debug_assert!(outcome.is_idle(), "transmission did not finish: {outcome:?}");
+        debug_assert!(
+            outcome.is_idle(),
+            "transmission did not finish: {outcome:?}"
+        );
 
         // Collect latencies in slot order.
         let mut slots: Vec<(u32, u64, Cycle)> = gpu

@@ -16,6 +16,9 @@
 //!   multi-channel striping, transmission, decoding, and reporting
 //!   (Figs 9, 10, 13).
 //! * [`encoding`] — the multi-level (2-bit) extension (§5, Fig 14).
+//! * [`robust`] — the noise-hardened receiver: adaptive windowed
+//!   thresholds, erasure-aware FEC, and a CRC-framed ACK/NACK
+//!   retransmission loop for fault-injected runs.
 //! * [`sidechannel`] — the §5 side-channel sketch: a spy metering a
 //!   victim's L2 access intensity through NoC contention alone.
 //! * [`baseline`] — the prior-art comparator: a serial L2 prime+probe
@@ -50,8 +53,15 @@ pub mod encoding;
 pub mod metrics;
 pub mod protocol;
 pub mod reverse;
+pub mod robust;
 pub mod sidechannel;
 pub mod sync;
 
-pub use channel::{ChannelPlan, TransmissionReport};
+pub use channel::{
+    ChannelPlan, ChannelTrace, DegradationReason, TransmissionOutcome, TransmissionReport,
+};
 pub use protocol::{ChannelKind, ProtocolConfig, SyncMode};
+pub use robust::{
+    adaptive_decode, compare_decoders, deliver, transmit_reliable, AdaptiveDecode,
+    DecoderComparison, ReliableReport, RobustOptions,
+};

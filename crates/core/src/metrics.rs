@@ -89,7 +89,11 @@ impl fmt::Display for ComparisonRow {
             self.error_rate
                 .map_or("N/A".to_owned(), |e| format!("{:.2}%", e * 100.0)),
             self.bandwidth_bps / 1000.0,
-            if self.measured_here { "  [measured]" } else { "" },
+            if self.measured_here {
+                "  [measured]"
+            } else {
+                ""
+            },
         )
     }
 }

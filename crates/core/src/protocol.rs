@@ -26,16 +26,13 @@
 //!   two sides a full window apart.
 
 use gnc_common::config::GpuConfig;
-use gnc_common::rng::experiment_rng;
-use gnc_sim::kernel::{
-    AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep,
-};
 use gnc_common::ids::{BlockId, WarpId};
+use gnc_common::rng::experiment_rng;
+use gnc_sim::kernel::{AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
-
 
 /// Base byte address of the senders' preloaded working set.
 pub const SENDER_BASE: u64 = 0;
@@ -565,12 +562,9 @@ impl WarpProgram for SenderWarp {
                     // end to finish in time.
                     let elapsed = ctx.clock32.wrapping_sub(self.slot_anchor);
                     self.phase = Phase::Pace;
-                    if elapsed.saturating_add(self.proto.guard_cycles) < self.proto.slot_cycles
-                    {
+                    if elapsed.saturating_add(self.proto.guard_cycles) < self.proto.slot_cycles {
                         let base = SENDER_BASE
-                            + (ctx.sm.index() as u64)
-                                * self.proto.region_lines()
-                                * self.line_bytes;
+                            + (ctx.sm.index() as u64) * self.proto.region_lines() * self.line_bytes;
                         let mut burst_proto = self.proto.clone();
                         if let Some(k) = self.proto.sender_iterations {
                             burst_proto.iterations = k.max(1);
@@ -591,7 +585,7 @@ impl WarpProgram for SenderWarp {
                     self.bit_idx += 1;
                     let realign = match self.proto.mode {
                         SyncMode::ClockAligned { sync_period } => {
-                            self.bit_idx % sync_period.max(1) as usize == 0
+                            self.bit_idx.is_multiple_of(sync_period.max(1) as usize)
                         }
                         SyncMode::SlotOnly => false,
                     };
@@ -675,9 +669,7 @@ impl WarpProgram for ReceiverWarp {
                 }
                 Phase::Measure => {
                     let base = RECEIVER_BASE
-                        + (ctx.sm.index() as u64)
-                            * self.proto.region_lines()
-                            * self.line_bytes;
+                        + (ctx.sm.index() as u64) * self.proto.region_lines() * self.line_bytes;
                     self.phase = Phase::RecordLatency;
                     return WarpStep::Memory {
                         kind: self.proto.kind.receiver_kind(),
@@ -706,7 +698,7 @@ impl WarpProgram for ReceiverWarp {
                     self.bit_idx += 1;
                     let realign = match self.proto.mode {
                         SyncMode::ClockAligned { sync_period } => {
-                            self.bit_idx % sync_period.max(1) as usize == 0
+                            self.bit_idx.is_multiple_of(sync_period.max(1) as usize)
                         }
                         SyncMode::SlotOnly => false,
                     };
@@ -736,7 +728,6 @@ impl WarpProgram for ReceiverWarp {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -786,7 +777,9 @@ mod tests {
     fn exponential_noise_has_the_configured_scale() {
         let mut rng = experiment_rng("noise", 0);
         let n = 20_000;
-        let total: u64 = (0..n).map(|_| exponential_noise(&mut rng, 16, 10_000)).sum();
+        let total: u64 = (0..n)
+            .map(|_| exponential_noise(&mut rng, 16, 10_000))
+            .sum();
         let mean = total as f64 / f64::from(n);
         assert!((14.0..18.0).contains(&mean), "noise mean {mean}");
         let beyond: usize = (0..n)
@@ -803,7 +796,7 @@ mod tests {
         let (sleep, anchor) = super::paced_sleep(100, 0, 512, 8);
         assert_eq!(sleep, 416); // 412 rounded up to a multiple of 8
         assert_eq!(anchor, 516); // drifted 4 cycles past the ideal 512
-        // Overrun: next slot starts right away.
+                                 // Overrun: next slot starts right away.
         let (sleep, anchor) = super::paced_sleep(600, 0, 512, 8);
         assert_eq!(sleep, 1);
         assert_eq!(anchor, 601);
@@ -858,13 +851,7 @@ mod tests {
     #[test]
     fn unassigned_sender_sm_finishes_immediately() {
         let proto = ProtocolConfig::tpc(1);
-        let kernel = SenderKernel::new(
-            proto,
-            Arc::new(HashMap::new()),
-            1,
-            128,
-            0,
-        );
+        let kernel = SenderKernel::new(proto, Arc::new(HashMap::new()), 1, 128, 0);
         let mut warp = kernel.create_warp(BlockId::new(0), WarpId::new(0));
         let ctx = WarpContext {
             now: 0,

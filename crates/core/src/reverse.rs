@@ -18,7 +18,6 @@
 //! * [`recover_mapping`] — Fig 4: repeat the scan probe-by-probe until
 //!   every TPC is assigned to a GPC group.
 
-use crossbeam::thread;
 use gnc_common::ids::{SmId, StreamId, TpcId};
 use gnc_common::rng::experiment_rng;
 use gnc_common::stats::OnlineStats;
@@ -364,7 +363,7 @@ pub fn coactivation_matrix(
     CoactivationMatrix { mean }
 }
 
-/// Fig 4: full mapping recovery in two phases.
+/// Fig 4: full mapping recovery in two phases (plus a repair pass).
 ///
 /// ```no_run
 /// use gnc_common::GpuConfig;
@@ -381,12 +380,9 @@ pub fn coactivation_matrix(
 /// more TPC of the same GPC pushes the active same-GPC count past the
 /// contention knee (≥ 4 reading TPCs, §3.4) and elevates the probe's
 /// execution time deterministically — a crisp, trial-free classifier.
-pub fn recover_mapping(
-    cfg: &GpuConfig,
-    runs: usize,
-    batches: u32,
-    seed: u64,
-) -> RecoveredMapping {
+/// A final phase-3 pass (`repair_splintered_groups`) re-merges
+/// undersized groups that a noisy phase-1 matrix splintered.
+pub fn recover_mapping(cfg: &GpuConfig, runs: usize, batches: u32, seed: u64) -> RecoveredMapping {
     let n = cfg.num_tpcs();
     let matrix = coactivation_matrix(cfg, runs, batches, seed);
     let mut assigned = vec![false; n];
@@ -396,8 +392,7 @@ pub fn recover_mapping(
         let candidates: Vec<usize> = (0..n).filter(|&t| t != probe).collect();
         let verdicts = parallel_map(&candidates, |&t| {
             // Helpers: the probe's 3 best partners, excluding `t` itself.
-            let helpers: Vec<usize> =
-                ranked.iter().copied().filter(|&h| h != t).take(3).collect();
+            let helpers: Vec<usize> = ranked.iter().copied().filter(|&h| h != t).take(3).collect();
             let probe_exec = |extra: Option<usize>| -> f64 {
                 let mut active: Vec<usize> = vec![2 * probe];
                 active.extend(helpers.iter().map(|&h| 2 * h));
@@ -426,16 +421,89 @@ pub fn recover_mapping(
         }
         groups.push(members.into_iter().map(TpcId::new).collect());
     }
+    repair_splintered_groups(cfg, batches, seed, &mut groups);
     groups.sort_by_key(|g| g.first().map(|t| t.index()));
     RecoveredMapping { groups }
 }
 
+/// Phase 3 (repair): merges splintered groups back together.
+///
+/// The phase-2 helpers come from the noisy phase-1 matrix; a weak helper
+/// set keeps the probe's baseline *under* the ≥4-reader contention knee,
+/// so genuine co-members test negative and splinter into a spurious
+/// extra group. The GPC count is public architectural knowledge, so
+/// `groups.len() > num_gpcs` is a detectable inconsistency. Each stray
+/// (smallest group first) is re-tested against every established group
+/// using three *confirmed* members as helpers — the verdict is then
+/// exactly the crisp 4-vs-5-reader experiment of phase 2, without the
+/// helper-quality gamble — and merged into the best host that clears
+/// the knee. Consistent recoveries skip this entirely (zero extra
+/// simulations).
+fn repair_splintered_groups(
+    cfg: &GpuConfig,
+    batches: u32,
+    seed: u64,
+    groups: &mut Vec<Vec<TpcId>>,
+) {
+    while groups.len() > cfg.num_gpcs {
+        let stray_idx = groups
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, g)| g.len())
+            .map(|(i, _)| i)
+            .expect("at least one group");
+        let stray = groups.remove(stray_idx);
+        let probe = stray[0].index();
+        let hosts: Vec<usize> = (0..groups.len()).collect();
+        let ratios = parallel_map(&hosts, |&gi| {
+            let host = &groups[gi];
+            let helpers: Vec<usize> = host.iter().take(3).map(|t| t.index()).collect();
+            // The 5th reader crossing the knee: a 4th host member, or a
+            // 2nd stray member when the host only has 3.
+            let extra = host
+                .get(3)
+                .or_else(|| if stray.len() > 1 { stray.last() } else { None })
+                .map(|t| t.index());
+            let (Some(extra), 3) = (extra, helpers.len()) else {
+                return 0.0; // too small to stage the experiment
+            };
+            let probe_exec = |with_extra: bool| -> f64 {
+                let mut active: Vec<usize> = vec![2 * probe];
+                active.extend(helpers.iter().map(|&h| 2 * h));
+                if with_extra {
+                    active.push(2 * extra);
+                }
+                run_active_sms(cfg, &active, AccessKind::Read, 4, batches, seed)
+                    .iter()
+                    .find(|(sm, _)| *sm == 2 * probe)
+                    .expect("probe measured")
+                    .1 as f64
+            };
+            probe_exec(true) / probe_exec(false)
+        });
+        let best = hosts
+            .iter()
+            .zip(&ratios)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(&gi, &r)| (gi, r));
+        match best {
+            Some((gi, ratio)) if ratio > 1.08 => {
+                groups[gi].extend(stray);
+                groups[gi].sort_by_key(|t| t.index());
+            }
+            _ => {
+                // No host clears the knee: keep the stray as-is rather
+                // than force a wrong merge, and stop repairing.
+                groups.push(stray);
+                break;
+            }
+        }
+    }
+}
+
 /// Maps `f` over `items` on a small thread pool (runs are independent
 /// GPU instances), preserving order.
-pub(crate) fn parallel_map<T: Sync, R: Send>(
-    items: &[T],
-    f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+pub(crate) fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -445,17 +513,16 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
     }
     let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     let chunk = items.len().div_ceil(threads);
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
             let f = &f;
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
                     *slot = Some(f(item));
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results.into_iter().map(|r| r.expect("filled")).collect()
 }
 

@@ -1,0 +1,713 @@
+//! Noise-resilient decoding and reliable delivery (§5 robustness).
+//!
+//! The baseline receiver of [`crate::channel`] decodes with a single
+//! static threshold calibrated once from the preamble, and trusts that
+//! every slot produced exactly one latency sample. Under fault injection
+//! ([`gnc_common::fault`]) both assumptions break: background bursts and
+//! L2 hot-spots move the latency populations mid-transmission, and the
+//! measurement path drops or duplicates samples — which shifts every
+//! subsequent bit of the naive slot-ordered view (one dropped sample
+//! garbles the rest of the stream).
+//!
+//! This module is the hardened stack:
+//!
+//! * [`adaptive_decode`] — decodes the *tagged* trace: duplicates are
+//!   collapsed, missing slots become explicit erasures, the threshold is
+//!   recalibrated per window, and samples too close to the threshold are
+//!   erased rather than guessed;
+//! * [`transmit_reliable`] — wraps a [`ChannelPlan`] in a CRC-framed
+//!   ACK/NACK loop with bounded retries and exponential slot backoff,
+//!   with Hamming(7,4) + erasure decoding underneath;
+//! * [`deliver`] — the `Result`-typed front door, mapping a jammed
+//!   channel onto [`SimError::ChannelJammed`].
+
+use crate::channel::{
+    ChannelPlan, ChannelTrace, DegradationReason, TransmissionOutcome, TransmissionReport,
+};
+use gnc_common::bits::BitVec;
+use gnc_common::fault::{FaultConfig, FaultPlan, FaultStats};
+use gnc_common::fec::{fec_decode, fec_decode_symbols, fec_encode, FecSymbol};
+use gnc_common::{Cycle, GpuConfig, SimError};
+use gnc_sim::gpu::Gpu;
+
+/// Tuning knobs of the hardened receiver and the retry loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustOptions {
+    /// Payload slots per adaptive-threshold window.
+    pub window: usize,
+    /// Fraction of the estimated quiet/loud gap around the threshold
+    /// inside which a sample is erased instead of sliced.
+    pub erasure_margin: f64,
+    /// Retransmissions after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff after the first NACK, in slots; doubles per retry.
+    pub backoff_slots: u64,
+}
+
+impl Default for RobustOptions {
+    fn default() -> Self {
+        Self {
+            window: 16,
+            erasure_margin: 0.18,
+            max_retries: 3,
+            backoff_slots: 64,
+        }
+    }
+}
+
+/// Output of the adaptive windowed decoder for one channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveDecode {
+    /// One symbol per payload slot (never shorter than the chunk the
+    /// channel carried — lost slots come back as erasures).
+    pub symbols: Vec<FecSymbol>,
+    /// The same slots hard-decided: low-confidence samples are sliced by
+    /// the threshold instead of erased (only truly missing slots stay
+    /// erased). The per-block fallback when `symbols` carries more
+    /// erasures than the code can consume.
+    pub hard_symbols: Vec<FecSymbol>,
+    /// The threshold used for each window, in window order.
+    pub thresholds: Vec<f64>,
+    /// Symbols emitted as erasures (missing or low-confidence).
+    pub erasures: usize,
+    /// Duplicate samples collapsed (same slot tag observed again).
+    pub duplicates: usize,
+    /// Payload slots with no sample at all.
+    pub missing: usize,
+    /// Whether the preamble was unusable and the decoder had to
+    /// resynchronize its calibration from the payload itself.
+    pub resynchronized: bool,
+}
+
+/// Decodes one channel's raw tagged trace with duplicate collapsing,
+/// erasure marking, and per-window threshold recalibration.
+///
+/// Slot tags index the sender's modulation schedule, so the decoder
+/// never loses alignment the way a sample-ordered decoder does: a
+/// dropped sample costs exactly one (erased) symbol instead of shifting
+/// the remainder of the stream.
+pub fn adaptive_decode(
+    trace: &ChannelTrace,
+    preamble_bits: usize,
+    opts: &RobustOptions,
+) -> AdaptiveDecode {
+    let expected = trace.expected_samples;
+    let mut slots: Vec<Option<u64>> = vec![None; expected];
+    let mut duplicates = 0usize;
+    for &(tag, value) in &trace.samples {
+        match slots.get_mut(tag as usize) {
+            Some(slot @ None) => *slot = Some(value),
+            // Keep the first arrival; a duplicated measurement re-reads
+            // the same window, so later copies carry no new signal.
+            Some(Some(_)) | None => duplicates += 1,
+        }
+    }
+    let payload_len = expected.saturating_sub(preamble_bits);
+    let missing = slots[preamble_bits..]
+        .iter()
+        .filter(|s| s.is_none())
+        .count();
+
+    // Initial calibration: the alternating preamble when enough of it
+    // survived, otherwise (preamble loss) resynchronize from a
+    // two-quantile split of every sample we did get.
+    let mut quiet_sum = 0.0;
+    let mut quiet_n = 0u32;
+    let mut loud_sum = 0.0;
+    let mut loud_n = 0u32;
+    for (i, slot) in slots[..preamble_bits.min(expected)].iter().enumerate() {
+        if let Some(v) = slot {
+            if i % 2 == 0 {
+                quiet_sum += *v as f64;
+                quiet_n += 1;
+            } else {
+                loud_sum += *v as f64;
+                loud_n += 1;
+            }
+        }
+    }
+    let mut resynchronized = false;
+    let (mut quiet, mut loud) = if quiet_n >= 2 && loud_n >= 2 {
+        (quiet_sum / f64::from(quiet_n), loud_sum / f64::from(loud_n))
+    } else {
+        resynchronized = true;
+        let mut present: Vec<u64> = slots.iter().flatten().copied().collect();
+        present.sort_unstable();
+        if present.len() < 2 {
+            // Nothing to calibrate from: every payload slot is an
+            // erasure.
+            return AdaptiveDecode {
+                symbols: vec![FecSymbol::Erased; payload_len],
+                hard_symbols: vec![FecSymbol::Erased; payload_len],
+                thresholds: Vec::new(),
+                erasures: payload_len,
+                duplicates,
+                missing,
+                resynchronized: true,
+            };
+        }
+        let half = present.len() / 2;
+        let lower = present[..half].iter().sum::<u64>() as f64 / half as f64;
+        let upper = present[half..].iter().sum::<u64>() as f64 / (present.len() - half) as f64;
+        (lower, upper)
+    };
+
+    let mut symbols = Vec::with_capacity(payload_len);
+    let mut hard_symbols = Vec::with_capacity(payload_len);
+    let mut thresholds = Vec::new();
+    let mut erasures = 0usize;
+    let window = opts.window.max(1);
+    let payload_slots = &slots[preamble_bits.min(expected)..];
+    for chunk in payload_slots.chunks(window) {
+        // Per-window recalibration: classify this window's samples by
+        // the current threshold, then blend the class means into the
+        // running population estimates. Slow drift of either population
+        // (clock drift, sustained background load) is tracked instead
+        // of accumulating into bit errors.
+        let mid = (quiet + loud) / 2.0;
+        let mut wq = 0.0;
+        let mut wqn = 0u32;
+        let mut wl = 0.0;
+        let mut wln = 0u32;
+        for v in chunk.iter().flatten() {
+            if (*v as f64) > mid {
+                wl += *v as f64;
+                wln += 1;
+            } else {
+                wq += *v as f64;
+                wqn += 1;
+            }
+        }
+        if wqn > 0 {
+            quiet = 0.5 * quiet + 0.5 * (wq / f64::from(wqn));
+        }
+        if wln > 0 {
+            loud = 0.5 * loud + 0.5 * (wl / f64::from(wln));
+        }
+        let threshold = (quiet + loud) / 2.0;
+        let gap = (loud - quiet).abs().max(1.0);
+        thresholds.push(threshold);
+        for slot in chunk {
+            match slot {
+                Some(v) => {
+                    let v = *v as f64;
+                    let hard = FecSymbol::from(v > threshold);
+                    hard_symbols.push(hard);
+                    if (v - threshold).abs() < opts.erasure_margin * gap {
+                        symbols.push(FecSymbol::Erased);
+                        erasures += 1;
+                    } else {
+                        symbols.push(hard);
+                    }
+                }
+                None => {
+                    symbols.push(FecSymbol::Erased);
+                    hard_symbols.push(FecSymbol::Erased);
+                    erasures += 1;
+                }
+            }
+        }
+    }
+    symbols.resize(payload_len, FecSymbol::Erased);
+    hard_symbols.resize(payload_len, FecSymbol::Erased);
+    AdaptiveDecode {
+        symbols,
+        hard_symbols,
+        thresholds,
+        erasures,
+        duplicates,
+        missing,
+        resynchronized,
+    }
+}
+
+/// De-stripes per-channel symbol streams back into frame order
+/// (channel `i` carried bits `i, i+n, i+2n, …`). Positions a channel
+/// could not produce come back as erasures.
+pub fn destripe_symbols(per_channel: &[Vec<FecSymbol>], frame_len: usize) -> Vec<FecSymbol> {
+    let n = per_channel.len().max(1);
+    (0..frame_len)
+        .map(|i| {
+            per_channel
+                .get(i % n)
+                .and_then(|c| c.get(i / n))
+                .copied()
+                .unwrap_or(FecSymbol::Erased)
+        })
+        .collect()
+}
+
+/// Width of the frame check sequence appended by [`transmit_reliable`].
+pub const CRC_BITS: usize = 16;
+
+/// Per 7-symbol FEC block, keeps the margin-erased stream while its
+/// erasure count stays within what Hamming(7,4) can consume (two), and
+/// falls back to the hard-decided stream otherwise — a heavily-faulted
+/// block decodes better from biased guesses than from zero-filled
+/// erasures.
+pub fn blend_block_symbols(soft: &[FecSymbol], hard: &[FecSymbol]) -> Vec<FecSymbol> {
+    soft.chunks(7)
+        .zip(hard.chunks(7))
+        .flat_map(|(s, h)| {
+            let erased = s.iter().filter(|x| matches!(x, FecSymbol::Erased)).count();
+            if erased <= 2 { s } else { h }.iter().copied()
+        })
+        .collect()
+}
+
+/// CRC-16/CCITT-FALSE (polynomial 0x1021, init 0xFFFF) over a bit
+/// stream — the integrity check of the ACK/NACK framing. A jammed
+/// channel hands the decoder near-random frames every retry, so the
+/// false-ACK probability has to be far below what 8 check bits give.
+pub fn crc16(bits: &BitVec) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for bit in bits.iter() {
+        let fed = (crc >> 15) ^ u16::from(bit);
+        crc <<= 1;
+        if fed != 0 {
+            crc ^= 0x1021;
+        }
+    }
+    crc
+}
+
+fn frame_payload(payload: &BitVec) -> BitVec {
+    let mut frame = payload.clone();
+    let crc = crc16(payload);
+    for i in (0..CRC_BITS).rev() {
+        frame.push(crc & (1 << i) != 0);
+    }
+    frame
+}
+
+fn split_frame(frame: &BitVec, payload_len: usize) -> (BitVec, u16) {
+    let payload = BitVec::from_bits(frame.iter().take(payload_len));
+    let mut crc = 0u16;
+    for bit in frame.iter().skip(payload_len).take(CRC_BITS) {
+        crc = crc << 1 | u16::from(bit);
+    }
+    (payload, crc)
+}
+
+/// Outcome of one [`transmit_reliable`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliableReport {
+    /// Health of the delivery as a whole.
+    pub outcome: TransmissionOutcome,
+    /// Transmission attempts made (1 = no retry needed).
+    pub attempts: u32,
+    /// The delivered payload (best effort when `outcome` is `Failed`).
+    pub delivered: BitVec,
+    /// Whether the final attempt's CRC checked out.
+    pub crc_ok: bool,
+    /// Residual bit errors of `delivered` against the true payload.
+    pub residual_errors: usize,
+    /// Total cycles spent, including retransmissions and backoff gaps.
+    pub elapsed_cycles: Cycle,
+    /// FEC blocks corrected on the final attempt.
+    pub fec_corrected_blocks: usize,
+    /// Erased channel bits consumed by FEC on the final attempt.
+    pub fec_erased_bits: usize,
+    /// Fault counters accumulated across all attempts (when faults were
+    /// injected).
+    pub fault_stats: Option<FaultStats>,
+    /// The naive-decoder report of every attempt, for comparison.
+    pub attempt_reports: Vec<TransmissionReport>,
+}
+
+/// Transmits `payload` with the full hardened stack: CRC framing,
+/// Hamming(7,4) encoding, adaptive windowed decoding with erasures, and
+/// an ACK/NACK retransmission loop with exponential slot backoff.
+///
+/// `faults` optionally wires a [`FaultConfig`] into the simulated GPU;
+/// each retry re-seeds the fault pattern (`seed + attempt`), modelling
+/// the retry landing in a different interference window — which is the
+/// whole point of backing off. Everything is deterministic in
+/// `(plan, payload, seed, faults)`.
+pub fn transmit_reliable(
+    plan: &ChannelPlan,
+    gpu_cfg: &GpuConfig,
+    payload: &BitVec,
+    seed: u64,
+    faults: Option<&FaultConfig>,
+    opts: &RobustOptions,
+) -> ReliableReport {
+    let frame = frame_payload(payload);
+    let coded = fec_encode(&frame);
+    let preamble_bits = plan.protocol().preamble_bits;
+    let slot_cycles = u64::from(plan.protocol().slot_cycles);
+
+    let mut elapsed: Cycle = 0;
+    let mut attempt_reports = Vec::new();
+    let mut fault_stats: Option<FaultStats> = None;
+    let mut last: Option<(BitVec, u16, usize, usize, bool)> = None;
+    let attempts_allowed = opts.max_retries + 1;
+    for attempt in 0..attempts_allowed {
+        if attempt > 0 {
+            // Exponential backoff before the retry: 64, 128, 256… slots.
+            elapsed += (opts.backoff_slots * slot_cycles) << (attempt - 1);
+        }
+        let attempt_seed = seed.wrapping_add(u64::from(attempt));
+        let (report, traces) = match faults {
+            Some(cfg) => {
+                let cfg = cfg
+                    .clone()
+                    .with_seed(cfg.seed.wrapping_add(u64::from(attempt)));
+                let plan_arc = FaultPlan::new(cfg);
+                let out = plan.transmit_with_faults(gpu_cfg, &coded, attempt_seed, &plan_arc);
+                let stats = plan_arc.stats();
+                fault_stats = Some(match fault_stats {
+                    Some(acc) => FaultStats {
+                        noc_burst_cycles: acc.noc_burst_cycles + stats.noc_burst_cycles,
+                        samples_dropped: acc.samples_dropped + stats.samples_dropped,
+                        samples_duplicated: acc.samples_duplicated + stats.samples_duplicated,
+                        samples_jittered: acc.samples_jittered + stats.samples_jittered,
+                        glitched_clock_reads: acc.glitched_clock_reads + stats.glitched_clock_reads,
+                        l2_stall_cycles: acc.l2_stall_cycles + stats.l2_stall_cycles,
+                    },
+                    None => stats,
+                });
+                out
+            }
+            None => {
+                let mut gpu =
+                    Gpu::with_clock_seed(gpu_cfg.clone(), attempt_seed).expect("valid GPU config");
+                plan.transmit_traced_on(&mut gpu, &coded, attempt_seed)
+            }
+        };
+        elapsed += report.elapsed_cycles;
+
+        let decodes: Vec<AdaptiveDecode> = traces
+            .iter()
+            .map(|t| adaptive_decode(t, preamble_bits, opts))
+            .collect();
+        let soft: Vec<Vec<FecSymbol>> = decodes.iter().map(|d| d.symbols.clone()).collect();
+        let hard: Vec<Vec<FecSymbol>> = decodes.iter().map(|d| d.hard_symbols.clone()).collect();
+        let symbols = blend_block_symbols(
+            &destripe_symbols(&soft, coded.len()),
+            &destripe_symbols(&hard, coded.len()),
+        );
+        let fec = fec_decode_symbols(&symbols, frame.len());
+        let (decoded_payload, crc_rx) = split_frame(&fec.payload, payload.len());
+        let crc_ok = crc16(&decoded_payload) == crc_rx;
+        let degraded_attempt = fec.corrected_blocks > 0
+            || fec.erased_bits > 0
+            || report.outcome != TransmissionOutcome::Clean;
+        attempt_reports.push(report);
+        last = Some((
+            decoded_payload,
+            crc_rx,
+            fec.corrected_blocks,
+            fec.erased_bits,
+            degraded_attempt,
+        ));
+        if crc_ok {
+            let (delivered, _, corrected, erased, degraded) = last.take().expect("just set");
+            let outcome = if attempt > 0 {
+                TransmissionOutcome::Degraded(DegradationReason::Retransmitted)
+            } else if corrected > 0 || erased > 0 {
+                TransmissionOutcome::Degraded(DegradationReason::FecCorrected)
+            } else if degraded {
+                TransmissionOutcome::Degraded(DegradationReason::SamplesMissing)
+            } else {
+                TransmissionOutcome::Clean
+            };
+            let residual_errors = delivered.hamming_distance(payload);
+            return ReliableReport {
+                outcome,
+                attempts: attempt + 1,
+                delivered,
+                crc_ok: true,
+                residual_errors,
+                elapsed_cycles: elapsed,
+                fec_corrected_blocks: corrected,
+                fec_erased_bits: erased,
+                fault_stats,
+                attempt_reports,
+            };
+        }
+    }
+    let (delivered, _, corrected, erased, _) = last.expect("at least one attempt ran");
+    let residual_errors = delivered.hamming_distance(payload);
+    ReliableReport {
+        outcome: TransmissionOutcome::Failed,
+        attempts: attempts_allowed,
+        delivered,
+        crc_ok: false,
+        residual_errors,
+        elapsed_cycles: elapsed,
+        fec_corrected_blocks: corrected,
+        fec_erased_bits: erased,
+        fault_stats,
+        attempt_reports,
+    }
+}
+
+/// [`transmit_reliable`] as a `Result`: a delivery whose final CRC never
+/// checked out becomes [`SimError::ChannelJammed`].
+///
+/// # Errors
+///
+/// Returns [`SimError::ChannelJammed`] when every attempt (initial plus
+/// retries) failed its integrity check.
+pub fn deliver(
+    plan: &ChannelPlan,
+    gpu_cfg: &GpuConfig,
+    payload: &BitVec,
+    seed: u64,
+    faults: Option<&FaultConfig>,
+    opts: &RobustOptions,
+) -> Result<BitVec, SimError> {
+    let report = transmit_reliable(plan, gpu_cfg, payload, seed, faults, opts);
+    if report.outcome.is_delivered() {
+        Ok(report.delivered)
+    } else {
+        Err(SimError::ChannelJammed {
+            label: plan
+                .channels()
+                .first()
+                .map(|c| c.label.clone())
+                .unwrap_or_default(),
+            attempts: report.attempts,
+        })
+    }
+}
+
+/// Post-FEC bit errors of the *naive* decoder on the same transmission:
+/// hard-slices the slot-ordered latencies with the static preamble
+/// threshold (as [`crate::channel::decode_stream`] does), de-stripes,
+/// and runs plain Hamming decoding without erasure knowledge.
+pub fn naive_post_fec_errors(report: &TransmissionReport, payload: &BitVec) -> usize {
+    let frame_len = payload.len() + CRC_BITS;
+    let fec = fec_decode(&report.received, frame_len);
+    let (decoded_payload, _) = split_frame(&fec.payload, payload.len());
+    decoded_payload.hamming_distance(payload)
+}
+
+/// Both decoders run over one and the same fault-injected transmission.
+#[derive(Debug, Clone)]
+pub struct DecoderComparison {
+    /// Post-FEC payload bit errors of the naive static-threshold decoder.
+    pub naive_errors: usize,
+    /// Post-FEC payload bit errors of the adaptive erasure decoder.
+    pub hardened_errors: usize,
+    /// Payload bits compared.
+    pub payload_bits: usize,
+    /// The underlying (naive) transmission report.
+    pub report: TransmissionReport,
+}
+
+/// Transmits the CRC-framed, FEC-coded `payload` once under `faults`
+/// and decodes the identical traces twice: naively (static threshold,
+/// sample order) and hardened (adaptive windowed threshold, tag
+/// alignment, erasures). The comparison every noise-sweep plot and
+/// acceptance test is built on — same wire, two receivers.
+pub fn compare_decoders(
+    plan: &ChannelPlan,
+    gpu_cfg: &GpuConfig,
+    payload: &BitVec,
+    seed: u64,
+    faults: &FaultConfig,
+    opts: &RobustOptions,
+) -> DecoderComparison {
+    let frame = frame_payload(payload);
+    let coded = fec_encode(&frame);
+    let fault_plan = FaultPlan::new(faults.clone());
+    let (report, traces) = plan.transmit_with_faults(gpu_cfg, &coded, seed, &fault_plan);
+    let naive_errors = naive_post_fec_errors(&report, payload);
+    let preamble_bits = plan.protocol().preamble_bits;
+    let decodes: Vec<AdaptiveDecode> = traces
+        .iter()
+        .map(|t| adaptive_decode(t, preamble_bits, opts))
+        .collect();
+    let soft: Vec<Vec<FecSymbol>> = decodes.iter().map(|d| d.symbols.clone()).collect();
+    let hard: Vec<Vec<FecSymbol>> = decodes.iter().map(|d| d.hard_symbols.clone()).collect();
+    let symbols = blend_block_symbols(
+        &destripe_symbols(&soft, coded.len()),
+        &destripe_symbols(&hard, coded.len()),
+    );
+    let fec = fec_decode_symbols(&symbols, frame.len());
+    let (decoded_payload, _) = split_frame(&fec.payload, payload.len());
+    let hardened_errors = decoded_payload.hamming_distance(payload);
+    DecoderComparison {
+        naive_errors,
+        hardened_errors,
+        payload_bits: payload.len(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_from_latencies(latencies: &[u64], expected: usize) -> ChannelTrace {
+        ChannelTrace {
+            label: "test".into(),
+            receiver_sm: 1,
+            samples: latencies
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as u32, v))
+                .collect(),
+            expected_samples: expected,
+            chunk: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn crc16_detects_corruption() {
+        let payload = BitVec::from_bytes(b"hi");
+        let crc = crc16(&payload);
+        let mut corrupted =
+            BitVec::from_bits(
+                payload
+                    .iter()
+                    .enumerate()
+                    .map(|(i, b)| if i == 3 { !b } else { b }),
+            );
+        assert_ne!(crc16(&corrupted), crc);
+        corrupted = payload.clone();
+        assert_eq!(crc16(&corrupted), crc);
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let payload = BitVec::from_bytes(b"\xA5\x3C");
+        let frame = frame_payload(&payload);
+        assert_eq!(frame.len(), payload.len() + CRC_BITS);
+        let (back, crc) = split_frame(&frame, payload.len());
+        assert_eq!(back, payload);
+        assert_eq!(crc, crc16(&payload));
+    }
+
+    #[test]
+    fn adaptive_decode_clean_trace() {
+        // Preamble 0,1,0,1 at 100/200, payload 1,0,1.
+        let lat = [100, 200, 100, 200, 200, 100, 200];
+        let out = adaptive_decode(&trace_from_latencies(&lat, 7), 4, &RobustOptions::default());
+        assert_eq!(
+            out.symbols,
+            vec![FecSymbol::One, FecSymbol::Zero, FecSymbol::One]
+        );
+        assert_eq!(out.erasures, 0);
+        assert_eq!(out.missing, 0);
+        assert!(!out.resynchronized);
+    }
+
+    #[test]
+    fn adaptive_decode_survives_drops_and_dups() {
+        // Same stream, but slot 5's sample is lost and slot 4 arrives
+        // twice: tags keep everything aligned.
+        let trace = ChannelTrace {
+            label: "t".into(),
+            receiver_sm: 1,
+            samples: vec![
+                (0, 100),
+                (1, 200),
+                (2, 100),
+                (3, 200),
+                (4, 200),
+                (4, 205),
+                (6, 200),
+            ],
+            expected_samples: 7,
+            chunk: Vec::new(),
+        };
+        let out = adaptive_decode(&trace, 4, &RobustOptions::default());
+        assert_eq!(
+            out.symbols,
+            vec![FecSymbol::One, FecSymbol::Erased, FecSymbol::One]
+        );
+        assert_eq!(out.duplicates, 1);
+        assert_eq!(out.missing, 1);
+        assert_eq!(out.erasures, 1);
+    }
+
+    #[test]
+    fn adaptive_decode_resynchronizes_without_preamble() {
+        // The whole preamble is lost; calibration comes from the
+        // payload's own bimodal split.
+        let samples: Vec<(u32, u64)> = (4..24u32)
+            .map(|tag| (tag, if tag % 3 == 0 { 210 } else { 95 }))
+            .collect();
+        let trace = ChannelTrace {
+            label: "t".into(),
+            receiver_sm: 1,
+            samples,
+            expected_samples: 24,
+            chunk: Vec::new(),
+        };
+        let out = adaptive_decode(&trace, 4, &RobustOptions::default());
+        assert!(out.resynchronized);
+        for (i, s) in out.symbols.iter().enumerate() {
+            let tag = i + 4;
+            let want = if tag % 3 == 0 {
+                FecSymbol::One
+            } else {
+                FecSymbol::Zero
+            };
+            assert_eq!(*s, want, "slot {tag}");
+        }
+    }
+
+    #[test]
+    fn adaptive_decode_tracks_drifting_populations() {
+        // Both populations ramp upward by 150 cycles over the payload —
+        // far past the initial 150-cycle threshold. The static decoder
+        // saturates to all-ones; the windowed decoder keeps up.
+        let mut lat = vec![100, 200, 100, 200];
+        let payload_bits: Vec<bool> = (0..64).map(|i| i % 2 == 0).collect();
+        for (i, &bit) in payload_bits.iter().enumerate() {
+            let drift = (i as u64) * 150 / 64;
+            lat.push(if bit { 200 + drift } else { 100 + drift });
+        }
+        let expected = lat.len();
+        let out = adaptive_decode(
+            &trace_from_latencies(&lat, expected),
+            4,
+            &RobustOptions {
+                window: 8,
+                ..RobustOptions::default()
+            },
+        );
+        let decoded: Vec<bool> = out
+            .symbols
+            .iter()
+            .map(|s| matches!(s, FecSymbol::One))
+            .collect();
+        let adaptive_errors = decoded
+            .iter()
+            .zip(&payload_bits)
+            .filter(|(a, b)| a != b)
+            .count();
+        let (_, static_bits) = crate::channel::decode_stream(&lat, 4, payload_bits.len());
+        let static_errors = static_bits
+            .iter()
+            .zip(&payload_bits)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            adaptive_errors < static_errors,
+            "adaptive {adaptive_errors} vs static {static_errors}"
+        );
+        assert!(adaptive_errors <= 4, "adaptive errors {adaptive_errors}");
+    }
+
+    #[test]
+    fn destripe_fills_gaps_with_erasures() {
+        let a = vec![FecSymbol::One, FecSymbol::Zero];
+        let b = vec![FecSymbol::Zero];
+        let out = destripe_symbols(&[a, b], 5);
+        assert_eq!(
+            out,
+            vec![
+                FecSymbol::One,
+                FecSymbol::Zero,
+                FecSymbol::Zero,
+                FecSymbol::Erased,
+                FecSymbol::Erased
+            ]
+        );
+    }
+}

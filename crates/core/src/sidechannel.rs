@@ -102,12 +102,7 @@ impl WarpProgram for VictimWarp {
             if intensity > 0 {
                 return WarpStep::Memory {
                     kind: AccessKind::Write,
-                    addrs: warp_addresses(
-                        VICTIM_BASE,
-                        intensity.min(32),
-                        true,
-                        self.line_bytes,
-                    ),
+                    addrs: warp_addresses(VICTIM_BASE, intensity.min(32), true, self.line_bytes),
                     wait: true,
                 };
             }
@@ -211,59 +206,56 @@ impl WarpProgram for SpyWarp {
         if !active {
             return WarpStep::Finish;
         }
-        loop {
-            match self.phase {
-                SpyPhase::Sync => {
-                    self.phase = SpyPhase::SyncBoundary;
-                    return WarpStep::UntilClock {
-                        mask: SPY_SLOT * 64 - 1,
-                        target: SPY_SLOT * 32,
-                    };
+        match self.phase {
+            SpyPhase::Sync => {
+                self.phase = SpyPhase::SyncBoundary;
+                WarpStep::UntilClock {
+                    mask: SPY_SLOT * 64 - 1,
+                    target: SPY_SLOT * 32,
                 }
-                SpyPhase::SyncBoundary => {
-                    self.phase = SpyPhase::Probe;
-                    return WarpStep::UntilClock {
-                        mask: SPY_SLOT * 64 - 1,
-                        target: 0,
-                    };
+            }
+            SpyPhase::SyncBoundary => {
+                self.phase = SpyPhase::Probe;
+                WarpStep::UntilClock {
+                    mask: SPY_SLOT * 64 - 1,
+                    target: 0,
                 }
-                SpyPhase::Probe => {
-                    if self.done >= self.slots {
-                        return WarpStep::Finish;
-                    }
-                    self.phase = SpyPhase::Report;
-                    let base =
-                        RECEIVER_BASE + (ctx.sm.index() as u64) * 64 * self.line_bytes;
-                    // Probe with scattered *stores*: their request packets
-                    // are what the victim's writes contend with on the
-                    // shared channel. (A load probe's latency would be
-                    // dominated by its own reply ejection and hide the
-                    // signal — same reason the TPC receiver writes.)
-                    return WarpStep::Memory {
-                        kind: AccessKind::Write,
-                        addrs: warp_addresses(base, 32, true, self.line_bytes),
-                        wait: true,
-                    };
+            }
+            SpyPhase::Probe => {
+                if self.done >= self.slots {
+                    return WarpStep::Finish;
                 }
-                SpyPhase::Report => {
-                    self.phase = SpyPhase::Align;
-                    let slot = self.done as u32;
-                    self.done += 1;
-                    return WarpStep::Record {
-                        tag: slot,
-                        value: ctx.last_mem_latency,
-                    };
+                self.phase = SpyPhase::Report;
+                let base = RECEIVER_BASE + (ctx.sm.index() as u64) * 64 * self.line_bytes;
+                // Probe with scattered *stores*: their request packets
+                // are what the victim's writes contend with on the
+                // shared channel. (A load probe's latency would be
+                // dominated by its own reply ejection and hide the
+                // signal — same reason the TPC receiver writes.)
+                WarpStep::Memory {
+                    kind: AccessKind::Write,
+                    addrs: warp_addresses(base, 32, true, self.line_bytes),
+                    wait: true,
                 }
-                SpyPhase::Align => {
-                    self.phase = SpyPhase::Gap;
-                    return WarpStep::Sleep(1);
+            }
+            SpyPhase::Report => {
+                self.phase = SpyPhase::Align;
+                let slot = self.done as u32;
+                self.done += 1;
+                WarpStep::Record {
+                    tag: slot,
+                    value: ctx.last_mem_latency,
                 }
-                SpyPhase::Gap => {
-                    self.phase = SpyPhase::Probe;
-                    return WarpStep::UntilClock {
-                        mask: SPY_SLOT - 1,
-                        target: 0,
-                    };
+            }
+            SpyPhase::Align => {
+                self.phase = SpyPhase::Gap;
+                WarpStep::Sleep(1)
+            }
+            SpyPhase::Gap => {
+                self.phase = SpyPhase::Probe;
+                WarpStep::UntilClock {
+                    mask: SPY_SLOT - 1,
+                    target: 0,
                 }
             }
         }
@@ -337,11 +329,13 @@ pub fn spy_on_victim(cfg: &GpuConfig, intensities: &[u32], seed: u64) -> SpyRepo
     let spy = SpyKernel::new(cfg, 1, total_slots);
     gpu.launch(Box::new(victim), StreamId::new(0));
     let spy_id = gpu.launch(Box::new(spy), StreamId::new(1));
-    let budget = u64::from(SPY_SLOT) * 64
-        + (total_slots as u64 + 4) * u64::from(SPY_SLOT) * 2
-        + 100_000;
+    let budget =
+        u64::from(SPY_SLOT) * 64 + (total_slots as u64 + 4) * u64::from(SPY_SLOT) * 2 + 100_000;
     let outcome = gpu.run_until_idle(budget);
-    assert!(outcome.is_idle(), "side-channel session did not finish: {outcome:?}");
+    assert!(
+        outcome.is_idle(),
+        "side-channel session did not finish: {outcome:?}"
+    );
 
     let mut slot_latencies: Vec<(u32, u64)> = gpu
         .recorder()
@@ -373,7 +367,10 @@ pub fn spy_on_victim(cfg: &GpuConfig, intensities: &[u32], seed: u64) -> SpyRepo
                 .iter()
                 .map(|p| f64::from(p.true_intensity))
                 .collect::<Vec<_>>(),
-            &phases.iter().map(|p| p.observed_latency).collect::<Vec<_>>(),
+            &phases
+                .iter()
+                .map(|p| p.observed_latency)
+                .collect::<Vec<_>>(),
         ),
         phases,
     }
@@ -427,7 +424,11 @@ mod tests {
             report.phases
         );
         // The silent phase must show the lowest latency.
-        let silent = report.phases.iter().find(|p| p.true_intensity == 0).unwrap();
+        let silent = report
+            .phases
+            .iter()
+            .find(|p| p.true_intensity == 0)
+            .unwrap();
         for p in &report.phases {
             if p.true_intensity > 0 {
                 assert!(p.observed_latency >= silent.observed_latency);
@@ -454,11 +455,7 @@ mod tests {
         assert!(gpu
             .run_until_idle(u64::from(SPY_SLOT) * (total_slots as u64 * 2 + 80) + 100_000)
             .is_idle());
-        let lats: Vec<u64> = gpu
-            .recorder()
-            .for_kernel(spy_id)
-            .map(|r| r.value)
-            .collect();
+        let lats: Vec<u64> = gpu.recorder().for_kernel(spy_id).map(|r| r.value).collect();
         let min = *lats.iter().min().unwrap() as f64;
         let max = *lats.iter().max().unwrap() as f64;
         assert!(

@@ -133,7 +133,10 @@ mod tests {
         for i in 0..48u64 {
             seen[m.slice_of(i * 128).index()] = true;
         }
-        assert!(seen.iter().all(|&s| s), "48 consecutive lines must cover all slices");
+        assert!(
+            seen.iter().all(|&s| s),
+            "48 consecutive lines must cover all slices"
+        );
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub struct L2Slice {
     pending_fills: BinaryHeap<Reverse<(Cycle, u64)>>,
     replies: VecDeque<Packet>,
     stats: L2Stats,
+    /// Optional fault injection: hot-spot windows during which this
+    /// slice's lookup stage stalls (a co-tenant hammering the slice).
+    fault: Option<std::sync::Arc<gnc_common::fault::FaultPlan>>,
 }
 
 impl L2Slice {
@@ -78,7 +81,14 @@ impl L2Slice {
             pending_fills: BinaryHeap::new(),
             replies: VecDeque::new(),
             stats: L2Stats::default(),
+            fault: None,
         }
+    }
+
+    /// Attaches a fault plan; the plan's hot-spot windows for this
+    /// slice's id will stall the lookup stage.
+    pub fn set_fault_plan(&mut self, plan: std::sync::Arc<gnc_common::fault::FaultPlan>) {
+        self.fault = Some(plan);
     }
 
     /// This slice's identifier.
@@ -217,7 +227,15 @@ impl L2Slice {
                 }
             }
         }
-        // 2. One lookup per cycle, preferring a stalled retry.
+        // 2. One lookup per cycle, preferring a stalled retry. A
+        // fault-injected hot-spot claims the lookup stage for the
+        // cycle (fills above still land, so no request is ever lost —
+        // everything behind the hot-spot just waits).
+        if let Some(plan) = &self.fault {
+            if plan.l2_stall(self.id.index() as u64, now) {
+                return;
+            }
+        }
         let candidate = if self.stalled.is_some() {
             self.stalled.take()
         } else {
@@ -267,10 +285,7 @@ impl L2Slice {
     /// Removes the first ready reply satisfying `injectable` (per-
     /// destination virtual channels at the reply port; see
     /// `MemorySubsystem::pop_reply_where`).
-    pub fn pop_reply_where(
-        &mut self,
-        injectable: impl Fn(&Packet) -> bool,
-    ) -> Option<Packet> {
+    pub fn pop_reply_where(&mut self, injectable: impl Fn(&Packet) -> bool) -> Option<Packet> {
         let idx = self.replies.iter().position(injectable)?;
         self.replies.remove(idx)
     }
@@ -430,7 +445,10 @@ mod tests {
             slice.tick(t, &mut dram);
             while slice.pop_reply().is_some() {}
         }
-        assert!(slice.stats().writebacks >= 1, "dirty eviction must write back");
+        assert!(
+            slice.stats().writebacks >= 1,
+            "dirty eviction must write back"
+        );
     }
 
     #[test]
@@ -466,7 +484,9 @@ mod tests {
         // Touch line 0 again, then insert a new line: victim must be
         // line 1 (the least recently used), not line 0.
         slice.preload(addrs[0]);
-        let newcomer = slice.map.addr_in_slice(slice.id, cfg.mem.l2_assoc as u64 * sets);
+        let newcomer = slice
+            .map
+            .addr_in_slice(slice.id, cfg.mem.l2_assoc as u64 * sets);
         slice.preload(newcomer);
         assert!(slice.contains(addrs[0]));
         assert!(!slice.contains(addrs[1]));

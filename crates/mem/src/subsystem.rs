@@ -38,6 +38,13 @@ impl MemorySubsystem {
         }
     }
 
+    /// Attaches a fault plan to every L2 slice (hot-spot stalls).
+    pub fn set_fault_plan(&mut self, plan: &std::sync::Arc<gnc_common::fault::FaultPlan>) {
+        for slice in &mut self.slices {
+            slice.set_fault_plan(std::sync::Arc::clone(plan));
+        }
+    }
+
     /// The address map shared with the rest of the GPU.
     pub fn address_map(&self) -> &AddressMap {
         &self.map

@@ -218,10 +218,7 @@ mod tests {
         // Only input 1 is busy; it still only gets its own slots.
         let heads = [None, head(0, 0)];
         let grants: Vec<Option<usize>> = (0..6).map(|s| arb.grant(s, &heads)).collect();
-        assert_eq!(
-            grants,
-            vec![None, Some(1), None, Some(1), None, Some(1)]
-        );
+        assert_eq!(grants, vec![None, Some(1), None, Some(1), None, Some(1)]);
     }
 
     #[test]
@@ -261,7 +258,10 @@ mod tests {
     #[test]
     fn age_based_prefers_oldest() {
         let mut arb = AgeBasedArbiter::new();
-        assert_eq!(arb.grant(0, &[head(10, 0), head(3, 1), head(7, 2)]), Some(1));
+        assert_eq!(
+            arb.grant(0, &[head(10, 0), head(3, 1), head(7, 2)]),
+            Some(1)
+        );
         // Tie breaks to the lower index.
         assert_eq!(arb.grant(1, &[head(5, 0), head(5, 1)]), Some(0));
         assert_eq!(arb.grant(2, &[None, None]), None);

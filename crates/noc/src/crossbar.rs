@@ -110,7 +110,15 @@ mod tests {
     }
 
     fn xbar() -> Crossbar {
-        Crossbar::new(2, 3, 1, 0, 4, Arbitration::RoundRobin, &NocConfig::default())
+        Crossbar::new(
+            2,
+            3,
+            1,
+            0,
+            4,
+            Arbitration::RoundRobin,
+            &NocConfig::default(),
+        )
     }
 
     #[test]
@@ -141,7 +149,15 @@ mod tests {
 
     #[test]
     fn backpressure_per_virtual_queue() {
-        let mut x = Crossbar::new(1, 1, 1, 0, 1, Arbitration::RoundRobin, &NocConfig::default());
+        let mut x = Crossbar::new(
+            1,
+            1,
+            1,
+            0,
+            1,
+            Arbitration::RoundRobin,
+            &NocConfig::default(),
+        );
         x.try_push(0, 0, pkt(1)).unwrap();
         assert!(!x.can_accept(0, 0));
         assert!(x.try_push(0, 0, pkt(2)).is_err());

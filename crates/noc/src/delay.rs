@@ -35,7 +35,8 @@ impl<T> DelayLine<T> {
     /// Inserts an item at `now`; it becomes poppable at
     /// `now + latency`.
     pub fn push(&mut self, now: Cycle, item: T) {
-        self.items.push_back((now + Cycle::from(self.latency), item));
+        self.items
+            .push_back((now + Cycle::from(self.latency), item));
     }
 
     /// Inserts an item that becomes poppable at the explicit cycle
@@ -47,7 +48,7 @@ impl<T> DelayLine<T> {
     /// of the current tail, which would violate FIFO order.
     pub fn push_ready_at(&mut self, ready_at: Cycle, item: T) {
         debug_assert!(
-            self.items.back().map_or(true, |(t, _)| *t <= ready_at),
+            self.items.back().is_none_or(|(t, _)| *t <= ready_at),
             "push_ready_at must preserve FIFO readiness order"
         );
         self.items.push_back((ready_at, item));

@@ -22,8 +22,10 @@ use crate::crossbar::Crossbar;
 use crate::mux::ConcentratorMux;
 use crate::packet::Packet;
 use gnc_common::config::Arbitration;
+use gnc_common::fault::FaultPlan;
 use gnc_common::ids::{GpcId, SliceId, SmId, TpcId};
 use gnc_common::{Cycle, GpuConfig};
+use std::sync::Arc;
 
 /// The SM → L2 request network.
 #[derive(Debug)]
@@ -91,6 +93,21 @@ impl RequestFabric {
         }
     }
 
+    /// Attaches a fault plan to every shared mux of the request subnet.
+    ///
+    /// Each mux gets a distinct stable site id (TPC muxes at
+    /// `0x1_0000 + t`, GPC muxes at `0x2_0000 + g`) so the plan's
+    /// hashed burst schedule differs per mux but is reproducible
+    /// per seed.
+    pub fn set_fault_plan(&mut self, plan: &Arc<FaultPlan>) {
+        for (t, mux) in self.tpc_muxes.iter_mut().enumerate() {
+            mux.set_fault_plan(Arc::clone(plan), 0x1_0000 + t as u64);
+        }
+        for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
+            mux.set_fault_plan(Arc::clone(plan), 0x2_0000 + g as u64);
+        }
+    }
+
     /// Number of SM injection ports.
     pub fn num_sm_ports(&self) -> usize {
         self.tpc_muxes.len() * self.sms_per_tpc
@@ -123,10 +140,7 @@ impl RequestFabric {
         self.xbar.tick(now);
         // GPC outputs → crossbar inputs.
         for g in 0..self.gpc_muxes.len() {
-            loop {
-                let Some(head) = self.gpc_muxes[g].peek_delivered(now) else {
-                    break;
-                };
+            while let Some(head) = self.gpc_muxes[g].peek_delivered(now) {
                 let out = head.slice.index();
                 if !self.xbar.can_accept(g, out) {
                     break; // head-of-line blocking until the queue drains
@@ -246,6 +260,18 @@ impl ReplyFabric {
         }
     }
 
+    /// Attaches a fault plan to the shared reply channels (GPC reply
+    /// muxes at site `0x3_0000 + g`, SM ejection ports at
+    /// `0x4_0000 + s`).
+    pub fn set_fault_plan(&mut self, plan: &Arc<FaultPlan>) {
+        for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
+            mux.set_fault_plan(Arc::clone(plan), 0x3_0000 + g as u64);
+        }
+        for (s, ej) in self.sm_ejectors.iter_mut().enumerate() {
+            ej.set_fault_plan(Arc::clone(plan), 0x4_0000 + s as u64);
+        }
+    }
+
     /// Whether `slice` can inject a reply destined for `sm`'s GPC.
     pub fn can_inject(&self, slice: SliceId, sm: SmId) -> bool {
         self.gpc_muxes[self.gpc_of_sm[sm.index()].index()].can_accept(slice.index())
@@ -304,7 +330,10 @@ impl ReplyFabric {
     /// True when nothing is queued or in flight anywhere in the subnet.
     pub fn is_drained(&self) -> bool {
         self.gpc_muxes.iter().all(ConcentratorMux::is_drained)
-            && self.sm_staging.iter().all(std::collections::VecDeque::is_empty)
+            && self
+                .sm_staging
+                .iter()
+                .all(std::collections::VecDeque::is_empty)
             && self.sm_ejectors.iter().all(ConcentratorMux::is_drained)
     }
 }

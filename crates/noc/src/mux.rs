@@ -11,8 +11,10 @@ use crate::arbiter::{make_arbiter, ArbHead, Arbiter};
 use crate::delay::DelayLine;
 use crate::packet::Packet;
 use gnc_common::config::{Arbitration, NocConfig};
+use gnc_common::fault::FaultPlan;
 use gnc_common::Cycle;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 struct InFlight {
@@ -53,6 +55,10 @@ pub struct ConcentratorMux {
     forwarded_packets: u64,
     /// Total packets across all input queues (fast idle check).
     queued: usize,
+    /// Optional fault injection: background-traffic bursts at this mux
+    /// steal output flit slots. The `u64` is this mux's stable site id
+    /// within the fault plan's hash space.
+    fault: Option<(Arc<FaultPlan>, u64)>,
 }
 
 impl ConcentratorMux {
@@ -89,7 +95,14 @@ impl ConcentratorMux {
             granted_flits: vec![0; n_inputs],
             forwarded_packets: 0,
             queued: 0,
+            fault: None,
         }
+    }
+
+    /// Attaches a fault plan; background-traffic bursts decided by the
+    /// plan for `site` will steal output flit slots from this mux.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>, site: u64) {
+        self.fault = Some((plan, site));
     }
 
     /// Number of input ports.
@@ -129,11 +142,23 @@ impl ConcentratorMux {
 
     /// Advances the mux by one cycle: arbitrates up to `bandwidth` flit
     /// slots and moves fully transmitted packets into the output pipeline.
+    ///
+    /// When a fault plan is attached, background-traffic bursts occupy
+    /// some (or all) of this cycle's flit slots before the queued
+    /// traffic gets to arbitrate — exactly the contention a co-tenant
+    /// kernel sharing the mux would create.
     pub fn tick(&mut self, now: Cycle) {
         if self.queued == 0 {
             return;
         }
-        for slot in 0..self.bandwidth {
+        let mut budget = self.bandwidth;
+        if let Some((plan, site)) = &self.fault {
+            budget = budget.saturating_sub(plan.burst_flits(*site, now));
+            if budget == 0 {
+                return;
+            }
+        }
+        for slot in 0..budget {
             let heads: Vec<Option<ArbHead>> = self
                 .inputs
                 .iter()
@@ -227,9 +252,60 @@ mod tests {
     }
 
     #[test]
+    fn background_bursts_steal_flit_slots() {
+        use gnc_common::fault::FaultConfig;
+
+        let drain = |fault: Option<Arc<FaultPlan>>| -> Cycle {
+            let mut m = mux(Arbitration::RoundRobin, 1, 0);
+            if let Some(plan) = fault {
+                m.set_fault_plan(plan, 0x1_0000);
+            }
+            for id in 0..8 {
+                m.try_push((id % 2) as usize, pkt(id, PacketKind::WriteRequest, 0, 0))
+                    .unwrap();
+            }
+            let mut now = 0;
+            let mut delivered = 0;
+            while delivered < 8 {
+                m.tick(now);
+                while m.pop_delivered(now).is_some() {
+                    delivered += 1;
+                }
+                now += 1;
+                assert!(now < 10_000, "mux wedged");
+            }
+            now
+        };
+
+        let clean = drain(None);
+        let noop = drain(Some(FaultPlan::new(FaultConfig::off())));
+        assert_eq!(clean, noop, "a no-op plan must not perturb timing");
+        let jam = FaultConfig {
+            noc_burst_rate: 0.5,
+            noc_burst_cycles: 8,
+            noc_burst_flits: 1,
+            ..FaultConfig::off()
+        };
+        let noisy = drain(Some(FaultPlan::new(jam)));
+        assert!(
+            noisy > clean,
+            "bursts must slow the drain ({noisy} vs {clean} cycles)"
+        );
+        // Determinism: the same plan yields the same drain time.
+        let jam2 = FaultConfig {
+            noc_burst_rate: 0.5,
+            noc_burst_cycles: 8,
+            noc_burst_flits: 1,
+            ..FaultConfig::off()
+        };
+        assert_eq!(noisy, drain(Some(FaultPlan::new(jam2))));
+    }
+
+    #[test]
     fn single_write_packet_takes_its_flit_count() {
         let mut m = mux(Arbitration::RoundRobin, 1, 0);
-        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).unwrap();
+        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0))
+            .unwrap();
         // 5 flits at 1 flit/cycle: delivered after the tick at cycle 4.
         for now in 0..4 {
             m.tick(now);
@@ -242,7 +318,8 @@ mod tests {
     #[test]
     fn latency_delays_delivery() {
         let mut m = mux(Arbitration::RoundRobin, 1, 10);
-        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 0)).unwrap();
+        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 0))
+            .unwrap();
         m.tick(0); // single flit crosses at cycle 0
         assert!(m.pop_delivered(9).is_none());
         assert!(m.pop_delivered(10).is_some());
@@ -354,8 +431,12 @@ mod tests {
     #[test]
     fn backpressure_returns_packet() {
         let mut m = ConcentratorMux::new(1, 1, 0, 2, Arbitration::RoundRobin, &noc());
-        assert!(m.try_push(0, pkt(0, PacketKind::WriteRequest, 0, 0)).is_ok());
-        assert!(m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).is_ok());
+        assert!(m
+            .try_push(0, pkt(0, PacketKind::WriteRequest, 0, 0))
+            .is_ok());
+        assert!(m
+            .try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0))
+            .is_ok());
         assert!(!m.can_accept(0));
         let rejected = m.try_push(0, pkt(2, PacketKind::WriteRequest, 0, 0));
         assert_eq!(rejected.unwrap_err().id, PacketId(2));
@@ -365,7 +446,8 @@ mod tests {
     fn wide_channel_moves_multiple_flits_per_cycle() {
         // Bandwidth 6: a 5-flit write completes within a single tick.
         let mut m = mux(Arbitration::RoundRobin, 6, 0);
-        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).unwrap();
+        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0))
+            .unwrap();
         m.tick(0);
         assert!(m.pop_delivered(0).is_some());
     }
@@ -373,8 +455,10 @@ mod tests {
     #[test]
     fn granted_flit_accounting() {
         let mut m = mux(Arbitration::RoundRobin, 1, 0);
-        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0)).unwrap();
-        m.try_push(1, pkt(2, PacketKind::ReadRequest, 1, 0)).unwrap();
+        m.try_push(0, pkt(1, PacketKind::WriteRequest, 0, 0))
+            .unwrap();
+        m.try_push(1, pkt(2, PacketKind::ReadRequest, 1, 0))
+            .unwrap();
         for now in 0..6 {
             m.tick(now);
         }
@@ -387,8 +471,10 @@ mod tests {
     #[test]
     fn fifo_within_one_input() {
         let mut m = mux(Arbitration::RoundRobin, 1, 0);
-        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 0)).unwrap();
-        m.try_push(0, pkt(2, PacketKind::ReadRequest, 0, 0)).unwrap();
+        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 0))
+            .unwrap();
+        m.try_push(0, pkt(2, PacketKind::ReadRequest, 0, 0))
+            .unwrap();
         m.tick(0);
         m.tick(1);
         assert_eq!(m.pop_delivered(1).unwrap().id, PacketId(1));
@@ -404,8 +490,10 @@ mod tests {
     #[test]
     fn age_based_prefers_older_packet_across_inputs() {
         let mut m = mux(Arbitration::AgeBased, 1, 0);
-        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 100)).unwrap();
-        m.try_push(1, pkt(2, PacketKind::ReadRequest, 1, 50)).unwrap();
+        m.try_push(0, pkt(1, PacketKind::ReadRequest, 0, 100))
+            .unwrap();
+        m.try_push(1, pkt(2, PacketKind::ReadRequest, 1, 50))
+            .unwrap();
         m.tick(0);
         assert_eq!(m.pop_delivered(0).unwrap().id, PacketId(2));
     }

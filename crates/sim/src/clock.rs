@@ -9,15 +9,20 @@
 //! the *lower bits* of their local clocks without any communication —
 //! but only because they are co-located.
 
+use gnc_common::fault::FaultPlan;
 use gnc_common::ids::SmId;
 use gnc_common::rng::{experiment_rng, symmetric_skew};
 use gnc_common::{Cycle, GpuConfig};
+use std::sync::Arc;
 
 /// Per-SM clock offsets drawn once at GPU construction.
 #[derive(Debug, Clone)]
 pub struct ClockDomain {
     /// 64-bit offset of each SM's counter relative to simulation cycle 0.
     offsets: Vec<u64>,
+    /// Optional fault injection: per-SM drift plus transient glitches
+    /// perturb every read.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl ClockDomain {
@@ -37,7 +42,11 @@ impl ClockDomain {
             .collect();
         // Budget the skews: half the TPC-level budget is per-SM jitter.
         let sm_jitter_max = cfg.clock.max_tpc_skew / 2;
-        let tpc_jitter_max = (cfg.clock.max_gpc_skew.saturating_sub(cfg.clock.max_tpc_skew)) / 2;
+        let tpc_jitter_max = (cfg
+            .clock
+            .max_gpc_skew
+            .saturating_sub(cfg.clock.max_tpc_skew))
+            / 2;
         let tpc_jitters: Vec<i64> = (0..cfg.num_tpcs())
             .map(|_| symmetric_skew(&mut rng, tpc_jitter_max))
             .collect();
@@ -46,19 +55,32 @@ impl ClockDomain {
                 let sm = SmId::new(s);
                 let gpc = cfg.gpc_of_sm(sm);
                 let tpc = cfg.tpc_of_sm(sm);
-                let jitter =
-                    tpc_jitters[tpc.index()] + symmetric_skew(&mut rng, sm_jitter_max);
+                let jitter = tpc_jitters[tpc.index()] + symmetric_skew(&mut rng, sm_jitter_max);
                 gpc_epochs[gpc.index()].saturating_add_signed(jitter)
             })
             .collect();
-        Self { offsets }
+        Self {
+            offsets,
+            fault: None,
+        }
+    }
+
+    /// Attaches a fault plan: subsequent reads see per-SM drift (the
+    /// oscillators of distinct SMs tick at slightly different rates)
+    /// and transient glitch jumps, as decided by the plan.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.fault = Some(plan);
     }
 
     /// The raw 64-bit counter of `sm` at simulation cycle `now` (used for
     /// plotting Fig 6; real hardware exposes only the low 32 bits).
     #[inline]
     pub fn read64(&self, sm: SmId, now: Cycle) -> u64 {
-        self.offsets[sm.index()].wrapping_add(now)
+        let base = self.offsets[sm.index()].wrapping_add(now);
+        match &self.fault {
+            Some(plan) => base.wrapping_add_signed(plan.clock_offset(sm.index() as u64, now)),
+            None => base,
+        }
     }
 
     /// The architectural 32-bit `clock()` value of `sm` at `now`
@@ -163,6 +185,40 @@ mod tests {
     }
 
     #[test]
+    fn drift_faults_skew_reads_deterministically() {
+        use gnc_common::fault::{FaultConfig, FaultPlan};
+
+        let cfg = GpuConfig::volta_v100();
+        let clean = ClockDomain::new(&cfg, 3);
+        let mut faulty = ClockDomain::new(&cfg, 3);
+        faulty.set_fault_plan(FaultPlan::new(FaultConfig {
+            clock_drift_ppm: 500,
+            ..FaultConfig::off()
+        }));
+        let now = 10_000_000;
+        let drifted = (0..cfg.num_sms())
+            .filter(|&s| clean.read64(SmId::new(s), now) != faulty.read64(SmId::new(s), now))
+            .count();
+        assert_eq!(
+            drifted,
+            cfg.num_sms(),
+            "500 ppm over 1e7 cycles shows on every SM"
+        );
+        // Identical plan, identical reads.
+        let mut again = ClockDomain::new(&cfg, 3);
+        again.set_fault_plan(FaultPlan::new(FaultConfig {
+            clock_drift_ppm: 500,
+            ..FaultConfig::off()
+        }));
+        for s in 0..cfg.num_sms() {
+            assert_eq!(
+                faulty.read64(SmId::new(s), now),
+                again.read64(SmId::new(s), now)
+            );
+        }
+    }
+
+    #[test]
     fn same_seed_reproduces_same_domain() {
         let cfg = GpuConfig::volta_v100();
         let a = ClockDomain::new(&cfg, 7);
@@ -171,8 +227,6 @@ mod tests {
             assert_eq!(a.read64(SmId::new(s), 0), b.read64(SmId::new(s), 0));
         }
         let c = ClockDomain::new(&cfg, 8);
-        assert!(
-            (0..cfg.num_sms()).any(|s| a.read64(SmId::new(s), 0) != c.read64(SmId::new(s), 0))
-        );
+        assert!((0..cfg.num_sms()).any(|s| a.read64(SmId::new(s), 0) != c.read64(SmId::new(s), 0)));
     }
 }

@@ -86,6 +86,7 @@ pub struct Gpu {
     kernels: Vec<KernelState>,
     recorder: Recorder,
     now: Cycle,
+    fault: Option<std::sync::Arc<gnc_common::fault::FaultPlan>>,
 }
 
 impl fmt::Debug for Gpu {
@@ -117,7 +118,9 @@ impl Gpu {
     pub fn with_clock_seed(cfg: GpuConfig, clock_seed: u64) -> Result<Self, ConfigError> {
         cfg.validate()?;
         let clock = ClockDomain::new(&cfg, clock_seed);
-        let sms = (0..cfg.num_sms()).map(|s| Sm::new(SmId::new(s), &cfg)).collect();
+        let sms = (0..cfg.num_sms())
+            .map(|s| Sm::new(SmId::new(s), &cfg))
+            .collect();
         let request_fabric = RequestFabric::new(&cfg);
         let reply_fabric = ReplyFabric::new(&cfg);
         let mem = MemorySubsystem::new(&cfg);
@@ -133,7 +136,40 @@ impl Gpu {
             kernels: Vec::new(),
             recorder: Recorder::new(),
             now: 0,
+            fault: None,
         })
+    }
+
+    /// Builds a GPU with a fault-injection plan wired into every
+    /// fault-capable subsystem: the NoC muxes of both subnets
+    /// (background-traffic bursts), the clock domain (drift and
+    /// glitches), the measurement path (sample jitter / drop /
+    /// duplication), and the L2 slices (hot-spot stalls).
+    ///
+    /// The plan is seeded and order-independent, so two GPUs built with
+    /// the same configuration, seeds, and workload behave bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error when `cfg` is inconsistent.
+    pub fn with_faults(
+        cfg: GpuConfig,
+        clock_seed: u64,
+        plan: std::sync::Arc<gnc_common::fault::FaultPlan>,
+    ) -> Result<Self, ConfigError> {
+        let mut gpu = Self::with_clock_seed(cfg, clock_seed)?;
+        gpu.clock.set_fault_plan(std::sync::Arc::clone(&plan));
+        gpu.request_fabric.set_fault_plan(&plan);
+        gpu.reply_fabric.set_fault_plan(&plan);
+        gpu.mem.set_fault_plan(&plan);
+        gpu.recorder.set_fault_plan(std::sync::Arc::clone(&plan));
+        gpu.fault = Some(plan);
+        Ok(gpu)
+    }
+
+    /// The fault plan wired into this GPU, if any.
+    pub fn fault_plan(&self) -> Option<&std::sync::Arc<gnc_common::fault::FaultPlan>> {
+        self.fault.as_ref()
     }
 
     /// The configuration this GPU was built from.
@@ -275,8 +311,7 @@ impl Gpu {
             }
             let stream = self.kernels[ki].stream;
             while !self.kernels[ki].pending_blocks.is_empty() {
-                let Some(sm) = self.policy.next_free(|sm| self.sm_has_room(sm, stream))
-                else {
+                let Some(sm) = self.policy.next_free(|sm| self.sm_has_room(sm, stream)) else {
                     break; // no SM fits this kernel; try the next kernel
                 };
                 let block = self.kernels[ki]
@@ -340,7 +375,12 @@ impl Gpu {
         }
         // 2. SMs execute and enqueue requests.
         for sm in &mut self.sms {
-            sm.tick(now, &self.clock, &mut self.request_fabric, &mut self.recorder);
+            sm.tick(
+                now,
+                &self.clock,
+                &mut self.request_fabric,
+                &mut self.recorder,
+            );
         }
         // 3. Request subnet moves.
         self.request_fabric.tick(now);
@@ -559,10 +599,16 @@ mod tests {
         );
         // Tick once so both kernels place before any block finishes.
         gpu.tick();
-        let sender_sms: Vec<usize> =
-            gpu.block_spans(sender).iter().map(|s| s.sm.index()).collect();
-        let receiver_sms: Vec<usize> =
-            gpu.block_spans(receiver).iter().map(|s| s.sm.index()).collect();
+        let sender_sms: Vec<usize> = gpu
+            .block_spans(sender)
+            .iter()
+            .map(|s| s.sm.index())
+            .collect();
+        let receiver_sms: Vec<usize> = gpu
+            .block_spans(receiver)
+            .iter()
+            .map(|s| s.sm.index())
+            .collect();
         assert_eq!(sender_sms.len(), 40);
         assert_eq!(receiver_sms.len(), 40);
         for (s, r) in sender_sms.iter().zip(&receiver_sms) {
@@ -626,8 +672,7 @@ mod tests {
         assert!(gpu.run_until_idle(300_000).is_idle());
         let (a_start, a_end) = gpu.kernel_span(a);
         let (b_start, b_end) = gpu.kernel_span(b);
-        let overlap =
-            b_start.unwrap() < a_end.unwrap() && a_start.unwrap() < b_end.unwrap();
+        let overlap = b_start.unwrap() < a_end.unwrap() && a_start.unwrap() < b_end.unwrap();
         assert!(overlap, "stream concurrency must overlap kernels");
     }
 
@@ -648,10 +693,16 @@ mod tests {
         let b = gpu.launch(mk(6), StreamId::new(1));
         gpu.tick();
         // Every placed block's TPC must be exclusive to one stream.
-        let a_tpcs: std::collections::HashSet<usize> =
-            gpu.block_spans(a).iter().map(|s| s.sm.index() / 2).collect();
-        let b_tpcs: std::collections::HashSet<usize> =
-            gpu.block_spans(b).iter().map(|s| s.sm.index() / 2).collect();
+        let a_tpcs: std::collections::HashSet<usize> = gpu
+            .block_spans(a)
+            .iter()
+            .map(|s| s.sm.index() / 2)
+            .collect();
+        let b_tpcs: std::collections::HashSet<usize> = gpu
+            .block_spans(b)
+            .iter()
+            .map(|s| s.sm.index() / 2)
+            .collect();
         assert!(
             a_tpcs.is_disjoint(&b_tpcs),
             "streams share TPCs under isolation: {:?}",

@@ -156,6 +156,9 @@ pub struct Record {
 #[derive(Debug, Default)]
 pub struct Recorder {
     records: Vec<Record>,
+    /// Optional fault injection on the measurement path: samples can be
+    /// jittered, dropped, or duplicated before they land in `records`.
+    fault: Option<std::sync::Arc<gnc_common::fault::FaultPlan>>,
 }
 
 impl Recorder {
@@ -164,9 +167,39 @@ impl Recorder {
         Self::default()
     }
 
+    /// Attaches a fault plan perturbing subsequent [`push`](Self::push)
+    /// calls.
+    pub fn set_fault_plan(&mut self, plan: std::sync::Arc<gnc_common::fault::FaultPlan>) {
+        self.fault = Some(plan);
+    }
+
     /// Appends a record.
+    ///
+    /// With a fault plan attached, the measurement path becomes lossy:
+    /// a sample may be silently dropped, gain measurement jitter, or be
+    /// recorded twice (the failure modes of a real busy-polling
+    /// receiver that misses or double-reads its timestamp window).
+    /// Decisions key on the *logical identity* of the sample
+    /// (SM, kernel, tag), so a given sample's fate is independent of
+    /// when the simulator happens to deliver it.
     pub fn push(&mut self, record: Record) {
+        let Some(plan) = &self.fault else {
+            self.records.push(record);
+            return;
+        };
+        let site = (record.sm.index() as u64) << 32 | record.kernel.index() as u64;
+        let sample = u64::from(record.tag);
+        if plan.drop_sample(site, sample) {
+            return;
+        }
+        let mut record = record;
+        record.value = record
+            .value
+            .saturating_add(plan.sample_jitter(site, sample));
         self.records.push(record);
+        if plan.dup_sample(site, sample) {
+            self.records.push(record);
+        }
     }
 
     /// All records in emission order.
@@ -224,17 +257,54 @@ mod tests {
     fn warp_addresses_uncoalesced_spans_lines() {
         let addrs = warp_addresses(0, 32, true, 128);
         assert_eq!(addrs.len(), 32);
-        let lines: std::collections::HashSet<u64> =
-            addrs.iter().map(|a| a / 128).collect();
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
         assert_eq!(lines.len(), 32);
     }
 
     #[test]
     fn warp_addresses_coalesced_stays_in_one_line() {
         let addrs = warp_addresses(0, 32, false, 128);
-        let lines: std::collections::HashSet<u64> =
-            addrs.iter().map(|a| a / 128).collect();
+        let lines: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 128).collect();
         assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn faulty_recorder_drops_duplicates_and_jitters() {
+        use gnc_common::fault::{FaultConfig, FaultPlan};
+
+        let emit = |rec: &mut Recorder| {
+            for tag in 0..2_000u32 {
+                rec.push(Record {
+                    cycle: 0,
+                    kernel: KernelId::new(0),
+                    sm: SmId::new(1),
+                    block: BlockId::new(0),
+                    warp: WarpId::new(0),
+                    tag,
+                    value: 100,
+                });
+            }
+        };
+        let mut clean = Recorder::new();
+        emit(&mut clean);
+        assert_eq!(clean.len(), 2_000);
+
+        let cfg = FaultConfig {
+            sample_drop_rate: 0.1,
+            sample_dup_rate: 0.05,
+            sample_jitter_cycles: 50,
+            ..FaultConfig::off()
+        };
+        let mut noisy = Recorder::new();
+        noisy.set_fault_plan(FaultPlan::new(cfg.clone()));
+        emit(&mut noisy);
+        assert_ne!(noisy.len(), 2_000, "drops/dups must change the count");
+        assert!(noisy.records().iter().any(|r| r.value > 100), "jitter");
+        // Determinism: same plan, same stream.
+        let mut again = Recorder::new();
+        again.set_fault_plan(FaultPlan::new(cfg));
+        emit(&mut again);
+        assert_eq!(noisy.records(), again.records());
     }
 
     #[test]

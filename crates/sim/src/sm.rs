@@ -296,7 +296,11 @@ impl Sm {
                     return;
                 }
                 WarpStep::Memory { kind, addrs, wait } => {
-                    let cap = if wait { None } else { Some(self.max_outstanding) };
+                    let cap = if wait {
+                        None
+                    } else {
+                        Some(self.max_outstanding)
+                    };
                     self.issue_burst(bi, wi, now, kind, &addrs, wait, cap);
                     return;
                 }
@@ -445,8 +449,7 @@ mod tests {
             sm.tick(now, clock, fabric, recorder);
             fabric.tick(now);
             for s in 0..48 {
-                while let Some(p) = fabric.pop_at_slice(gnc_common::ids::SliceId::new(s), now)
-                {
+                while let Some(p) = fabric.pop_at_slice(gnc_common::ids::SliceId::new(s), now) {
                     pending.push((now + reply_delay, p.to_reply(now)));
                 }
             }

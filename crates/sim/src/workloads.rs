@@ -144,10 +144,12 @@ struct StreamWarp {
 
 impl WarpProgram for StreamWarp {
     fn step(&mut self, ctx: &WarpContext) -> WarpStep {
-        let active = *self.gated.get_or_insert_with(|| match &self.cfg.target_sms {
-            Some(sms) => sms.contains(&ctx.sm.index()),
-            None => true,
-        });
+        let active = *self
+            .gated
+            .get_or_insert_with(|| match &self.cfg.target_sms {
+                Some(sms) => sms.contains(&ctx.sm.index()),
+                None => true,
+            });
         if !active {
             return WarpStep::Finish;
         }

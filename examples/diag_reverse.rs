@@ -1,0 +1,34 @@
+//! Diagnostic: print the blind GPC recovery for a given seed so
+//! misclassifications can be inspected against the ground truth.
+//!
+//! ```text
+//! cargo run --release --example diag_reverse -- 21
+//! ```
+
+use gpu_noc_covert::common::ids::GpcId;
+use gpu_noc_covert::common::GpuConfig;
+use gpu_noc_covert::covert::reverse::recover_mapping;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(21);
+    let cfg = GpuConfig::volta_v100();
+    let mapping = recover_mapping(&cfg, 400, 10, seed);
+    println!("seed {seed}:");
+    for (i, g) in mapping.groups.iter().enumerate() {
+        let tpcs: Vec<usize> = g.iter().map(|t| t.index()).collect();
+        println!("  recovered group {i}: {tpcs:?}");
+    }
+    println!("ground truth:");
+    for g in 0..cfg.num_gpcs {
+        let tpcs: Vec<usize> = cfg
+            .tpcs_of_gpc(GpcId::new(g))
+            .iter()
+            .map(|t| t.index())
+            .collect();
+        println!("  GPC{g}: {tpcs:?}");
+    }
+    println!("match: {}", mapping.matches_ground_truth(&cfg));
+}

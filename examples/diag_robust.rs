@@ -1,0 +1,90 @@
+//! Diagnostic: dump adaptive-decode behaviour under each fault preset.
+//!
+//! ```text
+//! cargo run --release --example diag_robust [preset] [seed]
+//! ```
+
+use gnc_common::bits::BitVec;
+use gnc_common::fault::{FaultConfig, FaultPlan};
+use gnc_common::fec::{fec_decode_symbols, fec_encode, FecSymbol};
+use gnc_common::GpuConfig;
+use gnc_covert::channel::ChannelPlan;
+use gnc_covert::protocol::ProtocolConfig;
+use gnc_covert::robust::{adaptive_decode, RobustOptions};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let preset = args.next().unwrap_or_else(|| "mild".into());
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+    let payload = BitVec::from_bytes(b"n");
+    let crc = gnc_covert::robust::crc16(&payload);
+    let mut frame = payload.clone();
+    for i in (0..16).rev() {
+        frame.push(crc & (1 << i) != 0);
+    }
+    let coded = fec_encode(&frame);
+
+    let fault_cfg = FaultConfig::parse(&preset).unwrap().with_seed(seed);
+    let fault_plan = FaultPlan::new(fault_cfg);
+    let (report, traces) = plan.transmit_with_faults(&cfg, &coded, seed, &fault_plan);
+    println!(
+        "naive: {} raw errors / {} bits, outcome {:?}",
+        report.errors,
+        coded.len(),
+        report.outcome
+    );
+    println!("fault stats: {:?}", fault_plan.stats());
+
+    let opts = RobustOptions::default();
+    for trace in &traces {
+        let out = adaptive_decode(trace, plan.protocol().preamble_bits, &opts);
+        println!(
+            "trace {}: {} samples (expected {}), dup {}, missing {}, erasures {}, resync {}",
+            trace.label,
+            trace.samples.len(),
+            trace.expected_samples,
+            out.duplicates,
+            out.missing,
+            out.erasures,
+            out.resynchronized
+        );
+        println!("  thresholds: {:?}", out.thresholds);
+        let sent = &trace.chunk;
+        let mut wrong = 0;
+        for (i, (sym, bit)) in out.symbols.iter().zip(sent).enumerate() {
+            let tag = i + plan.protocol().preamble_bits;
+            let sample = trace
+                .samples
+                .iter()
+                .find(|(t, _)| *t as usize == tag)
+                .map(|(_, v)| *v);
+            let mark = match (sym, bit) {
+                (FecSymbol::Erased, _) => "ERASED",
+                (FecSymbol::One, true) | (FecSymbol::Zero, false) => "",
+                _ => {
+                    wrong += 1;
+                    "WRONG"
+                }
+            };
+            if !mark.is_empty() {
+                println!("  slot {tag}: sent {bit}, sample {sample:?}, sym {sym:?} {mark}");
+            }
+        }
+        println!("  hard symbol errors: {wrong}");
+        let fec = fec_decode_symbols(&out.symbols, frame.len());
+        println!(
+            "  fec: corrected {}, truncated {}, erased_bits {}, payload errors {}",
+            fec.corrected_blocks,
+            fec.truncated_blocks,
+            fec.erased_bits,
+            fec.payload
+                .iter()
+                .zip(frame.iter())
+                .filter(|(a, b)| a != b)
+                .count()
+        );
+    }
+}

@@ -32,14 +32,8 @@ fn main() {
     let report = plan.transmit(&cfg, &payload, 42);
 
     let received = report.received.to_bytes();
-    println!(
-        "sent     : {:?}",
-        String::from_utf8_lossy(secret)
-    );
-    println!(
-        "received : {:?}",
-        String::from_utf8_lossy(&received)
-    );
+    println!("sent     : {:?}", String::from_utf8_lossy(secret));
+    println!("received : {:?}", String::from_utf8_lossy(&received));
     println!(
         "bits {} | errors {} ({:.3} %) | goodput {:.2} kbps | window {} cycles",
         report.sent.len(),

@@ -9,9 +9,7 @@
 
 use gpu_noc_covert::common::ids::GpcId;
 use gpu_noc_covert::common::GpuConfig;
-use gpu_noc_covert::covert::reverse::{
-    recover_mapping, sibling_from_sweep, tpc_pairing_sweep,
-};
+use gpu_noc_covert::covert::reverse::{recover_mapping, sibling_from_sweep, tpc_pairing_sweep};
 
 fn main() {
     let cfg = GpuConfig::volta_v100();

@@ -39,7 +39,11 @@ fn main() {
             "  {:<4} -> {:>6.2} % {}",
             policy.label(),
             err * 100.0,
-            if err > 0.3 { "(channel dead)" } else { "(channel alive)" }
+            if err > 0.3 {
+                "(channel dead)"
+            } else {
+                "(channel alive)"
+            }
         );
     }
 

@@ -20,7 +20,7 @@ fn blind_tpc_discovery_then_covert_transmission() {
     assert_eq!(sibling, 1);
 
     // Step 2 (§4.4): use the discovered pair as a covert channel.
-    let tpc = 0 / 2;
+    let tpc = sibling / 2;
     let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[tpc]);
     let secret = BitVec::from_bytes(b"pwn");
     let report = plan.transmit(&cfg, &secret, 99);

@@ -131,3 +131,115 @@ fn presets_are_internally_consistent() {
         assert_eq!(cfg.num_sms(), cfg.num_tpcs() * cfg.sms_per_tpc);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Hamming(7,4) corrects any pattern of at most one flipped bit per
+    /// 7-bit block, payload recovered exactly.
+    #[test]
+    fn hamming_round_trips_under_single_flips(
+        bytes in proptest::collection::vec(any::<u8>(), 1..8),
+        flip_seed in any::<u64>(),
+    ) {
+        use gpu_noc_covert::common::fec::{fec_decode, fec_encode};
+        let payload = BitVec::from_bytes(&bytes);
+        let coded = fec_encode(&payload);
+        // Flip at most one deterministic position per block.
+        let mut damaged: Vec<bool> = coded.iter().collect();
+        let mut flipped_blocks = 0usize;
+        for (b, chunk) in damaged.chunks_mut(7).enumerate() {
+            let roll = flip_seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(b as u64)
+                % (chunk.len() as u64 + 1);
+            if (roll as usize) < chunk.len() {
+                chunk[roll as usize] = !chunk[roll as usize];
+                flipped_blocks += 1;
+            }
+        }
+        let decode = fec_decode(&BitVec::from_bits(damaged), payload.len());
+        prop_assert_eq!(&decode.payload, &payload);
+        prop_assert_eq!(decode.corrected_blocks, flipped_blocks);
+        prop_assert_eq!(decode.erased_bits, 0);
+        prop_assert_eq!(decode.truncated_blocks, 0);
+    }
+
+    /// On a drifting channel, the adaptive windowed decoder is no worse
+    /// than the static preamble threshold at every jitter level.
+    #[test]
+    fn adaptive_decode_no_worse_than_static_across_jitter(
+        payload in proptest::collection::vec(any::<bool>(), 16..64),
+        noise_seed in any::<u64>(),
+    ) {
+        use gpu_noc_covert::covert::channel::ChannelTrace;
+        use gpu_noc_covert::covert::robust::{adaptive_decode, RobustOptions};
+        use gpu_noc_covert::common::fec::FecSymbol;
+
+        let preamble = 8usize;
+        let quiet = 100u64;
+        let loud = 300u64;
+        let total_drift = 150u64;
+        let stream = preamble + payload.len();
+        for (level, jitter) in [0u64, 8, 16, 24].into_iter().enumerate() {
+            let mut latencies = Vec::with_capacity(stream);
+            for i in 0..stream {
+                let bit = if i < preamble {
+                    i % 2 == 1
+                } else {
+                    payload[i - preamble]
+                };
+                let drift = i as u64 * total_drift / stream as u64;
+                // Deterministic wobble in [-jitter, +jitter].
+                let wobble = if jitter == 0 {
+                    0
+                } else {
+                    let h = noise_seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add((level * 1000 + i) as u64)
+                        .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    h % (2 * jitter + 1)
+                };
+                let base = if bit { loud } else { quiet };
+                latencies.push(base + drift + wobble - jitter);
+            }
+            let (_, static_bits) = decode_stream(&latencies, preamble, payload.len());
+            let static_errors = static_bits
+                .iter()
+                .zip(&payload)
+                .filter(|(a, b)| a != b)
+                .count();
+            let trace = ChannelTrace {
+                label: "synthetic".into(),
+                receiver_sm: 0,
+                samples: latencies
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (i as u32, v))
+                    .collect(),
+                expected_samples: stream,
+                chunk: payload.clone(),
+            };
+            let decode = adaptive_decode(
+                &trace,
+                preamble,
+                &RobustOptions { window: 8, ..RobustOptions::default() },
+            );
+            let adaptive_errors = decode
+                .hard_symbols
+                .iter()
+                .zip(&payload)
+                .filter(|(sym, &bit)| {
+                    matches!(sym, FecSymbol::One) != bit
+                })
+                .count();
+            prop_assert!(
+                adaptive_errors <= static_errors,
+                "jitter {}: adaptive {} vs static {}",
+                jitter,
+                adaptive_errors,
+                static_errors
+            );
+        }
+    }
+}

@@ -40,14 +40,26 @@ fn l2_round_trip_is_in_the_paper_band() {
 fn contention_asymmetry_matches_fig5() {
     let cfg = GpuConfig::volta_v100();
     let tpc = tpc_contention(&cfg, 24, 8);
-    assert!(tpc.write_slowdown > 1.7, "TPC writes: {}", tpc.write_slowdown);
+    assert!(
+        tpc.write_slowdown > 1.7,
+        "TPC writes: {}",
+        tpc.write_slowdown
+    );
     assert!(tpc.read_slowdown < 1.3, "TPC reads: {}", tpc.read_slowdown);
 
     let members = cfg.tpcs_of_gpc(gpu_noc_covert::common::ids::GpcId::new(1));
     let gpc = gpc_contention(&cfg, &members, 20, 9);
     let n = gpc.read_slowdown.len();
-    assert!(gpc.read_slowdown[n - 1] > 1.8, "GPC reads: {:?}", gpc.read_slowdown);
-    assert!(gpc.write_slowdown[n - 1] < 1.4, "GPC writes: {:?}", gpc.write_slowdown);
+    assert!(
+        gpc.read_slowdown[n - 1] > 1.8,
+        "GPC reads: {:?}",
+        gpc.read_slowdown
+    );
+    assert!(
+        gpc.write_slowdown[n - 1] < 1.4,
+        "GPC writes: {:?}",
+        gpc.write_slowdown
+    );
 }
 
 /// Clock skew must stay far below the L2 latency on every preset —
@@ -88,7 +100,11 @@ fn colocation_recipe_works_on_all_presets() {
         let trojan = gpu.launch(mk(), StreamId::new(0));
         let spy = gpu.launch(mk(), StreamId::new(1));
         gpu.tick();
-        let trojan_sms: Vec<usize> = gpu.block_spans(trojan).iter().map(|s| s.sm.index()).collect();
+        let trojan_sms: Vec<usize> = gpu
+            .block_spans(trojan)
+            .iter()
+            .map(|s| s.sm.index())
+            .collect();
         let spy_sms: Vec<usize> = gpu.block_spans(spy).iter().map(|s| s.sm.index()).collect();
         assert_eq!(trojan_sms.len(), n, "{}", cfg.name);
         for (t, s) in trojan_sms.iter().zip(&spy_sms) {
@@ -147,6 +163,10 @@ fn topology_invariants() {
     }
     // Every GPC has at least 2 TPCs (needed for a GPC channel).
     for g in 0..cfg.num_gpcs {
-        assert!(cfg.tpcs_of_gpc(gpu_noc_covert::common::ids::GpcId::new(g)).len() >= 2);
+        assert!(
+            cfg.tpcs_of_gpc(gpu_noc_covert::common::ids::GpcId::new(g))
+                .len()
+                >= 2
+        );
     }
 }

@@ -1,0 +1,217 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this stub keeps the
+//! bench harness API (`criterion_group!`, `criterion_main!`,
+//! [`Criterion`], [`BenchmarkId`], `Bencher::iter`) compiling and
+//! running without the statistics machinery: each benchmark runs one
+//! warm-up plus a small fixed number of timed iterations and prints a
+//! mean wall-clock time. Invoked with `--test` (as `cargo test` does for
+//! bench targets), benchmarks run exactly one iteration as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (best-effort).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Ids accepted by `bench_function`-style entry points.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    iterations: u32,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs harness-less bench targets with `--test`;
+        // `cargo bench` passes `--bench`. In test mode run each routine
+        // once, purely as a smoke test.
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Self { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: F,
+    ) -> &mut Self {
+        run_one(self.smoke_test, &id.into_id(), routine);
+        self
+    }
+
+    /// Configures the target sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configures the measurement time (accepted and ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Prints the summary footer (kept for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configures the target sample count (accepted and ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configures the measurement time (accepted and ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        routine: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion.smoke_test, &id, routine);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.smoke_test, &id, |b| routine(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(smoke_test: bool, id: &str, mut routine: F) {
+    let iterations = if smoke_test { 1 } else { 3 };
+    let mut bencher = Bencher {
+        iterations,
+        total: Duration::ZERO,
+    };
+    routine(&mut bencher);
+    let mean = bencher.total.checked_div(iterations).unwrap_or_default();
+    println!("bench: {id:<50} {mean:>12.3?}/iter ({iterations} iters)");
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,181 @@
+//! Offline ChaCha-based RNGs for the vendored `rand` stub.
+//!
+//! Implements the genuine ChaCha block function (D. J. Bernstein) with
+//! 8, 12, or 20 double-round counts, seeded from 32 bytes, with the
+//! 64-bit block counter starting at zero. Output words are emitted in
+//! block order. The keystream is the standard ChaCha keystream, so
+//! statistical quality matches the upstream `rand_chacha` crate; the
+//! word-serialisation order is close to (but not guaranteed identical
+//! to) upstream. This workspace only relies on within-implementation
+//! determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha core parameterised by the number of double rounds.
+#[derive(Debug, Clone)]
+struct ChaCha<const DOUBLE_ROUNDS: usize> {
+    /// Key (8 words) as loaded from the seed.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13); nonce words are zero.
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next word to emit from `block`.
+    index: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaCha<DOUBLE_ROUNDS> {
+    fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut rng = Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        };
+        rng.refill();
+        rng
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce words 14–15 stay zero: the seed fully determines the stream.
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($(#[$meta:meta])* $name:ident, $double_rounds:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone)]
+        pub struct $name(ChaCha<$double_rounds>);
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                self.0.next_word()
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.0.next_word();
+                let hi = self.0.next_word();
+                (u64::from(hi) << 32) | u64::from(lo)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self(ChaCha::from_seed_bytes(seed))
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    /// ChaCha with 8 rounds (4 double rounds).
+    ChaCha8Rng,
+    4
+);
+chacha_rng!(
+    /// ChaCha with 12 rounds (6 double rounds) — the workspace default.
+    ChaCha12Rng,
+    6
+);
+chacha_rng!(
+    /// ChaCha with 20 rounds (10 double rounds).
+    ChaCha20Rng,
+    10
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::from_seed([7; 32]);
+        let mut b = ChaCha12Rng::from_seed([7; 32]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha12Rng::from_seed([1; 32]);
+        let mut b = ChaCha12Rng::from_seed([2; 32]);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn chacha20_keystream_matches_rfc7539_shape() {
+        // RFC 7539 test vector uses a nonzero nonce, which this seed-only
+        // construction doesn't expose; instead sanity-check uniformity.
+        let mut rng = ChaCha20Rng::from_seed([0; 32]);
+        let ones: u32 = (0..1024).map(|_| rng.next_u64().count_ones()).sum();
+        let mean = f64::from(ones) / 1024.0;
+        assert!((28.0..36.0).contains(&mean), "bit bias: {mean}");
+    }
+
+    #[test]
+    fn seed_from_u64_works() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub.
+//!
+//! The build environment has no crates.io access, so this proc macro is
+//! written against `proc_macro` alone — no `syn`, no `quote`. It parses
+//! the derive input token stream by hand and supports exactly the shapes
+//! this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (a 1-field tuple struct serialises transparently, as
+//!   real serde does for newtypes),
+//! * unit structs,
+//! * enums with unit, newtype, and named-field variants (externally
+//!   tagged).
+//!
+//! `#[serde(...)]` helper attributes are accepted and ignored (the only
+//! one the workspace uses, `transparent`, matches the default newtype
+//! behaviour anyway). Generic types are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Shape {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// The parsed derive input.
+enum Input {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("serde stub derive generated invalid Rust"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error tokens"),
+    }
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tt: &TokenTree, word: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == word)
+}
+
+/// Advances `i` past any `#[...]` attributes.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while *i + 1 < tokens.len()
+        && is_punct(&tokens[*i], '#')
+        && matches!(&tokens[*i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+    {
+        *i += 2;
+    }
+}
+
+/// Advances `i` past `pub`, `pub(crate)`, `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if *i < tokens.len()
+            && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances `i` past tokens until a `,` at angle-bracket depth 0, or the
+/// end. Leaves `i` *on* the comma (caller consumes it).
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Parses the contents of a `{ ... }` field group into field names.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        if i >= tokens.len() || !is_punct(&tokens[i], ':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1; // consume the comma (or run off the end, which is fine)
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a `( ... )` tuple group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let shape = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream())?;
+                    i += 1;
+                    Shape::Named(fields)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    i += 1;
+                    Shape::Tuple(n)
+                }
+                _ => Shape::Unit,
+            }
+        } else {
+            Shape::Unit
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let is_struct = if i < tokens.len() && is_ident(&tokens[i], "struct") {
+        true
+    } else if i < tokens.len() && is_ident(&tokens[i], "enum") {
+        false
+    } else {
+        return Err("serde stub derive: expected `struct` or `enum`".to_string());
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stub derive: expected type name".to_string()),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is not supported"
+        ));
+    }
+    if is_struct {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(tt) if is_punct(tt, ';') => Shape::Unit,
+            _ => return Err(format!("serde stub derive: malformed struct `{name}`")),
+        };
+        Ok(Input::Struct { name, shape })
+    } else {
+        let variants = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                parse_variants(g.stream())?
+            }
+            _ => return Err(format!("serde stub derive: malformed enum `{name}`")),
+        };
+        Ok(Input::Enum { name, variants })
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::serialize(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push(format!(
+                        "Self::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "Self::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), {inner})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "Self::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+                 }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let body = match input {
+        Input::Struct { shape, .. } => match shape {
+            Shape::Unit => "::std::result::Result::Ok(Self)".to_string(),
+            Shape::Tuple(1) => {
+                "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize(value)?))"
+                    .to_string()
+            }
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::seq_element(value, {k})?"))
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok(Self({}))",
+                    items.join(", ")
+                )
+            }
+            Shape::Named(fields) => {
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::map_field(value, {f:?})?"))
+                    .collect();
+                format!(
+                    "::std::result::Result::Ok(Self {{ {} }})",
+                    items.join(", ")
+                )
+            }
+        },
+        Input::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push(format!(
+                        "{vn:?} => ::std::result::Result::Ok(Self::{vn}),"
+                    )),
+                    Shape::Tuple(n) => {
+                        let inner = if *n == 1 {
+                            "Self::_Tag(::serde::Deserialize::deserialize(_inner)?)"
+                                .replace("_Tag", vn)
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::seq_element(_inner, {k})?"))
+                                .collect();
+                            format!("Self::{vn}({})", items.join(", "))
+                        };
+                        data_arms.push(format!(
+                            "{vn:?} => ::std::result::Result::Ok({inner}),"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::map_field(_inner, {f:?})?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "{vn:?} => ::std::result::Result::Ok(Self::{vn} {{ {} }}),",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Str(_s) => match _s.as_str() {{\n\
+                 {unit}\n\
+                 _other => ::std::result::Result::Err(::serde::Error::new(\
+                 ::std::format!(\"unknown {name} variant `{{_other}}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(_entries) if _entries.len() == 1 => {{\n\
+                 let (_tag, _inner) = &_entries[0];\n\
+                 match _tag.as_str() {{\n\
+                 {data}\n\
+                 _other => ::std::result::Result::Err(::serde::Error::new(\
+                 ::std::format!(\"unknown {name} variant `{{_other}}`\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _other => ::std::result::Result::Err(::serde::Error::new(\
+                 ::std::format!(\"expected {name} variant, found {{}}\", _other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    let name = match input {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables)]\nfn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
