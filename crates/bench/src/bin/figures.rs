@@ -2,17 +2,23 @@
 //!
 //! ```text
 //! figures [--full] [--json DIR] [--fig N]... [--table N]... [--srr-overhead] [--noise-sweep] [--all]
+//!         [--jobs N] [--bench PATH] [--bench-baseline SECS]
 //! ```
 //!
 //! With no selection flags, everything is produced. `--full` uses
 //! paper-fidelity trial counts (slow); the default quick scale keeps the
 //! whole run in minutes. `--json DIR` additionally writes each result as
-//! a JSON series for plotting.
+//! a JSON series for plotting. `--jobs N` caps the worker pool used by
+//! the parallel sweeps (default: all cores). `--bench PATH` writes a
+//! wall-clock/throughput report as JSON when the run finishes;
+//! `--bench-baseline SECS` records a reference wall-clock (e.g. the
+//! committed pre-optimization number) and the resulting speedup.
 
 use gnc_bench::*;
 use serde::Serialize;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     scale: Scale,
@@ -22,6 +28,24 @@ struct Args {
     srr: bool,
     ablation: bool,
     noise: bool,
+    bench: Option<PathBuf>,
+    bench_baseline_s: Option<f64>,
+}
+
+/// The report written by `--bench PATH`.
+#[derive(Serialize)]
+struct BenchReport {
+    scale: String,
+    jobs: usize,
+    wall_clock_s: f64,
+    /// GPU instances simulated during the run (one per trial).
+    trials: u64,
+    trials_per_s: f64,
+    /// Reference wall-clock passed via `--bench-baseline`, if any.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    baseline_wall_clock_s: Option<f64>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -33,6 +57,8 @@ fn parse_args() -> Args {
         srr: false,
         ablation: false,
         noise: false,
+        bench: None,
+        bench_baseline_s: None,
     };
     let mut all = true;
     let mut iter = std::env::args().skip(1);
@@ -43,6 +69,23 @@ fn parse_args() -> Args {
                 args.json_dir = Some(PathBuf::from(
                     iter.next().expect("--json requires a directory"),
                 ));
+            }
+            "--jobs" => {
+                let n: usize = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs requires a number");
+                gnc_common::par::set_jobs(n);
+            }
+            "--bench" => {
+                args.bench = Some(PathBuf::from(iter.next().expect("--bench requires a path")));
+            }
+            "--bench-baseline" => {
+                args.bench_baseline_s = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--bench-baseline requires seconds"),
+                );
             }
             "--fig" => {
                 all = false;
@@ -103,6 +146,8 @@ fn emit<T: Serialize>(args: &Args, name: &str, value: &T) {
 #[allow(clippy::too_many_lines)]
 fn main() {
     let args = parse_args();
+    let started = Instant::now();
+    let trials_at_start = gnc_sim::gpus_built();
     let cfg = platform();
     println!(
         "platform: {} ({} SMs / {} TPCs / {} GPCs), scale: {:?}\n",
@@ -462,5 +507,31 @@ fn main() {
             println!("  {row}");
         }
         emit(&args, "table2", &rows);
+    }
+
+    if let Some(path) = &args.bench {
+        let wall_clock_s = started.elapsed().as_secs_f64();
+        let trials = gnc_sim::gpus_built() - trials_at_start;
+        let report = BenchReport {
+            scale: format!("{:?}", args.scale),
+            jobs: gnc_common::par::jobs(),
+            wall_clock_s,
+            trials,
+            trials_per_s: trials as f64 / wall_clock_s,
+            baseline_wall_clock_s: args.bench_baseline_s,
+            speedup: args.bench_baseline_s.map(|b| b / wall_clock_s),
+        };
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&report).expect("serialize bench report"),
+        )
+        .expect("write bench report");
+        println!(
+            "[bench] {:.3} s wall clock, {} trials ({:.1}/s), report -> {}",
+            wall_clock_s,
+            trials,
+            report.trials_per_s,
+            path.display()
+        );
     }
 }

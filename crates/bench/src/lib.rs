@@ -613,25 +613,39 @@ pub fn noise_sweep(cfg: &GpuConfig, scale: Scale) -> Vec<NoisePoint> {
     let bits = scale.pick(24, 64);
     let plan = ChannelPlan::tpc(cfg, ProtocolConfig::tpc(4), &[0]);
     let opts = RobustOptions::default();
-    ["off", "mild", "moderate", "severe", "jammed"]
+    let presets = ["off", "mild", "moderate", "severe", "jammed"];
+    // Every (preset, trial) pair is an independent pair of GPU runs; fan
+    // them all out at once and aggregate per preset in input order, so
+    // the result is identical to the serial sweep.
+    let units: Vec<(usize, u64)> = (0..presets.len())
+        .flat_map(|p| (0..trials as u64).map(move |t| (p, t)))
+        .collect();
+    let runs = gnc_common::par::parallel_map(&units, |&(p, trial)| {
+        let mut rng = experiment_rng("noise-sweep", trial);
+        let payload = BitVec::random(&mut rng, bits);
+        let faults = FaultConfig::parse(presets[p])
+            .expect("preset names parse")
+            .with_seed(trial * 17 + 3);
+        let cmp = compare_decoders(&plan, cfg, &payload, trial, &faults, &opts);
+        let rel = transmit_reliable(&plan, cfg, &payload, trial, Some(&faults), &opts);
+        (cmp, rel)
+    });
+    presets
         .iter()
-        .map(|preset| {
+        .enumerate()
+        .map(|(p, preset)| {
             let mut naive = 0usize;
             let mut hardened = 0usize;
             let mut delivered = 0usize;
             let mut attempts = 0u32;
             let mut total_bits = 0usize;
-            for trial in 0..trials as u64 {
-                let mut rng = experiment_rng("noise-sweep", trial);
-                let payload = BitVec::random(&mut rng, bits);
-                let faults = FaultConfig::parse(preset)
-                    .expect("preset names parse")
-                    .with_seed(trial * 17 + 3);
-                let cmp = compare_decoders(&plan, cfg, &payload, trial, &faults, &opts);
+            for ((up, _), (cmp, rel)) in units.iter().zip(&runs) {
+                if *up != p {
+                    continue;
+                }
                 naive += cmp.naive_errors;
                 hardened += cmp.hardened_errors;
                 total_bits += cmp.payload_bits;
-                let rel = transmit_reliable(&plan, cfg, &payload, trial, Some(&faults), &opts);
                 if rel.outcome.is_delivered() {
                     delivered += 1;
                     attempts += rel.attempts;

@@ -4,7 +4,17 @@
 use gnc_common::config::{Arbitration, GpuConfig};
 use std::fmt;
 
-/// A parsed `gnc` invocation.
+/// A parsed `gnc` invocation: the command plus global options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand and its options.
+    pub command: Command,
+    /// Worker-thread count for parallel sweeps (`--jobs`); `None` keeps
+    /// the default (all available cores).
+    pub jobs: Option<usize>,
+}
+
+/// A parsed `gnc` command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Print the simulated GPU's topology and Table-1 parameters.
@@ -110,6 +120,8 @@ COMMANDS:
 
 COMMON OPTIONS:
     --arch <volta|pascal|turing>   architecture preset   [default: volta]
+    --jobs <N>                     worker threads for sweeps
+                                   [default: all cores]
 
 OPTIONS (reverse):
     --trials <N>                   co-activation trials  [default: 400]
@@ -153,16 +165,31 @@ fn parse_arbitration(value: &str) -> Result<Arbitration, ParseError> {
     }
 }
 
-/// Parses the argument list (without the program name).
+/// Parses the argument list (without the program name) into just the
+/// command, discarding global options. Convenience wrapper around
+/// [`parse_invocation`] kept for tests and embedding.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] describing the first offending argument.
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    parse_invocation(args).map(|inv| inv.command)
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending argument.
+pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
     let mut iter = args.iter();
     let Some(cmd) = iter.next() else {
-        return Ok(Command::Help);
+        return Ok(Invocation {
+            command: Command::Help,
+            jobs: None,
+        });
     };
+    let mut jobs: Option<usize> = None;
     let mut arch = Arch::Volta;
     let mut trials = 400usize;
     let mut message: Option<String> = None;
@@ -205,6 +232,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     .map_err(|_| ParseError("--seed requires a number".into()))?;
             }
             "--faults" => faults = Some(take_value(&mut iter, "--faults")?),
+            "--jobs" => {
+                let n: usize = take_value(&mut iter, "--jobs")?
+                    .parse()
+                    .map_err(|_| ParseError("--jobs requires a number".into()))?;
+                if n == 0 {
+                    return Err(ParseError("--jobs must be at least 1".into()));
+                }
+                jobs = Some(n);
+            }
             "--profile" => {
                 let csv = take_value(&mut iter, "--profile")?;
                 let parsed: Result<Vec<u32>, _> =
@@ -217,12 +253,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
     }
 
-    match cmd.as_str() {
-        "info" => Ok(Command::Info { arch }),
-        "reverse" => Ok(Command::Reverse { arch, trials }),
+    let command = match cmd.as_str() {
+        "info" => Command::Info { arch },
+        "reverse" => Command::Reverse { arch, trials },
         "send" => {
             let message = message.ok_or_else(|| ParseError("send requires --message".into()))?;
-            Ok(Command::Send {
+            Command::Send {
                 arch,
                 message,
                 all_tpcs,
@@ -231,24 +267,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 fec,
                 seed,
                 faults,
-            })
+            }
         }
-        "chaos" => Ok(Command::Chaos {
+        "chaos" => Command::Chaos {
             arch,
             message: message.unwrap_or_else(|| "noc".into()),
             seed,
-        }),
+        },
         "sidechannel" => {
             let profile =
                 profile.ok_or_else(|| ParseError("sidechannel requires --profile".into()))?;
             if profile.iter().any(|&p| p > 32) {
                 return Err(ParseError("--profile values must be 0-32".into()));
             }
-            Ok(Command::SideChannel { arch, profile })
+            Command::SideChannel { arch, profile }
         }
-        "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(ParseError(format!("unknown command '{other}'"))),
-    }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ParseError(format!("unknown command '{other}'"))),
+    };
+    Ok(Invocation { command, jobs })
 }
 
 #[cfg(test)]
@@ -366,6 +403,29 @@ mod tests {
         assert!(parse(&argv("info --bogus")).is_err());
         assert!(parse(&argv("send --message")).is_err());
         assert!(parse(&argv("send --message x --arbitration lifo")).is_err());
+    }
+
+    #[test]
+    fn jobs_is_global_and_validated() {
+        let inv = parse_invocation(&argv("chaos --jobs 4")).unwrap();
+        assert_eq!(inv.jobs, Some(4));
+        assert_eq!(
+            inv.command,
+            Command::Chaos {
+                arch: Arch::Volta,
+                message: "noc".into(),
+                seed: 42,
+            }
+        );
+        let inv = parse_invocation(&argv("info")).unwrap();
+        assert_eq!(inv.jobs, None);
+        assert!(parse_invocation(&argv("chaos --jobs 0")).is_err());
+        assert!(parse_invocation(&argv("chaos --jobs many")).is_err());
+        // The command-only wrapper discards the flag without error.
+        assert_eq!(
+            parse(&argv("info --jobs 2")).unwrap(),
+            Command::Info { arch: Arch::Volta }
+        );
     }
 
     #[test]

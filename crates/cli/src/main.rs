@@ -25,14 +25,17 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let command = match args::parse(&argv) {
-        Ok(cmd) => cmd,
+    let invocation = match args::parse_invocation(&argv) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    match command {
+    if let Some(jobs) = invocation.jobs {
+        gnc_common::par::set_jobs(jobs);
+    }
+    match invocation.command {
         Command::Help => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -244,14 +247,20 @@ fn chaos(arch: Arch, message: &str, seed: u64) -> ExitCode {
         "{:<10} {:>11} {:>14} {:>9} delivery",
         "preset", "naive BER", "hardened BER", "attempts"
     );
-    let mut naive_total = 0usize;
-    let mut hardened_total = 0usize;
-    for preset in ["off", "mild", "moderate", "severe", "jammed"] {
+    let presets = ["off", "mild", "moderate", "severe", "jammed"];
+    // The presets are independent simulations; run them on the worker
+    // pool and print the rows afterwards, in preset order.
+    let rows = gnc_common::par::parallel_map(&presets, |preset| {
         let fault_cfg = FaultConfig::parse(preset)
             .expect("preset names are valid specs")
             .with_seed(seed);
         let cmp = compare_decoders(&plan, &cfg, &payload, seed, &fault_cfg, &opts);
         let delivery = transmit_reliable(&plan, &cfg, &payload, seed, Some(&fault_cfg), &opts);
+        (cmp, delivery)
+    });
+    let mut naive_total = 0usize;
+    let mut hardened_total = 0usize;
+    for (preset, (cmp, delivery)) in presets.iter().zip(&rows) {
         let bits = payload.len() as f64;
         println!(
             "{:<10} {:>10.1}% {:>13.1}% {:>9} {:?}",

@@ -1,0 +1,146 @@
+//! Strength-reduced division by a runtime-invariant divisor.
+//!
+//! Address decomposition divides every packet's address by the slice,
+//! set, and bank counts — values fixed at construction but unknown to the
+//! compiler, so each one costs a hardware `div` in the hot loops. A
+//! [`FastDivisor`] precomputes a rounded-up fixed-point reciprocal and
+//! replaces the division with one widening multiply and a shift
+//! (Granlund & Montgomery, "Division by Invariant Integers using
+//! Multiplication", PLDI '94).
+//!
+//! The reciprocal path is exact for all numerators below 2^32 — a range
+//! that covers every cache-line index the simulator produces — and falls
+//! back to hardware division above it, so results are identical for the
+//! full `u64` domain.
+
+/// A divisor with a precomputed reciprocal. Division results equal
+/// `n / d` exactly for every `u64` numerator.
+#[derive(Debug, Clone, Copy)]
+pub struct FastDivisor {
+    d: u64,
+    /// `⌊2^shift / d⌋ + 1` for non-power-of-two `d` (reciprocal path),
+    /// unused for powers of two.
+    magic: u64,
+    /// Total right shift: `32 + ⌈log2 d⌉` for the reciprocal path, or
+    /// `log2 d` for powers of two.
+    shift: u32,
+    pow2: bool,
+}
+
+impl FastDivisor {
+    /// Prepares a reciprocal for `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is zero.
+    pub fn new(d: u64) -> Self {
+        assert!(d > 0, "division by zero divisor");
+        if d.is_power_of_two() {
+            return Self {
+                d,
+                magic: 0,
+                shift: d.trailing_zeros(),
+                pow2: true,
+            };
+        }
+        // ⌈log2 d⌉ for non-power-of-two d; d ≤ 2^s with strict inequality,
+        // which is what makes the round-up reciprocal exact below 2^32.
+        let s = 64 - (d - 1).leading_zeros();
+        let shift = 32 + s;
+        let magic = ((1u128 << shift) / u128::from(d) + 1) as u64;
+        Self {
+            d,
+            magic,
+            shift,
+            pow2: false,
+        }
+    }
+
+    /// The divisor itself.
+    #[inline]
+    pub fn divisor(&self) -> u64 {
+        self.d
+    }
+
+    /// `n / self.divisor()`.
+    #[inline]
+    pub fn div(&self, n: u64) -> u64 {
+        if self.pow2 {
+            return n >> self.shift;
+        }
+        if n < 1 << 32 {
+            // Exact: magic·d overshoots 2^shift by at most 2^(shift-32),
+            // so the quotient error stays below 1/d for 32-bit n.
+            ((u128::from(n) * u128::from(self.magic)) >> self.shift) as u64
+        } else {
+            n / self.d
+        }
+    }
+
+    /// `(n / d, n % d)` in one go.
+    #[inline]
+    pub fn div_rem(&self, n: u64) -> (u64, u64) {
+        let q = self.div(n);
+        (q, n - q * self.d)
+    }
+
+    /// `n % self.divisor()`.
+    #[inline]
+    pub fn rem(&self, n: u64) -> u64 {
+        self.div_rem(n).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(d: u64, n: u64) {
+        let f = FastDivisor::new(d);
+        assert_eq!(f.div(n), n / d, "div {n}/{d}");
+        assert_eq!(f.rem(n), n % d, "rem {n}%{d}");
+        assert_eq!(f.div_rem(n), (n / d, n % d), "div_rem {n}/{d}");
+    }
+
+    #[test]
+    fn matches_hardware_division_on_boundaries() {
+        let divisors = [1, 2, 3, 5, 7, 16, 24, 47, 48, 97, 128, 1000, u64::MAX];
+        let numerators = [
+            0,
+            1,
+            47,
+            48,
+            4095,
+            (1 << 32) - 1,
+            1 << 32,
+            (1 << 32) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &d in &divisors {
+            for &n in &numerators {
+                check(d, n);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_hardware_division_exhaustively_near_multiples() {
+        // The round-up reciprocal's failure mode is an off-by-one at
+        // numerators just below a multiple of d; sweep those densely.
+        for d in [3u64, 24, 47, 48, 49, 1023] {
+            let f = FastDivisor::new(d);
+            for k in (0..5000u64).chain((1 << 32) / d - 5000..(1 << 32) / d) {
+                for n in (k * d).saturating_sub(1)..=k * d + 1 {
+                    assert_eq!(f.div(n), n / d, "{n}/{d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero divisor")]
+    fn zero_divisor_rejected() {
+        let _ = FastDivisor::new(0);
+    }
+}

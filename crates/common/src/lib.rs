@@ -35,9 +35,12 @@
 pub mod bits;
 pub mod config;
 pub mod error;
+pub mod fastdiv;
 pub mod fault;
 pub mod fec;
+pub mod hash;
 pub mod ids;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

@@ -1,0 +1,226 @@
+//! A dependency-free work-stealing trial pool for embarrassingly-parallel
+//! sweeps.
+//!
+//! Every figure in the paper is a sweep of *independent* GPU instances:
+//! each trial builds its own [`crate::GpuConfig`]-sized simulator from a
+//! per-trial derived seed, runs it to completion, and reports a result.
+//! [`parallel_map`] runs those trials across a scoped thread pool while
+//! guaranteeing that the output `Vec` is in *input order* — so sweep JSON
+//! is byte-identical whether the pool has 1 worker or 64.
+//!
+//! The scheduler is a classic chunked work-stealing deque, flattened into
+//! one atomic word per worker: each worker owns a `[lo, hi)` range of
+//! trial indices packed into an `AtomicU64`. Owners pop from the front
+//! with a CAS; idle workers steal the upper half of the *largest*
+//! remaining victim range with a CAS. No locks, no `unsafe`, no external
+//! crates — `std::thread::scope` supplies the lifetime discipline.
+//!
+//! The global worker count defaults to [`std::thread::available_parallelism`]
+//! and can be pinned (e.g. from a `--jobs N` CLI flag) with [`set_jobs`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::thread;
+
+/// Global worker-count override: 0 means "use available parallelism".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pin the number of worker threads used by [`parallel_map`].
+///
+/// `0` restores the default (one worker per available core). Typically
+/// wired to a `--jobs N` command-line flag.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The number of worker threads [`parallel_map`] will use.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Pack a `[lo, hi)` index range into one atomic word.
+fn pack(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Unpack an atomic word into a `[lo, hi)` index range.
+fn unpack(word: u64) -> (usize, usize) {
+    ((word >> 32) as usize, (word & 0xffff_ffff) as usize)
+}
+
+/// Map `f` over `items` on a scoped work-stealing pool, returning results
+/// in input order.
+///
+/// Each element is processed exactly once; the caller's `f` sees items in
+/// an arbitrary interleaving across workers, but the returned `Vec` is
+/// always `[f(&items[0]), f(&items[1]), ...]`. With `jobs() == 1` (or one
+/// item) the map runs inline on the calling thread.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    // Split [0, n) into one contiguous range per worker.
+    let ranges: Vec<AtomicU64> = (0..workers)
+        .map(|w| {
+            let lo = w * n / workers;
+            let hi = (w + 1) * n / workers;
+            AtomicU64::new(pack(lo, hi))
+        })
+        .collect();
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    let chunks = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let ranges = &ranges;
+                let f = &f;
+                scope.spawn(move || worker_loop(me, ranges, items, f))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (idx, result) in chunks.into_iter().flatten() {
+        slots[idx] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("parallel_map lost a trial result"))
+        .collect()
+}
+
+/// One worker: drain the owned range, then steal until all ranges are dry.
+fn worker_loop<T, R, F>(me: usize, ranges: &[AtomicU64], items: &[T], f: &F) -> Vec<(usize, R)>
+where
+    F: Fn(&T) -> R,
+{
+    let mut out = Vec::new();
+    loop {
+        // Pop from the front of our own range.
+        while let Some(idx) = pop_front(&ranges[me]) {
+            out.push((idx, f(&items[idx])));
+        }
+        // Own range dry: steal the upper half of the largest victim range.
+        if !steal_into(me, ranges) {
+            return out;
+        }
+    }
+}
+
+/// CAS-pop the lowest index of a range; `None` if the range is empty.
+fn pop_front(range: &AtomicU64) -> Option<usize> {
+    let mut word = range.load(Ordering::Acquire);
+    loop {
+        let (lo, hi) = unpack(word);
+        if lo >= hi {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            word,
+            pack(lo + 1, hi),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some(lo),
+            Err(cur) => word = cur,
+        }
+    }
+}
+
+/// Try to move work into `me`'s (empty) range from the fullest victim.
+/// Returns `false` when no worker has stealable items left.
+fn steal_into(me: usize, ranges: &[AtomicU64]) -> bool {
+    loop {
+        // Find the victim with the most remaining work.
+        let mut best: Option<(usize, u64, usize, usize)> = None;
+        for (v, range) in ranges.iter().enumerate() {
+            if v == me {
+                continue;
+            }
+            let word = range.load(Ordering::Acquire);
+            let (lo, hi) = unpack(word);
+            if hi > lo && best.is_none_or(|(_, _, blo, bhi)| hi - lo > bhi - blo) {
+                best = Some((v, word, lo, hi));
+            }
+        }
+        let Some((victim, word, lo, hi)) = best else {
+            return false;
+        };
+        // Take the upper half of the victim's range.
+        let take = (hi - lo).div_ceil(2);
+        let split = hi - take;
+        if ranges[victim]
+            .compare_exchange(word, pack(lo, split), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // Our own range is empty and nobody steals from an empty
+            // range, so a plain store is safe here.
+            ranges[me].store(pack(split, hi), Ordering::Release);
+            return true;
+        }
+        // Victim range changed under us; rescan.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = parallel_map(&items, |x| x * 3 + 1);
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..1000).collect();
+        parallel_map(&items, |&i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn output_identical_across_job_counts() {
+        let items: Vec<u64> = (0..100).collect();
+        set_jobs(1);
+        let serial = parallel_map(&items, |x| x.wrapping_mul(0x9e37_79b9));
+        set_jobs(8);
+        let parallel = parallel_map(&items, |x| x.wrapping_mul(0x9e37_79b9));
+        set_jobs(0);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for (lo, hi) in [(0, 0), (3, 17), (100, 4_000_000)] {
+            assert_eq!(unpack(pack(lo, hi)), (lo, hi));
+        }
+    }
+}

@@ -191,26 +191,24 @@ pub fn leakage_sweep_kind(
         0,
         seed,
     ) as f64;
-    fractions
-        .iter()
-        .map(|&f| {
-            let batches = (f * f64::from(probe_batches)).round() as u32;
-            let t = probe_with_interferer(
-                cfg,
-                probe_sm,
-                probe_kind,
-                probe_batches,
-                interferer_sms,
-                interferer_kind,
-                batches,
-                seed,
-            ) as f64;
-            LeakagePoint {
-                fraction: f,
-                normalized: t / base,
-            }
-        })
-        .collect()
+    // Each fraction is an independent GPU trial — fan out on the pool.
+    gnc_common::par::parallel_map(fractions, |&f| {
+        let batches = (f * f64::from(probe_batches)).round() as u32;
+        let t = probe_with_interferer(
+            cfg,
+            probe_sm,
+            probe_kind,
+            probe_batches,
+            interferer_sms,
+            interferer_kind,
+            batches,
+            seed,
+        ) as f64;
+        LeakagePoint {
+            fraction: f,
+            normalized: t / base,
+        }
+    })
 }
 
 /// Fig 12 (operationalised): channel error rate versus requests per

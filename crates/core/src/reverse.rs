@@ -501,30 +501,11 @@ fn repair_splintered_groups(
     }
 }
 
-/// Maps `f` over `items` on a small thread pool (runs are independent
-/// GPU instances), preserving order.
-pub(crate) fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    if threads <= 1 || items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let chunk = items.len().div_ceil(threads);
-    std::thread::scope(|s| {
-        for (slot_chunk, item_chunk) in results.chunks_mut(chunk).zip(items.chunks(chunk)) {
-            let f = &f;
-            s.spawn(move || {
-                for (slot, item) in slot_chunk.iter_mut().zip(item_chunk) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("filled")).collect()
-}
+/// Maps `f` over `items` on the workspace trial pool (runs are
+/// independent GPU instances), preserving order. Thin re-export of
+/// [`gnc_common::par::parallel_map`] so every sweep in this crate honours
+/// the global `--jobs` setting.
+pub(crate) use gnc_common::par::parallel_map;
 
 #[cfg(test)]
 mod tests {

@@ -6,17 +6,24 @@
 //! partitions … are accessed", §3.2) and which keeps the L2 slices out of
 //! the bottleneck so that the *interconnect* is the contended resource.
 
+use gnc_common::fastdiv::FastDivisor;
 use gnc_common::ids::{McId, SliceId};
 use gnc_common::GpuConfig;
 
 /// Maps byte addresses to L2 slices, sets, and DRAM coordinates.
+///
+/// Every decomposition runs on each packet the simulator creates or
+/// services, so the divisors are strength-reduced at construction
+/// ([`FastDivisor`]) instead of paying a hardware divide per call.
 #[derive(Debug, Clone)]
 pub struct AddressMap {
     line_bytes: u64,
-    num_slices: u64,
-    num_sets: u64,
+    /// `log2(line_bytes)`; line size is validated as a power of two.
+    line_shift: u32,
+    num_slices: FastDivisor,
+    num_sets: FastDivisor,
     slices_per_mc: u64,
-    banks_per_mc: u64,
+    banks_per_mc: FastDivisor,
 }
 
 impl AddressMap {
@@ -24,26 +31,32 @@ impl AddressMap {
     ///
     /// # Panics
     ///
-    /// Panics if the L2 slice geometry does not yield at least one set
-    /// (caught earlier by `GpuConfig::validate` in normal use).
+    /// Panics if the L2 slice geometry does not yield at least one set or
+    /// the line size is not a power of two (caught earlier by
+    /// `GpuConfig::validate` in normal use).
     pub fn new(cfg: &GpuConfig) -> Self {
         let line_bytes = u64::from(cfg.mem.line_bytes);
+        assert!(
+            line_bytes.is_power_of_two(),
+            "cache line size must be a power of two"
+        );
         let slice_bytes = u64::from(cfg.mem.l2_slice_kb) * 1024;
         let num_sets = slice_bytes / (line_bytes * cfg.mem.l2_assoc as u64);
         assert!(num_sets > 0, "L2 slice must hold at least one set");
         Self {
             line_bytes,
-            num_slices: cfg.mem.num_l2_slices as u64,
-            num_sets,
+            line_shift: line_bytes.trailing_zeros(),
+            num_slices: FastDivisor::new(cfg.mem.num_l2_slices as u64),
+            num_sets: FastDivisor::new(num_sets),
             slices_per_mc: (cfg.mem.num_l2_slices / cfg.mem.num_mcs) as u64,
-            banks_per_mc: cfg.mem.banks_per_mc as u64,
+            banks_per_mc: FastDivisor::new(cfg.mem.banks_per_mc as u64),
         }
     }
 
     /// The cache line index of `addr`.
     #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr / self.line_bytes
+        addr >> self.line_shift
     }
 
     /// The base byte address of the line containing `addr`.
@@ -55,19 +68,29 @@ impl AddressMap {
     /// The L2 slice holding `addr` (line interleaving).
     #[inline]
     pub fn slice_of(&self, addr: u64) -> SliceId {
-        SliceId::new((self.line_of(addr) % self.num_slices) as usize)
+        SliceId::new(self.num_slices.rem(self.line_of(addr)) as usize)
     }
 
     /// The set index of `addr` within its slice.
     #[inline]
     pub fn set_of(&self, addr: u64) -> usize {
-        ((self.line_of(addr) / self.num_slices) % self.num_sets) as usize
+        self.num_sets.rem(self.num_slices.div(self.line_of(addr))) as usize
     }
 
     /// The tag of `addr` (line bits above the set index).
     #[inline]
     pub fn tag_of(&self, addr: u64) -> u64 {
-        self.line_of(addr) / self.num_slices / self.num_sets
+        self.num_sets.div(self.num_slices.div(self.line_of(addr)))
+    }
+
+    /// `(set_of, tag_of)` of `addr` with the shared division done once —
+    /// the L2 lookup path needs both.
+    #[inline]
+    pub fn set_tag_of(&self, addr: u64) -> (usize, u64) {
+        let (tag, set) = self
+            .num_sets
+            .div_rem(self.num_slices.div(self.line_of(addr)));
+        (set as usize, tag)
     }
 
     /// The memory controller behind `slice`.
@@ -79,19 +102,21 @@ impl AddressMap {
     /// The DRAM bank (within its MC) servicing `addr`.
     #[inline]
     pub fn bank_of(&self, addr: u64) -> usize {
-        ((self.line_of(addr) / self.num_slices) % self.banks_per_mc) as usize
+        self.banks_per_mc
+            .rem(self.num_slices.div(self.line_of(addr))) as usize
     }
 
     /// The DRAM row (within its bank) holding `addr`.
     #[inline]
     pub fn row_of(&self, addr: u64) -> u64 {
-        self.line_of(addr) / self.num_slices / self.banks_per_mc
+        self.banks_per_mc
+            .div(self.num_slices.div(self.line_of(addr)))
     }
 
     /// Number of sets per slice.
     #[inline]
     pub fn num_sets(&self) -> usize {
-        self.num_sets as usize
+        self.num_sets.divisor() as usize
     }
 
     /// Cache line size in bytes.
@@ -106,7 +131,7 @@ impl AddressMap {
     /// Used by workload generators that need to target or avoid specific
     /// slices deterministically.
     pub fn addr_in_slice(&self, slice: SliceId, nth: u64) -> u64 {
-        (nth * self.num_slices + slice.index() as u64) * self.line_bytes
+        (nth * self.num_slices.divisor() + slice.index() as u64) * self.line_bytes
     }
 }
 
@@ -153,10 +178,12 @@ mod tests {
         let m = map();
         for addr in (0..(1 << 22)).step_by(12_347) {
             let line = m.line_of(addr);
-            let reconstructed = (m.tag_of(addr) * m.num_sets as u64 + m.set_of(addr) as u64)
-                * m.num_slices
+            let reconstructed = (m.tag_of(addr) * m.num_sets() as u64 + m.set_of(addr) as u64)
+                * m.num_slices.divisor()
                 + m.slice_of(addr).index() as u64;
             assert_eq!(line, reconstructed, "addr {addr:#x}");
+            let (set, tag) = m.set_tag_of(addr);
+            assert_eq!((set, tag), (m.set_of(addr), m.tag_of(addr)));
         }
     }
 

@@ -10,13 +10,15 @@
 
 use crate::address::AddressMap;
 use crate::dram::DramController;
+use gnc_common::hash::FastHashMap;
 use gnc_common::ids::SliceId;
 use gnc_common::{Cycle, GpuConfig};
 use gnc_noc::delay::DelayLine;
+use gnc_noc::event::NextEvent;
 use gnc_noc::packet::{Packet, PacketKind};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 #[derive(Debug, Clone, Copy)]
 struct Way {
@@ -53,7 +55,7 @@ pub struct L2Slice {
     pipeline: DelayLine<Packet>,
     /// Lookup that could not allocate an MSHR, retried before the pipeline.
     stalled: Option<Packet>,
-    mshrs: HashMap<u64, Vec<Packet>>,
+    mshrs: FastHashMap<u64, Vec<Packet>>,
     mshr_capacity: usize,
     pending_fills: BinaryHeap<Reverse<(Cycle, u64)>>,
     replies: VecDeque<Packet>,
@@ -76,7 +78,7 @@ impl L2Slice {
             lru_clock: 0,
             pipeline: DelayLine::new(cfg.mem.l2_access_latency),
             stalled: None,
-            mshrs: HashMap::new(),
+            mshrs: FastHashMap::default(),
             mshr_capacity: cfg.mem.l2_mshrs,
             pending_fills: BinaryHeap::new(),
             replies: VecDeque::new(),
@@ -113,8 +115,7 @@ impl L2Slice {
     /// DRAM. Models the kernels' working-set preload (§4.2: "all memory
     /// requests access data that is loaded into the L2 cache").
     pub fn preload(&mut self, addr: u64) {
-        let set = self.map.set_of(addr);
-        let tag = self.map.tag_of(addr);
+        let (set, tag) = self.map.set_tag_of(addr);
         self.lru_clock += 1;
         let lru = self.lru_clock;
         let ways = &mut self.sets[set];
@@ -143,14 +144,12 @@ impl L2Slice {
 
     /// Whether the line containing `addr` is currently resident.
     pub fn contains(&self, addr: u64) -> bool {
-        let set = self.map.set_of(addr);
-        let tag = self.map.tag_of(addr);
+        let (set, tag) = self.map.set_tag_of(addr);
         self.sets[set].iter().any(|w| w.tag == tag)
     }
 
     fn touch_hit(&mut self, addr: u64, write: bool) -> bool {
-        let set = self.map.set_of(addr);
-        let tag = self.map.tag_of(addr);
+        let (set, tag) = self.map.set_tag_of(addr);
         self.lru_clock += 1;
         let lru = self.lru_clock;
         if let Some(way) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
@@ -164,8 +163,7 @@ impl L2Slice {
 
     fn install_fill(&mut self, line: u64, dram: &mut DramController, now: Cycle) {
         let addr = line * self.map.line_bytes();
-        let set = self.map.set_of(addr);
-        let tag = self.map.tag_of(addr);
+        let (set, tag) = self.map.set_tag_of(addr);
         self.lru_clock += 1;
         let lru = self.lru_clock;
         let mut writeback_tag = None;
@@ -272,6 +270,11 @@ impl L2Slice {
         self.pending_fills.push(Reverse((ready, line)));
     }
 
+    /// Number of ready replies waiting at the port.
+    pub fn reply_len(&self) -> usize {
+        self.replies.len()
+    }
+
     /// A reference to the next ready reply, if any.
     pub fn peek_reply(&self) -> Option<&Packet> {
         self.replies.front()
@@ -302,6 +305,36 @@ impl L2Slice {
             && self.mshrs.is_empty()
             && self.pending_fills.is_empty()
             && self.replies.is_empty()
+    }
+
+    /// Whether skipping this slice's [`tick`](Self::tick) at the current
+    /// cycle would be observable. A drained, fault-free slice ticks to a
+    /// no-op; a slice with a fault plan attached must tick every cycle
+    /// because the plan's hot-spot schedule (and its stall counters) is
+    /// evaluated in the tick itself.
+    pub fn needs_tick(&self) -> bool {
+        self.fault.is_some() || !self.is_drained()
+    }
+
+    /// When this slice next has actionable work (see [`NextEvent`]).
+    ///
+    /// Pending replies and a stalled lookup need service every cycle; an
+    /// otherwise-quiet slice sleeps until the earlier of the next
+    /// pipeline exit and the next DRAM fill. With a fault plan attached
+    /// the slice always reports [`NextEvent::Busy`]: hot-spot windows
+    /// are evaluated (and counted) cycle-by-cycle inside `tick`.
+    pub fn next_event(&self) -> NextEvent {
+        if self.fault.is_some() || !self.replies.is_empty() || self.stalled.is_some() {
+            return NextEvent::Busy;
+        }
+        let pipeline = match self.pipeline.next_ready_cycle() {
+            Some(ready) => NextEvent::At(ready),
+            None => NextEvent::Idle,
+        };
+        match self.pending_fills.peek() {
+            Some(&Reverse((ready, _))) => pipeline.merge(NextEvent::At(ready)),
+            None => pipeline,
+        }
     }
 }
 

@@ -10,6 +10,7 @@ use crate::dram::DramController;
 use crate::l2::{L2Slice, L2Stats};
 use gnc_common::ids::SliceId;
 use gnc_common::{Cycle, GpuConfig};
+use gnc_noc::event::NextEvent;
 use gnc_noc::packet::Packet;
 
 /// All L2 slices and memory controllers of the GPU.
@@ -19,6 +20,14 @@ pub struct MemorySubsystem {
     drams: Vec<DramController>,
     map: AddressMap,
     slices_per_mc: usize,
+    /// Per-slice work flags: `false` proves the slice is drained and
+    /// fault-free (its tick is a no-op); `true` is conservative and is
+    /// re-derived from [`L2Slice::needs_tick`] after each tick. Lets the
+    /// hot loops skip quiet slices without touching them.
+    active: Vec<bool>,
+    /// Ready replies waiting at each slice's port (dense mirror of
+    /// [`L2Slice::reply_len`], same skip-without-touching purpose).
+    reply_counts: Vec<u32>,
 }
 
 impl MemorySubsystem {
@@ -35,14 +44,19 @@ impl MemorySubsystem {
             drams,
             map: AddressMap::new(cfg),
             slices_per_mc: cfg.mem.num_l2_slices / cfg.mem.num_mcs,
+            active: vec![false; cfg.mem.num_l2_slices],
+            reply_counts: vec![0; cfg.mem.num_l2_slices],
         }
     }
 
-    /// Attaches a fault plan to every L2 slice (hot-spot stalls).
+    /// Attaches a fault plan to every L2 slice (hot-spot stalls). Every
+    /// slice must tick from here on — the plan's schedule and counters
+    /// are evaluated inside the tick.
     pub fn set_fault_plan(&mut self, plan: &std::sync::Arc<gnc_common::fault::FaultPlan>) {
         for slice in &mut self.slices {
             slice.set_fault_plan(std::sync::Arc::clone(plan));
         }
+        self.active.fill(true);
     }
 
     /// The address map shared with the rest of the GPU.
@@ -57,6 +71,7 @@ impl MemorySubsystem {
 
     /// Routes a request popped from the fabric into its slice at `now`.
     pub fn push_request(&mut self, packet: Packet, now: Cycle) {
+        self.active[packet.slice.index()] = true;
         self.slices[packet.slice.index()].push_request(packet, now);
     }
 
@@ -79,12 +94,25 @@ impl MemorySubsystem {
         self.slices[self.map.slice_of(addr).index()].contains(addr)
     }
 
-    /// Advances every slice by one cycle.
+    /// Advances every slice that has work by one cycle. Slices that are
+    /// drained and fault-free are skipped — their tick is a no-op (see
+    /// [`L2Slice::needs_tick`]).
     pub fn tick(&mut self, now: Cycle) {
-        for (s, slice) in self.slices.iter_mut().enumerate() {
+        for s in 0..self.slices.len() {
+            if !self.active[s] {
+                continue;
+            }
+            let slice = &mut self.slices[s];
             let dram = &mut self.drams[s / self.slices_per_mc];
             slice.tick(now, dram);
+            self.active[s] = slice.needs_tick();
+            self.reply_counts[s] = slice.reply_len() as u32;
         }
+    }
+
+    /// Whether `slice` has a ready reply waiting at its port.
+    pub fn has_reply(&self, slice: SliceId) -> bool {
+        self.reply_counts[slice.index()] > 0
     }
 
     /// A reference to the next reply waiting at `slice`.
@@ -94,7 +122,11 @@ impl MemorySubsystem {
 
     /// Removes the next reply waiting at `slice`.
     pub fn pop_reply(&mut self, slice: SliceId) -> Option<Packet> {
-        self.slices[slice.index()].pop_reply()
+        let popped = self.slices[slice.index()].pop_reply();
+        if popped.is_some() {
+            self.reply_counts[slice.index()] -= 1;
+        }
+        popped
     }
 
     /// Removes the first reply at `slice` for which `injectable` returns
@@ -106,7 +138,11 @@ impl MemorySubsystem {
         slice: SliceId,
         injectable: impl Fn(&Packet) -> bool,
     ) -> Option<Packet> {
-        self.slices[slice.index()].pop_reply_where(injectable)
+        let popped = self.slices[slice.index()].pop_reply_where(injectable);
+        if popped.is_some() {
+            self.reply_counts[slice.index()] -= 1;
+        }
+        popped
     }
 
     /// Counter snapshot for `slice`.
@@ -129,9 +165,23 @@ impl MemorySubsystem {
         total
     }
 
-    /// True when every slice is idle and reply-free.
+    /// True when every slice is idle and reply-free. Only slices whose
+    /// work flag is set are inspected — a clear flag proves drained.
     pub fn is_drained(&self) -> bool {
-        self.slices.iter().all(L2Slice::is_drained)
+        self.active
+            .iter()
+            .enumerate()
+            .all(|(s, &a)| !a || self.slices[s].is_drained())
+    }
+
+    /// The earliest [`NextEvent`] across every slice. Slices whose work
+    /// flag is clear are drained and fault-free, hence [`NextEvent::Idle`].
+    pub fn next_event(&self) -> NextEvent {
+        self.slices
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| self.active[s])
+            .fold(NextEvent::Idle, |acc, (_, s)| acc.merge(s.next_event()))
     }
 }
 

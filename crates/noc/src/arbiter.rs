@@ -69,10 +69,10 @@ impl RoundRobinArbiter {
 impl Arbiter for RoundRobinArbiter {
     fn grant(&mut self, _global_slot: u64, heads: &[Option<ArbHead>]) -> Option<usize> {
         let n = heads.len();
-        for offset in 0..n {
-            let i = (self.next + offset) % n;
+        // Scan next..n then 0..next: division-free cyclic order.
+        for i in (self.next..n).chain(0..self.next) {
             if heads[i].is_some() {
-                self.next = (i + 1) % n;
+                self.next = if i + 1 == n { 0 } else { i + 1 };
                 return Some(i);
             }
         }
@@ -109,10 +109,9 @@ impl Arbiter for CoarseRoundRobinArbiter {
             }
         }
         let n = heads.len();
-        for offset in 0..n {
-            let i = (self.next + offset) % n;
+        for i in (self.next..n).chain(0..self.next) {
             if let Some(head) = heads[i] {
-                self.next = (i + 1) % n;
+                self.next = if i + 1 == n { 0 } else { i + 1 };
                 self.current = Some((i, head.group));
                 return Some(i);
             }

@@ -6,6 +6,7 @@
 //! per output port: output contention is arbitrated, distinct outputs are
 //! independent (non-blocking fabric).
 
+use crate::event::NextEvent;
 use crate::mux::ConcentratorMux;
 use crate::packet::Packet;
 use gnc_common::config::{Arbitration, NocConfig};
@@ -16,6 +17,10 @@ use gnc_common::Cycle;
 pub struct Crossbar {
     outputs: Vec<ConcentratorMux>,
     n_inputs: usize,
+    /// Packets inside each output mux (queued + output pipeline). Zero
+    /// proves that output's tick, pop, and next_event are no-ops, so the
+    /// hot loops skip the mux without touching it.
+    busy: Vec<u32>,
 }
 
 impl Crossbar {
@@ -44,6 +49,7 @@ impl Crossbar {
                 .map(|_| ConcentratorMux::new(n_inputs, bandwidth, latency, depth, policy, noc))
                 .collect(),
             n_inputs,
+            busy: vec![0; n_outputs],
         }
     }
 
@@ -68,24 +74,49 @@ impl Crossbar {
     ///
     /// Returns the packet when the virtual queue is full (backpressure).
     pub fn try_push(&mut self, input: usize, output: usize, packet: Packet) -> Result<(), Packet> {
-        self.outputs[output].try_push(input, packet)
+        let pushed = self.outputs[output].try_push(input, packet);
+        if pushed.is_ok() {
+            self.busy[output] += 1;
+        }
+        pushed
     }
 
-    /// Advances every output arbiter by one cycle.
+    /// Advances every output arbiter that holds a packet by one cycle
+    /// (empty outputs tick to a no-op and are skipped).
     pub fn tick(&mut self, now: Cycle) {
-        for mux in &mut self.outputs {
-            mux.tick(now);
+        for (o, mux) in self.outputs.iter_mut().enumerate() {
+            if self.busy[o] > 0 {
+                mux.tick(now);
+            }
         }
+    }
+
+    /// Whether any packet is queued at or in flight toward `output`.
+    pub fn output_busy(&self, output: usize) -> bool {
+        self.busy[output] > 0
     }
 
     /// Removes the next packet delivered at `output`, if ready at `now`.
     pub fn pop_delivered(&mut self, output: usize, now: Cycle) -> Option<Packet> {
-        self.outputs[output].pop_delivered(now)
+        let popped = self.outputs[output].pop_delivered(now);
+        if popped.is_some() {
+            self.busy[output] -= 1;
+        }
+        popped
     }
 
     /// True when nothing is queued or in flight anywhere.
     pub fn is_drained(&self) -> bool {
         self.outputs.iter().all(ConcentratorMux::is_drained)
+    }
+
+    /// The earliest [`NextEvent`] across every output mux.
+    pub fn next_event(&self) -> NextEvent {
+        self.outputs
+            .iter()
+            .enumerate()
+            .filter(|&(o, _)| self.busy[o] > 0)
+            .fold(NextEvent::Idle, |acc, (_, mux)| acc.merge(mux.next_event()))
     }
 }
 

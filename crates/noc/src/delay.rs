@@ -71,6 +71,15 @@ impl<T> DelayLine<T> {
         }
     }
 
+    /// The cycle at which the front item becomes ready, if any.
+    ///
+    /// Because readiness is FIFO-ordered, this is the earliest cycle at
+    /// which *any* item in the line becomes poppable — the delay line's
+    /// next event for fast-forwarding schedulers.
+    pub fn next_ready_cycle(&self) -> Option<Cycle> {
+        self.items.front().map(|(ready, _)| *ready)
+    }
+
     /// Number of items in flight (ready or not).
     pub fn len(&self) -> usize {
         self.items.len()

@@ -1,0 +1,63 @@
+//! Next-event reporting for fast-forwarding simulation loops.
+//!
+//! Each fabric and memory component can report when it next has work to
+//! do. A driver (the `Gpu` run loop) merges the reports: if *every*
+//! component is waiting on a known future timestamp, the driver may jump
+//! the clock straight to the earliest such timestamp instead of ticking
+//! through dead cycles — without changing any observable behaviour,
+//! because ticks in the skipped window are provably no-ops.
+
+use gnc_common::Cycle;
+
+/// A component's claim about when it next needs a `tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextEvent {
+    /// The component has actionable work *this* cycle (or cannot bound
+    /// when it will); the driver must keep ticking cycle-by-cycle.
+    Busy,
+    /// The component holds no state at all and never needs a tick until
+    /// new work arrives from outside.
+    Idle,
+    /// The component is quiescent until this cycle: every tick strictly
+    /// before it is a no-op for this component.
+    At(Cycle),
+}
+
+impl NextEvent {
+    /// Combines two components' reports into the fabric-wide earliest
+    /// event. [`NextEvent::Busy`] dominates; [`NextEvent::Idle`] is the
+    /// identity; two timestamps merge to the earlier one.
+    #[must_use]
+    pub fn merge(self, other: NextEvent) -> NextEvent {
+        match (self, other) {
+            (NextEvent::Busy, _) | (_, NextEvent::Busy) => NextEvent::Busy,
+            (NextEvent::Idle, e) | (e, NextEvent::Idle) => e,
+            (NextEvent::At(a), NextEvent::At(b)) => NextEvent::At(a.min(b)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::NextEvent::{At, Busy, Idle};
+
+    #[test]
+    fn busy_dominates() {
+        assert_eq!(Busy.merge(Idle), Busy);
+        assert_eq!(At(5).merge(Busy), Busy);
+        assert_eq!(Busy.merge(Busy), Busy);
+    }
+
+    #[test]
+    fn idle_is_identity() {
+        assert_eq!(Idle.merge(Idle), Idle);
+        assert_eq!(Idle.merge(At(9)), At(9));
+        assert_eq!(At(9).merge(Idle), At(9));
+    }
+
+    #[test]
+    fn timestamps_take_the_minimum() {
+        assert_eq!(At(7).merge(At(3)), At(3));
+        assert_eq!(At(3).merge(At(7)), At(3));
+    }
+}

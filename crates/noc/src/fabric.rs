@@ -19,6 +19,7 @@
 //! no correspondence to the paper's per-core temporal partitioning.
 
 use crate::crossbar::Crossbar;
+use crate::event::NextEvent;
 use crate::mux::ConcentratorMux;
 use crate::packet::Packet;
 use gnc_common::config::Arbitration;
@@ -36,6 +37,15 @@ pub struct RequestFabric {
     /// For each TPC: (owning GPC, input index at that GPC's mux).
     gpc_port_of_tpc: Vec<(GpcId, usize)>,
     sms_per_tpc: usize,
+    /// Packets injected but not yet popped at a slice. Zero means every
+    /// queue and delay line in the subnet is empty, so ticks are no-ops.
+    in_flight: usize,
+    /// Packets inside each TPC mux (queued + output pipeline). A zero
+    /// entry proves that mux's tick, pop, and next_event are no-ops, so
+    /// the hot loops skip the mux without touching it.
+    tpc_busy: Vec<u32>,
+    /// Packets inside each GPC mux (same contract as `tpc_busy`).
+    gpc_busy: Vec<u32>,
 }
 
 impl RequestFabric {
@@ -90,6 +100,9 @@ impl RequestFabric {
             xbar,
             gpc_port_of_tpc,
             sms_per_tpc: cfg.sms_per_tpc,
+            in_flight: 0,
+            tpc_busy: vec![0; cfg.num_tpcs()],
+            gpc_busy: vec![0; cfg.num_gpcs],
         }
     }
 
@@ -132,14 +145,23 @@ impl RequestFabric {
     /// measures).
     pub fn inject(&mut self, sm: SmId, packet: Packet) -> Result<(), Packet> {
         let (tpc, port) = self.tpc_port_of_sm(sm);
-        self.tpc_muxes[tpc].try_push(port, packet)
+        let pushed = self.tpc_muxes[tpc].try_push(port, packet);
+        if pushed.is_ok() {
+            self.in_flight += 1;
+            self.tpc_busy[tpc] += 1;
+        }
+        pushed
     }
 
-    /// Advances the whole request subnet by one cycle.
+    /// Advances the whole request subnet by one cycle. Stages whose busy
+    /// counter is zero are provably no-ops and are skipped untouched.
     pub fn tick(&mut self, now: Cycle) {
         self.xbar.tick(now);
         // GPC outputs → crossbar inputs.
         for g in 0..self.gpc_muxes.len() {
+            if self.gpc_busy[g] == 0 {
+                continue;
+            }
             while let Some(head) = self.gpc_muxes[g].peek_delivered(now) {
                 let out = head.slice.index();
                 if !self.xbar.can_accept(g, out) {
@@ -148,16 +170,22 @@ impl RequestFabric {
                 let packet = self.gpc_muxes[g]
                     .pop_delivered(now)
                     .expect("peeked packet exists");
+                self.gpc_busy[g] -= 1;
                 self.xbar
                     .try_push(g, out, packet)
                     .expect("capacity just checked");
             }
         }
-        for mux in &mut self.gpc_muxes {
-            mux.tick(now);
+        for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
+            if self.gpc_busy[g] > 0 {
+                mux.tick(now);
+            }
         }
         // TPC outputs → GPC inputs.
         for t in 0..self.tpc_muxes.len() {
+            if self.tpc_busy[t] == 0 {
+                continue;
+            }
             let (gpc, port) = self.gpc_port_of_tpc[t];
             loop {
                 if self.tpc_muxes[t].peek_delivered(now).is_none() {
@@ -169,19 +197,57 @@ impl RequestFabric {
                 let packet = self.tpc_muxes[t]
                     .pop_delivered(now)
                     .expect("peeked packet exists");
+                self.tpc_busy[t] -= 1;
                 self.gpc_muxes[gpc.index()]
                     .try_push(port, packet)
                     .expect("capacity just checked");
+                self.gpc_busy[gpc.index()] += 1;
             }
         }
-        for mux in &mut self.tpc_muxes {
-            mux.tick(now);
+        for (t, mux) in self.tpc_muxes.iter_mut().enumerate() {
+            if self.tpc_busy[t] > 0 {
+                mux.tick(now);
+            }
         }
+    }
+
+    /// Whether any packet is queued at or in flight toward `slice`'s
+    /// crossbar output (cheap gate for the arrival-drain loop).
+    pub fn has_arrivals(&self, slice: SliceId) -> bool {
+        self.xbar.output_busy(slice.index())
     }
 
     /// Removes the next request arriving at `slice`, if ready at `now`.
     pub fn pop_at_slice(&mut self, slice: SliceId, now: Cycle) -> Option<Packet> {
-        self.xbar.pop_delivered(slice.index(), now)
+        let popped = self.xbar.pop_delivered(slice.index(), now);
+        if popped.is_some() {
+            self.in_flight -= 1;
+        }
+        popped
+    }
+
+    /// Packets injected but not yet delivered to a slice. When zero the
+    /// whole subnet is empty and [`tick`](Self::tick) is a no-op.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The earliest [`NextEvent`] across every stage of the subnet.
+    /// Empty muxes report [`NextEvent::Idle`] (the merge identity), so
+    /// only busy ones are consulted.
+    pub fn next_event(&self) -> NextEvent {
+        let mut ev = self.xbar.next_event();
+        for (g, mux) in self.gpc_muxes.iter().enumerate() {
+            if self.gpc_busy[g] > 0 {
+                ev = ev.merge(mux.next_event());
+            }
+        }
+        for (t, mux) in self.tpc_muxes.iter().enumerate() {
+            if self.tpc_busy[t] > 0 {
+                ev = ev.merge(mux.next_event());
+            }
+        }
+        ev
     }
 
     /// The TPC-level mux of `tpc` (stats inspection).
@@ -196,9 +262,14 @@ impl RequestFabric {
 
     /// True when no packet is queued or in flight anywhere in the subnet.
     pub fn is_drained(&self) -> bool {
-        self.tpc_muxes.iter().all(ConcentratorMux::is_drained)
-            && self.gpc_muxes.iter().all(ConcentratorMux::is_drained)
-            && self.xbar.is_drained()
+        debug_assert_eq!(
+            self.in_flight == 0,
+            self.tpc_muxes.iter().all(ConcentratorMux::is_drained)
+                && self.gpc_muxes.iter().all(ConcentratorMux::is_drained)
+                && self.xbar.is_drained(),
+            "request-fabric in-flight counter out of sync"
+        );
+        self.in_flight == 0
     }
 }
 
@@ -217,6 +288,16 @@ pub struct ReplyFabric {
     sm_ejectors: Vec<ConcentratorMux>,
     /// Ground-truth GPC of each SM (reply routing).
     gpc_of_sm: Vec<GpcId>,
+    /// Replies injected but not yet popped at an SM. Zero means the
+    /// whole subnet is empty, so ticks are no-ops.
+    in_flight: usize,
+    /// Replies inside each GPC reply mux (queued + output pipeline). A
+    /// zero entry proves that mux's tick, pop, and next_event are
+    /// no-ops, so the hot loops skip the mux without touching it.
+    gpc_busy: Vec<u32>,
+    /// Replies inside each SM's staging buffer + ejection port (same
+    /// contract as `gpc_busy`).
+    sm_busy: Vec<u32>,
 }
 
 impl ReplyFabric {
@@ -257,6 +338,9 @@ impl ReplyFabric {
                 .collect(),
             sm_ejectors,
             gpc_of_sm,
+            in_flight: 0,
+            gpc_busy: vec![0; cfg.num_gpcs],
+            sm_busy: vec![0; cfg.num_sms()],
         }
     }
 
@@ -285,22 +369,38 @@ impl ReplyFabric {
     /// slice holds the reply and retries (backpressure into L2).
     pub fn inject_at_slice(&mut self, slice: SliceId, packet: Packet) -> Result<(), Packet> {
         let gpc = self.gpc_of_sm[packet.sm.index()];
-        self.gpc_muxes[gpc.index()].try_push(slice.index(), packet)
+        let pushed = self.gpc_muxes[gpc.index()].try_push(slice.index(), packet);
+        if pushed.is_ok() {
+            self.in_flight += 1;
+            self.gpc_busy[gpc.index()] += 1;
+        }
+        pushed
     }
 
-    /// Advances the reply subnet by one cycle.
+    /// Advances the reply subnet by one cycle. Stages whose busy counter
+    /// is zero are provably no-ops and are skipped untouched.
     pub fn tick(&mut self, now: Cycle) {
-        for ej in &mut self.sm_ejectors {
-            ej.tick(now);
+        for (sm, ej) in self.sm_ejectors.iter_mut().enumerate() {
+            if self.sm_busy[sm] > 0 {
+                ej.tick(now);
+            }
         }
         // GPC reply channel → per-SM staging (fan-out, no HOL blocking).
-        for mux in &mut self.gpc_muxes {
+        for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
+            if self.gpc_busy[g] == 0 {
+                continue;
+            }
             while let Some(packet) = mux.pop_delivered(now) {
+                self.gpc_busy[g] -= 1;
+                self.sm_busy[packet.sm.index()] += 1;
                 self.sm_staging[packet.sm.index()].push_back(packet);
             }
         }
         // Staging → ejection ports, per SM.
         for (sm, staging) in self.sm_staging.iter_mut().enumerate() {
+            if self.sm_busy[sm] == 0 {
+                continue;
+            }
             while let Some(head) = staging.front() {
                 if !self.sm_ejectors[sm].can_accept(0) {
                     break;
@@ -312,14 +412,52 @@ impl ReplyFabric {
                     .expect("capacity just checked");
             }
         }
-        for mux in &mut self.gpc_muxes {
-            mux.tick(now);
+        for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
+            if self.gpc_busy[g] > 0 {
+                mux.tick(now);
+            }
         }
     }
 
     /// Removes the next reply arriving at `sm`, if ready at `now`.
     pub fn pop_at_sm(&mut self, sm: SmId, now: Cycle) -> Option<Packet> {
-        self.sm_ejectors[sm.index()].pop_delivered(now)
+        if self.sm_busy[sm.index()] == 0 {
+            return None;
+        }
+        let popped = self.sm_ejectors[sm.index()].pop_delivered(now);
+        if popped.is_some() {
+            self.in_flight -= 1;
+            self.sm_busy[sm.index()] -= 1;
+        }
+        popped
+    }
+
+    /// Replies injected but not yet delivered to an SM. When zero the
+    /// whole subnet is empty and [`tick`](Self::tick) is a no-op.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The earliest [`NextEvent`] across every stage of the subnet.
+    /// Empty stages report [`NextEvent::Idle`] (the merge identity), so
+    /// only busy ones are consulted.
+    pub fn next_event(&self) -> NextEvent {
+        let mut ev = NextEvent::Idle;
+        for (g, mux) in self.gpc_muxes.iter().enumerate() {
+            if self.gpc_busy[g] > 0 {
+                ev = ev.merge(mux.next_event());
+            }
+        }
+        for (sm, ej) in self.sm_ejectors.iter().enumerate() {
+            if self.sm_busy[sm] == 0 {
+                continue;
+            }
+            if !self.sm_staging[sm].is_empty() {
+                return NextEvent::Busy;
+            }
+            ev = ev.merge(ej.next_event());
+        }
+        ev
     }
 
     /// The reply channel of `gpc` (stats inspection).
@@ -329,12 +467,17 @@ impl ReplyFabric {
 
     /// True when nothing is queued or in flight anywhere in the subnet.
     pub fn is_drained(&self) -> bool {
-        self.gpc_muxes.iter().all(ConcentratorMux::is_drained)
-            && self
-                .sm_staging
-                .iter()
-                .all(std::collections::VecDeque::is_empty)
-            && self.sm_ejectors.iter().all(ConcentratorMux::is_drained)
+        debug_assert_eq!(
+            self.in_flight == 0,
+            self.gpc_muxes.iter().all(ConcentratorMux::is_drained)
+                && self
+                    .sm_staging
+                    .iter()
+                    .all(std::collections::VecDeque::is_empty)
+                && self.sm_ejectors.iter().all(ConcentratorMux::is_drained),
+            "reply-fabric in-flight counter out of sync"
+        );
+        self.in_flight == 0
     }
 }
 

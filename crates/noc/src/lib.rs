@@ -33,11 +33,13 @@
 pub mod arbiter;
 pub mod crossbar;
 pub mod delay;
+pub mod event;
 pub mod fabric;
 pub mod mux;
 pub mod packet;
 
 pub use arbiter::{ArbHead, Arbiter};
+pub use event::NextEvent;
 pub use fabric::{ReplyFabric, RequestFabric};
 pub use mux::ConcentratorMux;
 pub use packet::{Packet, PacketId, PacketKind};

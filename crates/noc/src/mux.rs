@@ -9,6 +9,7 @@
 
 use crate::arbiter::{make_arbiter, ArbHead, Arbiter};
 use crate::delay::DelayLine;
+use crate::event::NextEvent;
 use crate::packet::Packet;
 use gnc_common::config::{Arbitration, NocConfig};
 use gnc_common::fault::FaultPlan;
@@ -55,6 +56,10 @@ pub struct ConcentratorMux {
     forwarded_packets: u64,
     /// Total packets across all input queues (fast idle check).
     queued: usize,
+    /// Per-input queue heads, maintained incrementally: set on push into
+    /// an empty queue, refreshed on pop. Mirrors `inputs[i].front()` at
+    /// all times so [`tick`] never has to walk the input queues.
+    heads: Vec<Option<ArbHead>>,
     /// Optional fault injection: background-traffic bursts at this mux
     /// steal output flit slots. The `u64` is this mux's stable site id
     /// within the fault plan's hash space.
@@ -95,6 +100,7 @@ impl ConcentratorMux {
             granted_flits: vec![0; n_inputs],
             forwarded_packets: 0,
             queued: 0,
+            heads: vec![None; n_inputs],
             fault: None,
         }
     }
@@ -135,6 +141,12 @@ impl ConcentratorMux {
             return Err(packet);
         }
         let remaining = packet.flits(&self.noc).max(1);
+        if self.inputs[input].is_empty() {
+            self.heads[input] = Some(ArbHead {
+                age: packet.injected_at,
+                group: packet.group,
+            });
+        }
         self.inputs[input].push_back(InFlight { packet, remaining });
         self.queued += 1;
         Ok(())
@@ -159,23 +171,13 @@ impl ConcentratorMux {
             }
         }
         for slot in 0..budget {
-            let heads: Vec<Option<ArbHead>> = self
-                .inputs
-                .iter()
-                .map(|q| {
-                    q.front().map(|inflight| ArbHead {
-                        age: inflight.packet.injected_at,
-                        group: inflight.packet.group,
-                    })
-                })
-                .collect();
-            if heads.iter().all(Option::is_none) {
+            if self.queued == 0 {
                 // No arbiter can grant an idle mux; strict RR would waste
                 // the remaining slots anyway.
                 break;
             }
             let global_slot = now * u64::from(self.bandwidth) + u64::from(slot);
-            let Some(winner) = self.arbiter.grant(global_slot, &heads) else {
+            let Some(winner) = self.arbiter.grant(global_slot, &self.heads) else {
                 continue;
             };
             let queue = &mut self.inputs[winner];
@@ -187,6 +189,11 @@ impl ConcentratorMux {
                 self.output.push(now, done.packet);
                 self.forwarded_packets += 1;
                 self.queued -= 1;
+                // Only the winner's queue head changed; refresh just it.
+                self.heads[winner] = self.inputs[winner].front().map(|inflight| ArbHead {
+                    age: inflight.packet.injected_at,
+                    group: inflight.packet.group,
+                });
             }
         }
     }
@@ -220,6 +227,21 @@ impl ConcentratorMux {
     /// True when no packets are queued or in the output pipeline.
     pub fn is_drained(&self) -> bool {
         self.inputs.iter().all(VecDeque::is_empty) && self.output.is_empty()
+    }
+
+    /// When this mux next has actionable work (see [`NextEvent`]).
+    ///
+    /// Queued packets need arbitration every cycle; an empty mux with
+    /// packets in the output pipeline sleeps until the front one is
+    /// deliverable.
+    pub fn next_event(&self) -> NextEvent {
+        if self.queued > 0 {
+            return NextEvent::Busy;
+        }
+        match self.output.next_ready_cycle() {
+            Some(ready) => NextEvent::At(ready),
+            None => NextEvent::Idle,
+        }
     }
 }
 

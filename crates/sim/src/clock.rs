@@ -94,6 +94,13 @@ impl ClockDomain {
     pub fn num_sms(&self) -> usize {
         self.offsets.len()
     }
+
+    /// Whether a fault plan perturbs reads. Without one, reads are the
+    /// pure affine function `offset + now`, so future values (and clock
+    /// alignment times) can be predicted exactly.
+    pub fn has_fault(&self) -> bool {
+        self.fault.is_some()
+    }
 }
 
 #[cfg(test)]

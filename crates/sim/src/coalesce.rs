@@ -47,16 +47,21 @@ pub fn coalesce(addrs: &[u64], line_bytes: u64) -> Vec<Transaction> {
         line_bytes.is_power_of_two(),
         "line size must be a power of two"
     );
+    assert!(
+        line_bytes <= 128 * u64::from(ACCESS_BYTES),
+        "line size exceeds the coalescer's word-mask width"
+    );
     let line_mask = !(line_bytes - 1);
-    let word_mask = !(u64::from(ACCESS_BYTES) - 1);
-    let mut txns: Vec<(Transaction, Vec<u64>)> = Vec::new();
+    // Distinct words within a line tracked as a bitmask (≤128 words per
+    // line), keeping the per-address loop allocation-free.
+    let mut txns: Vec<(Transaction, u128)> = Vec::new();
     for &addr in addrs {
         let base = addr & line_mask;
-        let word = addr & word_mask;
+        let word = 1u128 << ((addr & !line_mask) / u64::from(ACCESS_BYTES));
         match txns.iter_mut().find(|(t, _)| t.line_base == base) {
             Some((txn, words)) => {
-                if !words.contains(&word) {
-                    words.push(word);
+                if *words & word == 0 {
+                    *words |= word;
                     txn.bytes = (txn.bytes + ACCESS_BYTES).min(line_bytes as u32);
                 }
             }
@@ -65,7 +70,7 @@ pub fn coalesce(addrs: &[u64], line_bytes: u64) -> Vec<Transaction> {
                     line_base: base,
                     bytes: ACCESS_BYTES,
                 },
-                vec![word],
+                word,
             )),
         }
     }

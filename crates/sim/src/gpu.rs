@@ -11,12 +11,45 @@ use crate::block_sched::PlacementPolicy;
 use crate::clock::ClockDomain;
 use crate::kernel::{KernelProgram, Recorder};
 use crate::sm::Sm;
+use gnc_common::hash::FastHashMap;
 use gnc_common::ids::{BlockId, KernelId, SliceId, SmId, StreamId};
 use gnc_common::{ConfigError, Cycle, GpuConfig};
 use gnc_mem::subsystem::MemorySubsystem;
+use gnc_noc::event::NextEvent;
 use gnc_noc::fabric::{ReplyFabric, RequestFabric};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// GPUs constructed process-wide (the bench harness's trial counter).
+static GPUS_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Total GPU instances constructed by this process so far. Each
+/// experiment trial builds its own [`Gpu`], so this doubles as a trial
+/// counter for throughput reporting.
+pub fn gpus_built() -> u64 {
+    GPUS_BUILT.load(Ordering::Relaxed)
+}
+
+/// Process-wide default for [`LoopMode`]; `true` selects `Naive`.
+static DEFAULT_NAIVE_LOOP: AtomicBool = AtomicBool::new(false);
+
+/// How [`Gpu::run_until_idle`] advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Jump over provably dead cycles using the components' merged
+    /// [`NextEvent`] reports (the default). Bit-identical to `Naive` —
+    /// guarded by the `simulator_fidelity` equality tests.
+    FastForward,
+    /// Tick every cycle (the reference engine).
+    Naive,
+}
+
+/// Sets the [`LoopMode`] newly constructed GPUs start in. Existing
+/// instances are unaffected; see [`Gpu::set_loop_mode`].
+pub fn set_default_loop_mode(mode: LoopMode) {
+    DEFAULT_NAIVE_LOOP.store(mode == LoopMode::Naive, Ordering::Relaxed);
+}
 
 /// Why a run loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +92,9 @@ struct KernelState {
     start_cycle: Option<Cycle>,
     end_cycle: Option<Cycle>,
     block_spans: Vec<BlockSpan>,
+    /// `block → index into block_spans`, so retirement does not scan the
+    /// span list (blocks are placed at most once per kernel).
+    span_index: FastHashMap<BlockId, usize>,
 }
 
 /// Placement and lifetime of one thread block.
@@ -87,6 +123,12 @@ pub struct Gpu {
     recorder: Recorder,
     now: Cycle,
     fault: Option<std::sync::Arc<gnc_common::fault::FaultPlan>>,
+    loop_mode: LoopMode,
+    /// Indices of SMs with resident blocks, rebuilt on placement and
+    /// retirement. A block stays resident until every request it issued
+    /// has drained, so this list bounds which SMs can tick to an effect
+    /// or receive replies.
+    active_sms: Vec<usize>,
 }
 
 impl fmt::Debug for Gpu {
@@ -117,6 +159,7 @@ impl Gpu {
     /// Returns the validation error when `cfg` is inconsistent.
     pub fn with_clock_seed(cfg: GpuConfig, clock_seed: u64) -> Result<Self, ConfigError> {
         cfg.validate()?;
+        GPUS_BUILT.fetch_add(1, Ordering::Relaxed);
         let clock = ClockDomain::new(&cfg, clock_seed);
         let sms = (0..cfg.num_sms())
             .map(|s| Sm::new(SmId::new(s), &cfg))
@@ -137,6 +180,12 @@ impl Gpu {
             recorder: Recorder::new(),
             now: 0,
             fault: None,
+            loop_mode: if DEFAULT_NAIVE_LOOP.load(Ordering::Relaxed) {
+                LoopMode::Naive
+            } else {
+                LoopMode::FastForward
+            },
+            active_sms: Vec::new(),
         })
     }
 
@@ -239,8 +288,21 @@ impl Gpu {
             start_cycle: None,
             end_cycle: None,
             block_spans: Vec::new(),
+            span_index: FastHashMap::default(),
         });
         id
+    }
+
+    /// Switches this instance's run-loop strategy (see [`LoopMode`]).
+    /// Both modes produce bit-identical traces; `Naive` exists as the
+    /// reference for the fidelity tests and for debugging.
+    pub fn set_loop_mode(&mut self, mode: LoopMode) {
+        self.loop_mode = mode;
+    }
+
+    /// The run-loop strategy this instance uses.
+    pub fn loop_mode(&self) -> LoopMode {
+        self.loop_mode
     }
 
     /// Whether `kernel` has completed all blocks.
@@ -302,7 +364,19 @@ impl Gpu {
         }
     }
 
+    fn rebuild_active_sms(&mut self) {
+        self.active_sms.clear();
+        self.active_sms.extend(
+            self.sms
+                .iter()
+                .enumerate()
+                .filter(|(_, sm)| sm.resident_blocks() > 0)
+                .map(|(i, _)| i),
+        );
+    }
+
     fn place_blocks(&mut self) {
+        let mut placed = false;
         // Launch-order priority, §4.3 SM visitation order, capacity from
         // the config. Placement is greedy each cycle.
         for ki in 0..self.kernels.len() {
@@ -327,9 +401,11 @@ impl Gpu {
                     })
                     .collect();
                 self.sms[sm.index()].place_block(kernel_id, block, warps);
+                placed = true;
                 let k = &mut self.kernels[ki];
                 k.active_blocks += 1;
                 k.start_cycle.get_or_insert(self.now);
+                k.span_index.insert(block, k.block_spans.len());
                 k.block_spans.push(BlockSpan {
                     block,
                     sm,
@@ -338,18 +414,25 @@ impl Gpu {
                 });
             }
         }
+        if placed {
+            self.rebuild_active_sms();
+        }
     }
 
     fn retire_blocks(&mut self) {
-        for sm_idx in 0..self.sms.len() {
+        let mut retired = false;
+        for i in 0..self.active_sms.len() {
+            let sm_idx = self.active_sms[i];
             for (kernel, block) in self.sms[sm_idx].take_finished_blocks() {
+                retired = true;
                 let k = &mut self.kernels[kernel.index()];
                 k.active_blocks -= 1;
                 k.finished_blocks += 1;
                 if let Some(span) = k
-                    .block_spans
-                    .iter_mut()
-                    .find(|s| s.block == block && s.finished_at.is_none())
+                    .span_index
+                    .get(&block)
+                    .map(|&i| &mut k.block_spans[i])
+                    .filter(|s| s.finished_at.is_none())
                 {
                     span.finished_at = Some(self.now);
                 }
@@ -358,37 +441,70 @@ impl Gpu {
                 }
             }
         }
+        if retired {
+            self.rebuild_active_sms();
+        }
     }
 
     /// Advances the GPU one core cycle.
+    ///
+    /// Components that provably tick to a no-op are skipped (active-set
+    /// tracking): SMs with no resident work, and subnets with nothing in
+    /// flight. The skips are unconditional because they are exact — with
+    /// one exception: under fault injection every SM ticks, because even
+    /// an idle SM's clock read evaluates (and counts) glitch faults.
     pub fn tick(&mut self) {
         let now = self.now;
         // 0. Kernel lifecycle.
         self.start_eligible_kernels();
         self.place_blocks();
-        // 1. Deliver replies that arrived at the SMs.
-        for sm_idx in 0..self.sms.len() {
-            let sm_id = SmId::new(sm_idx);
-            while let Some(p) = self.reply_fabric.pop_at_sm(sm_id, now) {
-                self.sms[sm_idx].on_reply(&p, now);
+        // 1. Deliver replies that arrived at the SMs. Replies only ever
+        // target warps with outstanding requests, whose blocks are still
+        // resident, so the active list covers every destination.
+        if self.reply_fabric.in_flight() > 0 {
+            for i in 0..self.active_sms.len() {
+                let sm_idx = self.active_sms[i];
+                let sm_id = SmId::new(sm_idx);
+                while let Some(p) = self.reply_fabric.pop_at_sm(sm_id, now) {
+                    self.sms[sm_idx].on_reply(&p, now);
+                }
             }
         }
         // 2. SMs execute and enqueue requests.
-        for sm in &mut self.sms {
-            sm.tick(
-                now,
-                &self.clock,
-                &mut self.request_fabric,
-                &mut self.recorder,
-            );
+        if self.fault.is_some() {
+            // Under fault injection every SM ticks: even an idle SM's
+            // clock read evaluates (and counts) glitch faults.
+            for sm in &mut self.sms {
+                sm.tick(
+                    now,
+                    &self.clock,
+                    &mut self.request_fabric,
+                    &mut self.recorder,
+                );
+            }
+        } else {
+            for i in 0..self.active_sms.len() {
+                let sm_idx = self.active_sms[i];
+                self.sms[sm_idx].tick(
+                    now,
+                    &self.clock,
+                    &mut self.request_fabric,
+                    &mut self.recorder,
+                );
+            }
         }
         // 3. Request subnet moves.
-        self.request_fabric.tick(now);
-        // 4. Requests arriving at slices enter the L2 pipelines.
-        for s in 0..self.mem.num_slices() {
-            let slice = SliceId::new(s);
-            while let Some(p) = self.request_fabric.pop_at_slice(slice, now) {
-                self.mem.push_request(p, now);
+        if self.request_fabric.in_flight() > 0 {
+            self.request_fabric.tick(now);
+            // 4. Requests arriving at slices enter the L2 pipelines.
+            for s in 0..self.mem.num_slices() {
+                let slice = SliceId::new(s);
+                if !self.request_fabric.has_arrivals(slice) {
+                    continue;
+                }
+                while let Some(p) = self.request_fabric.pop_at_slice(slice, now) {
+                    self.mem.push_request(p, now);
+                }
             }
         }
         // 5. Memory system advances.
@@ -398,6 +514,9 @@ impl Gpu {
         // head-of-line-block replies bound for the others).
         for s in 0..self.mem.num_slices() {
             let slice = SliceId::new(s);
+            if !self.mem.has_reply(slice) {
+                continue;
+            }
             loop {
                 let fabric = &self.reply_fabric;
                 let Some(p) = self
@@ -412,10 +531,52 @@ impl Gpu {
             }
         }
         // 7. Reply subnet moves.
-        self.reply_fabric.tick(now);
+        if self.reply_fabric.in_flight() > 0 {
+            self.reply_fabric.tick(now);
+        }
         // 8. Retire finished blocks.
         self.retire_blocks();
         self.now += 1;
+    }
+
+    /// The GPU-wide merged [`NextEvent`]: when any component next has
+    /// actionable work.
+    ///
+    /// Conservative by construction — anything whose future cannot be
+    /// bounded exactly reports [`NextEvent::Busy`]: all of fault
+    /// injection (whose seeded schedules and stat counters are evaluated
+    /// cycle-by-cycle inside the ticks), and kernel-lifecycle work
+    /// (unstarted kernels or unplaced blocks, which the scheduler
+    /// retries every cycle).
+    fn next_event(&self) -> NextEvent {
+        if self.fault.is_some() {
+            return NextEvent::Busy;
+        }
+        if self
+            .kernels
+            .iter()
+            .any(|k| !k.started || !k.pending_blocks.is_empty())
+        {
+            return NextEvent::Busy;
+        }
+        let mut ev = NextEvent::Idle;
+        // Idle SMs hold no warps (and every kernel's blocks are placed at
+        // this point), so only the active set can produce an event.
+        for &sm_idx in &self.active_sms {
+            ev = ev.merge(self.sms[sm_idx].next_event(self.now, &self.clock));
+            if ev == NextEvent::Busy {
+                return ev;
+            }
+        }
+        ev = ev.merge(self.request_fabric.next_event());
+        if ev == NextEvent::Busy {
+            return ev;
+        }
+        ev = ev.merge(self.reply_fabric.next_event());
+        if ev == NextEvent::Busy {
+            return ev;
+        }
+        ev.merge(self.mem.next_event())
     }
 
     /// Runs for exactly `cycles` cycles.
@@ -427,11 +588,62 @@ impl Gpu {
 
     /// Runs until every launched kernel has finished and all queues have
     /// drained, or until `max_cycles` more cycles have elapsed.
+    ///
+    /// In [`LoopMode::FastForward`] (the default) the loop jumps over
+    /// windows in which every component reports that its ticks would be
+    /// no-ops — e.g. all warps parked on slot-boundary clock waits while
+    /// nothing is in flight. Every effectful cycle is still ticked, so
+    /// traces, records, and final cycle counts are bit-identical to
+    /// [`LoopMode::Naive`].
     pub fn run_until_idle(&mut self, max_cycles: Cycle) -> RunOutcome {
         let deadline = self.now + max_cycles;
+        // Scan backoff: a saturated pipeline reports Busy for thousands
+        // of consecutive cycles, and each scan costs a walk over every
+        // active component. Skipping a scan is always sound — the loop
+        // just ticks normally — so consecutive Busy verdicts stretch the
+        // scan interval exponentially (capped), and any jump or idle
+        // verdict resets it. Dead windows are detected at most
+        // `MAX_SCAN_STRIDE` no-op ticks late, which the active-set
+        // gating makes nearly free.
+        const MAX_SCAN_STRIDE: Cycle = 64;
+        let mut scan_stride: Cycle = 1;
+        let mut scan_in: Cycle = 0;
         while self.now < deadline {
             if self.is_idle() {
                 return RunOutcome::Idle { at: self.now };
+            }
+            if self.loop_mode == LoopMode::FastForward {
+                if scan_in > 0 {
+                    scan_in -= 1;
+                } else {
+                    match self.next_event() {
+                        NextEvent::Busy => {
+                            scan_in = scan_stride;
+                            scan_stride = (scan_stride * 2).min(MAX_SCAN_STRIDE);
+                        }
+                        // Nothing will ever wake by itself: the remaining
+                        // naive ticks are all no-ops, so burn them at once
+                        // and time out at the deadline exactly as the naive
+                        // loop would.
+                        NextEvent::Idle => {
+                            self.now = deadline;
+                            break;
+                        }
+                        NextEvent::At(at) => {
+                            // Skip straight to the next effectful cycle
+                            // (never past the deadline). `at <= now` means
+                            // "busy this cycle": fall through and tick.
+                            let target = at.min(deadline);
+                            if target > self.now {
+                                self.now = target;
+                                scan_stride = 1;
+                                continue;
+                            }
+                            scan_in = scan_stride;
+                            scan_stride = (scan_stride * 2).min(MAX_SCAN_STRIDE);
+                        }
+                    }
+                }
             }
             self.tick();
         }

@@ -44,5 +44,5 @@ pub mod kernel;
 pub mod sm;
 pub mod workloads;
 
-pub use gpu::{Gpu, RunOutcome};
+pub use gpu::{gpus_built, set_default_loop_mode, Gpu, LoopMode, RunOutcome};
 pub use kernel::{KernelProgram, Record, Recorder, WarpContext, WarpProgram, WarpStep};

@@ -10,12 +10,14 @@
 use crate::clock::ClockDomain;
 use crate::coalesce::coalesce;
 use crate::kernel::{AccessKind, Record, Recorder, WarpContext, WarpProgram, WarpStep};
+use gnc_common::hash::FastHashMap;
 use gnc_common::ids::{BlockId, KernelId, SmId, WarpId};
 use gnc_common::{Cycle, GpuConfig};
 use gnc_mem::address::AddressMap;
+use gnc_noc::event::NextEvent;
 use gnc_noc::fabric::RequestFabric;
 use gnc_noc::packet::{Packet, PacketId, PacketKind};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Safety valve: maximum free steps (records / matched clock waits) one
 /// warp may take in a single cycle before the SM forces a cycle boundary.
@@ -72,7 +74,7 @@ pub struct Sm {
     map: AddressMap,
     blocks: Vec<BlockSlot>,
     lsu_queue: VecDeque<Packet>,
-    in_flight: HashMap<PacketId, (KernelId, BlockId, usize)>,
+    in_flight: FastHashMap<PacketId, (KernelId, BlockId, usize)>,
     next_packet_seq: u64,
     packet_id_base: u64,
     /// Packets injected into the fabric (utilisation statistics).
@@ -100,7 +102,7 @@ impl Sm {
             map: AddressMap::new(cfg),
             blocks: Vec::new(),
             lsu_queue: VecDeque::new(),
-            in_flight: HashMap::new(),
+            in_flight: FastHashMap::default(),
             next_packet_seq: 0,
             packet_id_base: ((id.index() as u64) + 1) << 40,
             injected_packets: 0,
@@ -167,6 +169,53 @@ impl Sm {
             }
         });
         finished
+    }
+
+    /// Whether ticking this SM can have any effect. An SM with no
+    /// resident blocks and an empty LSU queue ticks to a no-op (replies
+    /// arrive via [`on_reply`](Self::on_reply), not the tick), so the
+    /// engine may skip it.
+    pub fn is_active(&self) -> bool {
+        !self.blocks.is_empty() || !self.lsu_queue.is_empty()
+    }
+
+    /// When this SM next has actionable work (see [`NextEvent`]).
+    ///
+    /// Ready warps and queued LSU packets need service every cycle.
+    /// Sleeping warps wake at a known cycle. Clock-aligned waits are
+    /// predictable too when the clock is fault-free and the mask selects
+    /// contiguous low bits (every protocol kernel's slot wait does):
+    /// `read32` is then affine in `now`, so the wake cycle is
+    /// `now + ((target - clock32) mod (mask + 1))`. Anything else —
+    /// glitchy clocks, exotic masks — conservatively reports
+    /// [`NextEvent::Busy`]. Warps in `WaitMem`/`Throttled` wake from
+    /// replies, which the fabric's own events account for.
+    pub fn next_event(&self, now: Cycle, clock: &ClockDomain) -> NextEvent {
+        if !self.lsu_queue.is_empty() {
+            return NextEvent::Busy;
+        }
+        let mut ev = NextEvent::Idle;
+        for block in &self.blocks {
+            for warp in &block.warps {
+                match warp.state {
+                    WarpState::Ready => return NextEvent::Busy,
+                    WarpState::Sleeping { until } => ev = ev.merge(NextEvent::At(until)),
+                    WarpState::WaitClock { mask, target } => {
+                        // Predictable only for pure clocks and masks of
+                        // contiguous low bits with an in-range target.
+                        let contiguous = mask & mask.wrapping_add(1) == 0;
+                        if clock.has_fault() || !contiguous || mask == 0 || target & !mask != 0 {
+                            return NextEvent::Busy;
+                        }
+                        let cur = clock.read32(self.id, now) & mask;
+                        let wake = now + Cycle::from(target.wrapping_sub(cur) & mask);
+                        ev = ev.merge(NextEvent::At(wake));
+                    }
+                    WarpState::WaitMem | WarpState::Throttled | WarpState::Done => {}
+                }
+            }
+        }
+        ev
     }
 
     /// Delivers a reply packet from the reply fabric.

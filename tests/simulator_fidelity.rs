@@ -152,6 +152,70 @@ fn full_occupancy_excludes_third_kernels() {
     assert!(victim_start.is_some(), "victim eventually runs");
 }
 
+/// The cycle-loop fast path (active-set skipping + `next_event`
+/// fast-forward) must be invisible: a full covert transmission replayed
+/// under `LoopMode::Naive` and `LoopMode::FastForward` has to produce
+/// identical latency traces, recorder contents, and final cycle counts.
+#[test]
+fn fast_forward_is_bit_identical_to_naive_loop() {
+    use gpu_noc_covert::common::bits::BitVec;
+    use gpu_noc_covert::covert::channel::ChannelPlan;
+    use gpu_noc_covert::covert::protocol::ProtocolConfig;
+    use gpu_noc_covert::sim::LoopMode;
+
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(2), &[0]);
+    let payload = BitVec::from_bytes(b"ok");
+
+    let run = |mode: LoopMode| {
+        let mut gpu = Gpu::with_clock_seed(cfg.clone(), 7).unwrap();
+        gpu.set_loop_mode(mode);
+        let report = plan.transmit_on(&mut gpu, &payload, 7);
+        let records: Vec<_> = gpu.recorder().records().to_vec();
+        (report, records, gpu.now())
+    };
+
+    let (naive_report, naive_records, naive_now) = run(LoopMode::Naive);
+    let (fast_report, fast_records, fast_now) = run(LoopMode::FastForward);
+
+    assert_eq!(naive_now, fast_now, "final cycle counts diverge");
+    assert_eq!(naive_records, fast_records, "recorder contents diverge");
+    assert_eq!(
+        naive_report.received, fast_report.received,
+        "decoded payloads diverge"
+    );
+    assert_eq!(
+        naive_report.elapsed_cycles, fast_report.elapsed_cycles,
+        "latency traces diverge"
+    );
+    assert_eq!(naive_report.errors, fast_report.errors);
+}
+
+/// The parallel trial pool must not change results: the same sweeps run
+/// with 1 worker and 8 workers serialize to byte-identical JSON.
+#[test]
+fn sweep_json_identical_across_job_counts() {
+    use gpu_noc_covert::common::par::set_jobs;
+    use gpu_noc_covert::covert::characterize::leakage_sweep;
+    use gpu_noc_covert::covert::reverse::tpc_pairing_sweep;
+
+    let cfg = GpuConfig::volta_v100();
+    let run = || {
+        let pairing = tpc_pairing_sweep(&cfg, 0, 2, 3);
+        let leakage = leakage_sweep(&cfg, 1, &[0.0, 0.5, 1.0], 4, 3);
+        (
+            serde_json::to_string(&pairing).unwrap(),
+            serde_json::to_string(&leakage).unwrap(),
+        )
+    };
+    set_jobs(1);
+    let serial = run();
+    set_jobs(8);
+    let parallel = run();
+    set_jobs(0); // restore the default for other tests
+    assert_eq!(serial, parallel, "sweep JSON depends on the job count");
+}
+
 /// Ground-truth topology invariants consumed by the attack (per preset).
 #[test]
 fn topology_invariants() {
