@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--full] [--json DIR] [--fig N]... [--table N]... [--srr-overhead] [--noise-sweep] [--all]
-//!         [--jobs N] [--bench PATH] [--bench-baseline SECS]
+//!         [--jobs N] [--bench PATH] [--bench-baseline SECS] [--telemetry DIR]
 //! ```
 //!
 //! With no selection flags, everything is produced. `--full` uses
@@ -13,6 +13,10 @@
 //! wall-clock/throughput report as JSON when the run finishes;
 //! `--bench-baseline SECS` records a reference wall-clock (e.g. the
 //! committed pre-optimization number) and the resulting speedup.
+//! `--telemetry DIR` re-runs the Fig 5 and Fig 10 workloads with a live
+//! collector attached and writes per-component utilization reports plus
+//! Chrome-trace flit timelines into DIR (plain result JSONs are
+//! unaffected — they always come from uninstrumented runs).
 
 use gnc_bench::*;
 use serde::Serialize;
@@ -30,6 +34,7 @@ struct Args {
     noise: bool,
     bench: Option<PathBuf>,
     bench_baseline_s: Option<f64>,
+    telemetry_dir: Option<PathBuf>,
 }
 
 /// The report written by `--bench PATH`.
@@ -59,6 +64,7 @@ fn parse_args() -> Args {
         noise: false,
         bench: None,
         bench_baseline_s: None,
+        telemetry_dir: None,
     };
     let mut all = true;
     let mut iter = std::env::args().skip(1);
@@ -86,6 +92,11 @@ fn parse_args() -> Args {
                         .and_then(|v| v.parse().ok())
                         .expect("--bench-baseline requires seconds"),
                 );
+            }
+            "--telemetry" => {
+                args.telemetry_dir = Some(PathBuf::from(
+                    iter.next().expect("--telemetry requires a directory"),
+                ));
             }
             "--fig" => {
                 all = false;
@@ -128,6 +139,47 @@ fn parse_args() -> Args {
         args.noise = true;
     }
     args
+}
+
+/// Re-runs the Fig 5 and Fig 10 workloads instrumented and writes, per
+/// workload: `telemetry_<name>.json` (the utilization report),
+/// `telemetry_<name>_trace.jsonl` (flit events), and
+/// `telemetry_<name>_trace.json` (Chrome `trace_event` timeline, load
+/// into `chrome://tracing` or Perfetto). Also prints the contention
+/// heatmap and channel-utilization table.
+fn run_telemetry(cfg: &gnc_common::GpuConfig, scale: Scale, dir: &std::path::Path) {
+    std::fs::create_dir_all(dir).expect("create telemetry dir");
+    let write = |name: &str, collector: &gnc_common::telemetry::Collector| {
+        let report = collector.report();
+        let path = dir.join(format!("telemetry_{name}.json"));
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&report).expect("serialize telemetry"),
+        )
+        .expect("write telemetry report");
+        println!("  [telemetry] {}", path.display());
+        let jsonl = dir.join(format!("telemetry_{name}_trace.jsonl"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&jsonl).expect("create trace"));
+        collector.write_trace_jsonl(&mut f).expect("write trace");
+        println!("  [telemetry] {}", jsonl.display());
+        let chrome = dir.join(format!("telemetry_{name}_trace.json"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&chrome).expect("create trace"));
+        collector.write_chrome_trace(&mut f).expect("write trace");
+        println!("  [telemetry] {}", chrome.display());
+        println!("{}", report.heatmap_ascii());
+        println!("{}", report.utilization_table_ascii());
+    };
+    println!("== Telemetry: Fig 5 workload (GPC0 read contention) ==");
+    let col = telemetry::telemetry_fig05(cfg, scale);
+    write("fig05", &col);
+    println!("== Telemetry: Fig 10 workload (TPC channel transmission) ==");
+    let (col, report) = telemetry::telemetry_fig10(cfg, scale);
+    println!(
+        "  instrumented run: {:.1} kbps, error {:.2} %",
+        report.bandwidth_bps / 1e3,
+        report.error_rate * 100.0
+    );
+    write("fig10", &col);
 }
 
 fn emit<T: Serialize>(args: &Args, name: &str, value: &T) {
@@ -507,6 +559,10 @@ fn main() {
             println!("  {row}");
         }
         emit(&args, "table2", &rows);
+    }
+
+    if let Some(dir) = &args.telemetry_dir {
+        run_telemetry(&cfg, args.scale, dir);
     }
 
     if let Some(path) = &args.bench {

@@ -34,6 +34,8 @@ use gnc_covert::sync::{clock_snapshot, skew_stats, ClockSnapshot, SkewStats};
 use gnc_sim::kernel::AccessKind;
 use serde::Serialize;
 
+pub mod telemetry;
+
 /// Experiment scale: `Quick` for benches and smoke runs, `Full` for
 /// paper-fidelity trial counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,91 @@
+//! Telemetry-instrumented variants of the evaluation workloads.
+//!
+//! Each runner re-stages one of the paper's experiments on a GPU whose
+//! probe is a live [`Collector`] instead of the zero-cost `NullProbe`,
+//! and returns the filled collector so callers can emit the utilization
+//! report, the JSONL flit trace, or the Chrome `trace_event` timeline
+//! (see `figures --telemetry` and the CLI's `report` subcommand).
+
+use crate::Scale;
+use gnc_common::ids::GpcId;
+use gnc_common::rng::experiment_rng;
+use gnc_common::telemetry::Collector;
+use gnc_common::GpuConfig;
+use gnc_covert::channel::{ChannelPlan, TransmissionReport};
+use gnc_covert::protocol::ProtocolConfig;
+use gnc_covert::reverse::run_active_sms_on;
+use gnc_sim::gpu::Gpu;
+use gnc_sim::kernel::AccessKind;
+
+use gnc_common::bits::BitVec;
+
+/// Fig 5(b)'s most contended point, instrumented: every TPC of GPC 0
+/// streams reads at once, so the GPC request mux and the slice-side
+/// crossbar ports light up in the heatmap.
+pub fn telemetry_fig05(cfg: &GpuConfig, scale: Scale) -> Collector {
+    let batches = match scale {
+        Scale::Quick => 24,
+        Scale::Full => 60,
+    };
+    let members = cfg.tpcs_of_gpc(GpcId::new(0));
+    let active: Vec<usize> = members.iter().map(|t| 2 * t.index()).collect();
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), 5)
+        .expect("valid config")
+        .with_probe(Collector::for_config(cfg));
+    run_active_sms_on(&mut gpu, &active, AccessKind::Read, 4, batches);
+    gpu.into_probe()
+}
+
+/// One Fig 10(a) operating point (single TPC channel, 4 iterations per
+/// bit), instrumented end to end: the trace shows the sender's flit
+/// bursts alternating with the receiver's probe packets slot by slot.
+/// Also returns the transmission report so callers can cross-check the
+/// instrumented run still decodes.
+pub fn telemetry_fig10(cfg: &GpuConfig, scale: Scale) -> (Collector, TransmissionReport) {
+    let bits = match scale {
+        Scale::Quick => 24,
+        Scale::Full => 96,
+    };
+    let plan = ChannelPlan::tpc(cfg, ProtocolConfig::tpc(4), &[0]);
+    let mut rng = experiment_rng("telemetry-fig10", 4);
+    let payload = BitVec::random(&mut rng, bits);
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), 4)
+        .expect("valid config")
+        .with_probe(Collector::for_config(cfg));
+    let report = plan.transmit_on(&mut gpu, &payload, 4);
+    (gpu.into_probe(), report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig05_collector_sees_gpc0_traffic_only() {
+        let cfg = crate::platform();
+        let col = telemetry_fig05(&cfg, Scale::Quick);
+        assert!(col.packets_injected() > 0, "no traffic collected");
+        assert_eq!(col.in_flight(), 0, "run must quiesce");
+        let report = col.report();
+        // Every member TPC of GPC0 contributes; SM 2 (TPC1, GPC1 in the
+        // paper's striped mapping) stays quiet.
+        let m = &report.sm_slice;
+        let active: u64 = (0..cfg.num_sms())
+            .map(|sm| (0..cfg.mem.num_l2_slices).map(|s| m.at(sm, s)).sum::<u64>())
+            .sum();
+        assert!(active > 0);
+    }
+
+    #[test]
+    fn fig10_instrumented_run_still_decodes() {
+        let cfg = crate::platform();
+        let (col, report) = telemetry_fig10(&cfg, Scale::Quick);
+        assert!(
+            report.error_rate < 0.05,
+            "instrumented run decode degraded: {}",
+            report.error_rate
+        );
+        assert_eq!(col.in_flight(), 0);
+        assert!(col.packets_delivered() == col.packets_injected());
+    }
+}

@@ -48,6 +48,28 @@ pub enum Command {
         /// Fault-injection spec (preset[@seed][,key=val...]); switches to
         /// the hardened CRC/ACK protocol.
         faults: Option<String>,
+        /// Instrument the run with the telemetry collector and write the
+        /// report + flit traces into this directory (`--telemetry[=DIR]`,
+        /// default `telemetry`).
+        telemetry: Option<String>,
+    },
+    /// Run an instrumented transmission and print the contention heatmap
+    /// and channel-utilization table.
+    Report {
+        /// Architecture preset.
+        arch: Arch,
+        /// The message bytes driven through the channel.
+        message: String,
+        /// Use every TPC in parallel.
+        all_tpcs: bool,
+        /// Memory operations per bit.
+        iterations: u32,
+        /// Interconnect arbitration policy.
+        arbitration: Arbitration,
+        /// Deterministic seed.
+        seed: u64,
+        /// Also write the report JSON and flit traces here.
+        out: Option<String>,
     },
     /// Sweep the fault presets, comparing naive vs hardened decoding.
     Chaos {
@@ -114,6 +136,8 @@ COMMANDS:
     info                         print the simulated GPU topology
     reverse                      reverse-engineer TPC/GPC placement blind
     send --message <TEXT>        exfiltrate a message over the channel
+    report                       instrumented run: contention heatmap +
+                                 channel-utilization table
     chaos                        sweep fault presets, naive vs hardened
     sidechannel --profile <CSV>  meter a victim's per-phase L2 activity
     help                         show this text
@@ -137,6 +161,18 @@ OPTIONS (send):
                                    off|mild|moderate|severe|jammed with
                                    optional @seed and key=value overrides
                                    (e.g. moderate@7,sample_drop_rate=0.2)
+    --telemetry[=DIR]              collect telemetry during the run and
+                                   write report + flit traces to DIR
+                                   [default dir: telemetry]; not
+                                   compatible with --faults
+
+OPTIONS (report):
+    --message <TEXT>               payload                [default: noc]
+    --all-tpcs                     stripe across all TPC channels
+    --iterations <K>               memory ops per bit    [default: 4]
+    --arbitration <rr|crr|srr|age> NoC arbitration       [default: rr]
+    --seed <N>                     deterministic seed    [default: 42]
+    --out <DIR>                    also write report JSON + flit traces
 
 OPTIONS (chaos):
     --message <TEXT>               payload                [default: noc]
@@ -200,6 +236,8 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
     let mut seed = 42u64;
     let mut faults: Option<String> = None;
     let mut profile: Option<Vec<u32>> = None;
+    let mut telemetry: Option<String> = None;
+    let mut out: Option<String> = None;
 
     let take_value = |iter: &mut std::slice::Iter<String>, flag: &str| {
         iter.next()
@@ -232,6 +270,8 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                     .map_err(|_| ParseError("--seed requires a number".into()))?;
             }
             "--faults" => faults = Some(take_value(&mut iter, "--faults")?),
+            "--telemetry" => telemetry = Some("telemetry".into()),
+            "--out" => out = Some(take_value(&mut iter, "--out")?),
             "--jobs" => {
                 let n: usize = take_value(&mut iter, "--jobs")?
                     .parse()
@@ -249,7 +289,16 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                     ParseError("--profile requires comma-separated numbers".into())
                 })?);
             }
-            other => return Err(ParseError(format!("unknown option '{other}'"))),
+            other => {
+                if let Some(dir) = other.strip_prefix("--telemetry=") {
+                    if dir.is_empty() {
+                        return Err(ParseError("--telemetry= requires a directory".into()));
+                    }
+                    telemetry = Some(dir.to_owned());
+                } else {
+                    return Err(ParseError(format!("unknown option '{other}'")));
+                }
+            }
         }
     }
 
@@ -267,8 +316,18 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                 fec,
                 seed,
                 faults,
+                telemetry,
             }
         }
+        "report" => Command::Report {
+            arch,
+            message: message.unwrap_or_else(|| "noc".into()),
+            all_tpcs,
+            iterations,
+            arbitration,
+            seed,
+            out,
+        },
         "chaos" => Command::Chaos {
             arch,
             message: message.unwrap_or_else(|| "noc".into()),
@@ -346,6 +405,59 @@ mod tests {
                 fec: true,
                 seed: 7,
                 faults: None,
+                telemetry: None,
+            }
+        );
+    }
+
+    #[test]
+    fn send_telemetry_forms() {
+        let Command::Send { telemetry, .. } = parse(&argv("send --message hi")).unwrap() else {
+            panic!("expected send");
+        };
+        assert_eq!(telemetry, None);
+        let Command::Send { telemetry, .. } =
+            parse(&argv("send --message hi --telemetry")).unwrap()
+        else {
+            panic!("expected send");
+        };
+        assert_eq!(telemetry.as_deref(), Some("telemetry"));
+        let Command::Send { telemetry, .. } =
+            parse(&argv("send --message hi --telemetry=probes/out")).unwrap()
+        else {
+            panic!("expected send");
+        };
+        assert_eq!(telemetry.as_deref(), Some("probes/out"));
+        assert!(parse(&argv("send --message hi --telemetry=")).is_err());
+    }
+
+    #[test]
+    fn report_defaults_and_override() {
+        assert_eq!(
+            parse(&argv("report")).unwrap(),
+            Command::Report {
+                arch: Arch::Volta,
+                message: "noc".into(),
+                all_tpcs: false,
+                iterations: 4,
+                arbitration: Arbitration::RoundRobin,
+                seed: 42,
+                out: None,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "report --message hi --all-tpcs --arbitration age --seed 9 --out tdir"
+            ))
+            .unwrap(),
+            Command::Report {
+                arch: Arch::Volta,
+                message: "hi".into(),
+                all_tpcs: true,
+                iterations: 4,
+                arbitration: Arbitration::AgeBased,
+                seed: 9,
+                out: Some("tdir".into()),
             }
         );
     }

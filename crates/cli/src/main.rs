@@ -16,11 +16,14 @@ use gnc_common::bits::BitVec;
 use gnc_common::fault::FaultConfig;
 use gnc_common::fec::{fec_decode, fec_encode};
 use gnc_common::ids::GpcId;
+use gnc_common::telemetry::Collector;
 use gnc_covert::channel::ChannelPlan;
 use gnc_covert::protocol::ProtocolConfig;
 use gnc_covert::reverse::recover_mapping;
 use gnc_covert::robust::{compare_decoders, transmit_reliable, RobustOptions};
 use gnc_covert::sidechannel::spy_on_victim;
+use gnc_sim::gpu::Gpu;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -51,6 +54,7 @@ fn main() -> ExitCode {
             fec,
             seed,
             faults,
+            telemetry,
         } => send(
             arch,
             &message,
@@ -60,6 +64,24 @@ fn main() -> ExitCode {
             fec,
             seed,
             faults.as_deref(),
+            telemetry.as_deref(),
+        ),
+        Command::Report {
+            arch,
+            message,
+            all_tpcs,
+            iterations,
+            arbitration,
+            seed,
+            out,
+        } => report(
+            arch,
+            &message,
+            all_tpcs,
+            iterations,
+            arbitration,
+            seed,
+            out.as_deref(),
         ),
         Command::Chaos {
             arch,
@@ -125,6 +147,34 @@ fn reverse(arch: Arch, trials: usize) -> ExitCode {
     }
 }
 
+/// Writes the telemetry report JSON plus both flit-trace formats into
+/// `dir`, then prints the heatmap and utilization table.
+fn emit_telemetry(collector: &Collector, dir: &Path, name: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let report = collector.report();
+    let path = dir.join(format!("telemetry_{name}.json"));
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize telemetry"),
+    )?;
+    println!("[telemetry] {}", path.display());
+    let jsonl = dir.join(format!("telemetry_{name}_trace.jsonl"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&jsonl)?);
+    collector.write_trace_jsonl(&mut f)?;
+    println!("[telemetry] {}", jsonl.display());
+    let chrome = dir.join(format!("telemetry_{name}_trace.json"));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&chrome)?);
+    collector.write_chrome_trace(&mut f)?;
+    println!("[telemetry] {}", chrome.display());
+    Ok(())
+}
+
+fn print_telemetry_summary(collector: &Collector) {
+    let report = collector.report();
+    println!("{}", report.heatmap_ascii());
+    println!("{}", report.utilization_table_ascii());
+}
+
 #[allow(clippy::too_many_arguments)]
 fn send(
     arch: Arch,
@@ -135,6 +185,7 @@ fn send(
     fec: bool,
     seed: u64,
     faults: Option<&str>,
+    telemetry: Option<&str>,
 ) -> ExitCode {
     let mut cfg = arch.config();
     cfg.noc.arbitration = arbitration;
@@ -146,6 +197,10 @@ fn send(
     };
     let payload = BitVec::from_bytes(message.as_bytes());
     if let Some(spec) = faults {
+        if telemetry.is_some() {
+            eprintln!("error: --telemetry is not supported together with --faults");
+            return ExitCode::FAILURE;
+        }
         let fault_cfg = match FaultConfig::parse(spec) {
             Ok(fc) => fc,
             Err(e) => {
@@ -168,7 +223,23 @@ fn send(
         plan.channels().len(),
         arbitration.label(),
     );
-    let report = plan.transmit(&cfg, &coded, seed);
+    // The instrumented and plain paths build the GPU identically (same
+    // clock seed), so collecting telemetry never changes the outcome.
+    let report = if let Some(dir) = telemetry {
+        let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed)
+            .expect("valid GPU config")
+            .with_probe(Collector::for_config(&cfg));
+        let report = plan.transmit_on(&mut gpu, &coded, seed);
+        let collector = gpu.into_probe();
+        print_telemetry_summary(&collector);
+        if let Err(e) = emit_telemetry(&collector, Path::new(dir), "send") {
+            eprintln!("error: writing telemetry to {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        report
+    } else {
+        plan.transmit(&cfg, &coded, seed)
+    };
     let recovered_bits = if fec {
         fec_decode(&report.received, payload.len()).payload
     } else {
@@ -231,6 +302,52 @@ fn send_hardened(
         println!("delivery failed: the channel stayed jammed through every retry.");
         ExitCode::FAILURE
     }
+}
+
+fn report(
+    arch: Arch,
+    message: &str,
+    all_tpcs: bool,
+    iterations: u32,
+    arbitration: gnc_common::config::Arbitration,
+    seed: u64,
+    out: Option<&str>,
+) -> ExitCode {
+    let mut cfg = arch.config();
+    cfg.noc.arbitration = arbitration;
+    let proto = ProtocolConfig::tpc(iterations);
+    let plan = if all_tpcs {
+        ChannelPlan::multi_tpc(&cfg, proto)
+    } else {
+        ChannelPlan::tpc(&cfg, proto, &[0])
+    };
+    let payload = BitVec::from_bytes(message.as_bytes());
+    println!(
+        "instrumented transmission: {} payload bits over {} channel(s) under {} arbitration (seed {seed})",
+        payload.len(),
+        plan.channels().len(),
+        arbitration.label(),
+    );
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed)
+        .expect("valid GPU config")
+        .with_probe(Collector::for_config(&cfg));
+    let tx = plan.transmit_on(&mut gpu, &payload, seed);
+    let collector = gpu.into_probe();
+    println!(
+        "channel: {:.2} kbps over {} cycles, {} bit errors ({:.2} %)\n",
+        tx.bandwidth_bps / 1e3,
+        tx.elapsed_cycles,
+        tx.errors,
+        tx.error_rate * 100.0
+    );
+    print_telemetry_summary(&collector);
+    if let Some(dir) = out {
+        if let Err(e) = emit_telemetry(&collector, Path::new(dir), "report") {
+            eprintln!("error: writing telemetry to {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn chaos(arch: Arch, message: &str, seed: u64) -> ExitCode {

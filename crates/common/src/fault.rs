@@ -440,6 +440,36 @@ impl FaultPlan {
         off
     }
 
+    /// First cycle strictly after `now` at which [`clock_offset`] for
+    /// `sm` *may* return a different value, or `None` when the offset is
+    /// constant forever (no clock faults configured).
+    ///
+    /// On `[now, boundary)` the offset is a pure constant: the drift
+    /// term equals `floor(t * ppm / 1e6)` (the split evaluation in
+    /// [`clock_offset`] is exact, not an approximation), so it next
+    /// steps at `ceil((d + 1) * 1e6 / ppm)` where `d` is today's value;
+    /// the glitch decision is keyed on `t >> 10`, so it can only change
+    /// at the next 1024-cycle window boundary. This is what lets the
+    /// event-driven scheduler fast-forward a clock-spinning warp under
+    /// fault injection without replaying every cycle.
+    ///
+    /// [`clock_offset`]: Self::clock_offset
+    pub fn clock_offset_stable_until(&self, sm: u64, now: u64) -> Option<u64> {
+        let _ = sm;
+        let mut boundary = u64::MAX;
+        if self.cfg.clock_drift_ppm > 0 {
+            let ppm = u128::from(self.cfg.clock_drift_ppm);
+            let d = u128::from(now) * ppm / 1_000_000;
+            let next = ((d + 1) * 1_000_000).div_ceil(ppm);
+            boundary = boundary.min(u64::try_from(next).unwrap_or(u64::MAX));
+        }
+        if self.cfg.clock_glitch_rate > 0.0 && self.cfg.clock_glitch_cycles > 0 {
+            let next_window = ((now >> 10) + 1) << 10;
+            boundary = boundary.min(next_window);
+        }
+        (boundary != u64::MAX).then_some(boundary)
+    }
+
     /// Whether the L2 slice at `site` must stall its lookup stage at
     /// `now` (hot-spot window).
     pub fn l2_stall(&self, site: u64, now: u64) -> bool {

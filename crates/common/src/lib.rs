@@ -19,6 +19,9 @@
 //!   slices to study the channel under realistic interference.
 //! * [`rng`] — deterministic random number generation so experiments are
 //!   reproducible run-to-run.
+//! * [`telemetry`] — the zero-overhead-when-off observability seam: the
+//!   [`telemetry::Probe`] hook trait the engine is generic over, the
+//!   recording [`telemetry::Collector`], and its report/trace exporters.
 //!
 //! # Example
 //!
@@ -43,6 +46,7 @@ pub mod ids;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 
 /// A simulation timestamp measured in core clock cycles.
 ///
@@ -54,3 +58,4 @@ pub type Cycle = u64;
 pub use config::GpuConfig;
 pub use error::{ConfigError, Result, SimError};
 pub use fault::{FaultConfig, FaultPlan, FaultStats};
+pub use telemetry::{Collector, NullProbe, Probe, TelemetryReport};

@@ -15,6 +15,7 @@ use crate::protocol::{
 use gnc_common::bits::BitVec;
 use gnc_common::fec::FecSymbol;
 use gnc_common::ids::{KernelId, StreamId, TpcId};
+use gnc_common::telemetry::Probe;
 use gnc_common::{Cycle, GpuConfig};
 use gnc_sim::gpu::Gpu;
 use serde::{Deserialize, Serialize};
@@ -295,26 +296,31 @@ impl ChannelPlan {
     }
 
     /// Runs one full transmission on an existing GPU (lets callers
-    /// pre-configure arbitration, noise kernels, etc.). The GPU should be
-    /// idle; records are cleared.
-    pub fn transmit_on(&self, gpu: &mut Gpu, payload: &BitVec, seed: u64) -> TransmissionReport {
+    /// pre-configure arbitration, noise kernels, telemetry probes,
+    /// etc.). The GPU should be idle; records are cleared.
+    pub fn transmit_on<P: Probe>(
+        &self,
+        gpu: &mut Gpu<P>,
+        payload: &BitVec,
+        seed: u64,
+    ) -> TransmissionReport {
         self.transmit_inner(gpu, payload, seed, 0).0
     }
 
     /// [`transmit_on`](Self::transmit_on), additionally returning the
     /// raw per-channel traces for external (re-)decoding.
-    pub fn transmit_traced_on(
+    pub fn transmit_traced_on<P: Probe>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut Gpu<P>,
         payload: &BitVec,
         seed: u64,
     ) -> (TransmissionReport, Vec<ChannelTrace>) {
         self.transmit_inner(gpu, payload, seed, 0)
     }
 
-    fn transmit_inner(
+    fn transmit_inner<P: Probe>(
         &self,
-        gpu: &mut Gpu,
+        gpu: &mut Gpu<P>,
         payload: &BitVec,
         seed: u64,
         launch_skew: Cycle,
@@ -379,9 +385,9 @@ impl ChannelPlan {
         self.decode(gpu, receiver_id, payload, &chunks, outcome.is_idle())
     }
 
-    fn decode(
+    fn decode<P: Probe>(
         &self,
-        gpu: &Gpu,
+        gpu: &Gpu<P>,
         receiver_id: KernelId,
         payload: &BitVec,
         chunks: &[Vec<bool>],

@@ -21,6 +21,7 @@
 use gnc_common::ids::{SmId, StreamId, TpcId};
 use gnc_common::rng::experiment_rng;
 use gnc_common::stats::OnlineStats;
+use gnc_common::telemetry::Probe;
 use gnc_common::{Cycle, GpuConfig};
 use gnc_sim::gpu::Gpu;
 use gnc_sim::kernel::AccessKind;
@@ -47,10 +48,28 @@ pub fn run_active_sms(
     seed: u64,
 ) -> Vec<(usize, Cycle)> {
     let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    run_active_sms_on(&mut gpu, active_sms, kind, warps, batches)
+}
+
+/// [`run_active_sms`] on an existing GPU (lets callers pre-attach a
+/// telemetry probe or fault plan). The GPU should be freshly built.
+///
+/// # Panics
+///
+/// Panics if the run does not finish within its cycle budget (a
+/// simulator bug, not a measurement outcome).
+pub fn run_active_sms_on<P: Probe>(
+    gpu: &mut Gpu<P>,
+    active_sms: &[usize],
+    kind: AccessKind,
+    warps: usize,
+    batches: u32,
+) -> Vec<(usize, Cycle)> {
+    let cfg = gpu.config().clone();
     let mut sc = StreamConfig::writer(cfg.num_sms(), warps, batches);
     sc.kind = kind;
     sc.target_sms = Some(active_sms.to_vec());
-    let kernel = StreamKernel::new(sc, cfg);
+    let kernel = StreamKernel::new(sc, &cfg);
     let (base, lines) = kernel.working_set();
     gpu.preload_range(base, lines);
     let k = gpu.launch(Box::new(kernel), StreamId::new(0));

@@ -19,6 +19,20 @@ struct BankState {
     last_activate: Option<Cycle>,
 }
 
+/// The schedule one committed DRAM access received (telemetry detail for
+/// [`DramController::access_traced`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramAccess {
+    /// Core cycle the bank started servicing the access.
+    pub start: Cycle,
+    /// Core cycle the data finished transferring (bank busy over
+    /// `[start, done)`; `ready_at` advances to `done`, so per-bank busy
+    /// intervals never overlap).
+    pub done: Cycle,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
 /// One memory controller: a set of banks plus a shared data bus.
 #[derive(Debug, Clone)]
 pub struct DramController {
@@ -63,6 +77,17 @@ impl DramController {
     ///
     /// Panics if `bank` is out of range.
     pub fn access(&mut self, bank: usize, row: u64, now: Cycle) -> Cycle {
+        self.access_traced(bank, row, now).done
+    }
+
+    /// [`access`](Self::access), also reporting when the bank started
+    /// servicing the request and whether it hit the open row — the raw
+    /// material of bank-busy telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn access_traced(&mut self, bank: usize, row: u64, now: Cycle) -> DramAccess {
         self.accesses += 1;
         let t_cl = self.t(self.timing.t_cl);
         let t_rp = self.t(self.timing.t_rp);
@@ -73,7 +98,8 @@ impl DramController {
 
         let state = &mut self.banks[bank];
         let start = now.max(state.ready_at);
-        let data_at = if state.open_row == Some(row) {
+        let row_hit = state.open_row == Some(row);
+        let data_at = if row_hit {
             self.row_hits += 1;
             start + t_cl
         } else {
@@ -99,7 +125,11 @@ impl DramController {
         let done = bus_start + self.burst_cycles;
         self.bus_free_at = done;
         self.banks[bank].ready_at = done;
-        done
+        DramAccess {
+            start,
+            done,
+            row_hit,
+        }
     }
 
     /// Total accesses serviced.

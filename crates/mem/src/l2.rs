@@ -12,6 +12,7 @@ use crate::address::AddressMap;
 use crate::dram::DramController;
 use gnc_common::hash::FastHashMap;
 use gnc_common::ids::SliceId;
+use gnc_common::telemetry::{NullProbe, Probe};
 use gnc_common::{Cycle, GpuConfig};
 use gnc_noc::delay::DelayLine;
 use gnc_noc::event::NextEvent;
@@ -161,7 +162,14 @@ impl L2Slice {
         }
     }
 
-    fn install_fill(&mut self, line: u64, dram: &mut DramController, now: Cycle) {
+    fn install_fill<P: Probe>(
+        &mut self,
+        line: u64,
+        dram: &mut DramController,
+        now: Cycle,
+        mc: usize,
+        probe: &mut P,
+    ) {
         let addr = line * self.map.line_bytes();
         let (set, tag) = self.map.set_tag_of(addr);
         self.lru_clock += 1;
@@ -195,7 +203,8 @@ impl L2Slice {
             let victim_addr = self.reconstruct_addr(victim_tag, set);
             let bank = self.map.bank_of(victim_addr);
             let row = self.map.row_of(victim_addr);
-            let _ = dram.access(bank, row, now);
+            let acc = dram.access_traced(bank, row, now);
+            probe.dram_access(now, mc, bank, acc.start, acc.done, acc.row_hit);
             self.stats.writebacks += 1;
         }
     }
@@ -210,13 +219,27 @@ impl L2Slice {
     /// Advances the slice one cycle: completes ready fills, then performs
     /// at most one lookup.
     pub fn tick(&mut self, now: Cycle, dram: &mut DramController) {
+        self.tick_probed(now, dram, 0, &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: lookup outcomes, MSHR
+    /// occupancy, and DRAM accesses (demand fills and writebacks) report
+    /// to `probe`. `mc` is the index of `dram` within the subsystem
+    /// (only used to label DRAM telemetry; pass 0 when standalone).
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        dram: &mut DramController,
+        mc: usize,
+        probe: &mut P,
+    ) {
         // 1. Fills whose DRAM access has completed.
         while let Some(&Reverse((ready, line))) = self.pending_fills.peek() {
             if ready > now {
                 break;
             }
             self.pending_fills.pop();
-            self.install_fill(line, dram, now);
+            self.install_fill(line, dram, now, mc, probe);
             if let Some(waiters) = self.mshrs.remove(&line) {
                 for req in waiters {
                     let write = req.kind == PacketKind::WriteRequest;
@@ -225,10 +248,18 @@ impl L2Slice {
                 }
             }
         }
-        // 2. One lookup per cycle, preferring a stalled retry. A
-        // fault-injected hot-spot claims the lookup stage for the
-        // cycle (fills above still land, so no request is ever lost —
-        // everything behind the hot-spot just waits).
+        // 2. One lookup per cycle, preferring a stalled retry. The
+        // hot-spot probe is only consulted when a lookup is actually
+        // pending: an idle lookup stage has nothing to stall, and
+        // skipping the probe there is what lets `next_event` report
+        // exact wake times under fault injection instead of Busy.
+        if self.stalled.is_none() && self.pipeline.peek_ready(now).is_none() {
+            return;
+        }
+        // A fault-injected hot-spot claims the lookup stage for the
+        // cycle without consuming the candidate (fills above still
+        // land, so no request is ever lost — everything behind the
+        // hot-spot just waits and retries next cycle).
         if let Some(plan) = &self.fault {
             if plan.l2_stall(self.id.index() as u64, now) {
                 return;
@@ -253,6 +284,7 @@ impl L2Slice {
         self.stats.accesses += 1;
         if self.touch_hit(req.addr, write) {
             self.stats.hits += 1;
+            probe.l2_access(now, self.id.index(), true);
             self.replies.push_back(req.to_reply(now));
             return;
         }
@@ -263,11 +295,14 @@ impl L2Slice {
             return;
         }
         self.stats.misses += 1;
+        probe.l2_access(now, self.id.index(), false);
         let bank = self.map.bank_of(req.addr);
         let row = self.map.row_of(req.addr);
-        let ready = dram.access(bank, row, now);
+        let acc = dram.access_traced(bank, row, now);
+        probe.dram_access(now, mc, bank, acc.start, acc.done, acc.row_hit);
         self.mshrs.insert(line, vec![req]);
-        self.pending_fills.push(Reverse((ready, line)));
+        probe.mshr_occupancy(self.id.index(), self.mshrs.len());
+        self.pending_fills.push(Reverse((acc.done, line)));
     }
 
     /// Number of ready replies waiting at the port.
@@ -308,23 +343,24 @@ impl L2Slice {
     }
 
     /// Whether skipping this slice's [`tick`](Self::tick) at the current
-    /// cycle would be observable. A drained, fault-free slice ticks to a
-    /// no-op; a slice with a fault plan attached must tick every cycle
-    /// because the plan's hot-spot schedule (and its stall counters) is
-    /// evaluated in the tick itself.
+    /// cycle would be observable. A drained slice ticks to a no-op even
+    /// under fault injection: the hot-spot probe is only consulted when
+    /// a lookup is pending, so an empty slice has nothing a hot-spot
+    /// window could delay.
     pub fn needs_tick(&self) -> bool {
-        self.fault.is_some() || !self.is_drained()
+        !self.is_drained()
     }
 
     /// When this slice next has actionable work (see [`NextEvent`]).
     ///
     /// Pending replies and a stalled lookup need service every cycle; an
     /// otherwise-quiet slice sleeps until the earlier of the next
-    /// pipeline exit and the next DRAM fill. With a fault plan attached
-    /// the slice always reports [`NextEvent::Busy`]: hot-spot windows
-    /// are evaluated (and counted) cycle-by-cycle inside `tick`.
+    /// pipeline exit and the next DRAM fill. Fault injection needs no
+    /// special case: a hot-spot stall leaves the blocked lookup in
+    /// place, so its ready cycle stays in the past and the slice keeps
+    /// reporting it until the lookup finally issues.
     pub fn next_event(&self) -> NextEvent {
-        if self.fault.is_some() || !self.replies.is_empty() || self.stalled.is_some() {
+        if !self.replies.is_empty() || self.stalled.is_some() {
             return NextEvent::Busy;
         }
         let pipeline = match self.pipeline.next_ready_cycle() {

@@ -9,6 +9,7 @@ use crate::address::AddressMap;
 use crate::dram::DramController;
 use crate::l2::{L2Slice, L2Stats};
 use gnc_common::ids::SliceId;
+use gnc_common::telemetry::{NullProbe, Probe};
 use gnc_common::{Cycle, GpuConfig};
 use gnc_noc::event::NextEvent;
 use gnc_noc::packet::Packet;
@@ -20,10 +21,11 @@ pub struct MemorySubsystem {
     drams: Vec<DramController>,
     map: AddressMap,
     slices_per_mc: usize,
-    /// Per-slice work flags: `false` proves the slice is drained and
-    /// fault-free (its tick is a no-op); `true` is conservative and is
-    /// re-derived from [`L2Slice::needs_tick`] after each tick. Lets the
-    /// hot loops skip quiet slices without touching them.
+    /// Per-slice work flags: `false` proves the slice is drained (its
+    /// tick is a no-op, even under fault injection); `true` is
+    /// conservative and is re-derived from [`L2Slice::needs_tick`] after
+    /// each tick. Lets the hot loops skip quiet slices without touching
+    /// them.
     active: Vec<bool>,
     /// Ready replies waiting at each slice's port (dense mirror of
     /// [`L2Slice::reply_len`], same skip-without-touching purpose).
@@ -49,14 +51,15 @@ impl MemorySubsystem {
         }
     }
 
-    /// Attaches a fault plan to every L2 slice (hot-spot stalls). Every
-    /// slice must tick from here on — the plan's schedule and counters
-    /// are evaluated inside the tick.
+    /// Attaches a fault plan to every L2 slice (hot-spot stalls). Work
+    /// flags are re-derived from [`L2Slice::needs_tick`] on the next
+    /// tick: hot-spot windows only matter while a lookup is pending, so
+    /// drained slices still skip.
     pub fn set_fault_plan(&mut self, plan: &std::sync::Arc<gnc_common::fault::FaultPlan>) {
-        for slice in &mut self.slices {
+        for (s, slice) in self.slices.iter_mut().enumerate() {
             slice.set_fault_plan(std::sync::Arc::clone(plan));
+            self.active[s] = slice.needs_tick();
         }
-        self.active.fill(true);
     }
 
     /// The address map shared with the rest of the GPU.
@@ -94,17 +97,23 @@ impl MemorySubsystem {
         self.slices[self.map.slice_of(addr).index()].contains(addr)
     }
 
-    /// Advances every slice that has work by one cycle. Slices that are
-    /// drained and fault-free are skipped — their tick is a no-op (see
-    /// [`L2Slice::needs_tick`]).
+    /// Advances every slice that has work by one cycle. Drained slices
+    /// are skipped — their tick is a no-op (see [`L2Slice::needs_tick`]).
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_probed(now, &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: each slice reports lookup
+    /// outcomes, MSHR occupancy, and DRAM bank activity to `probe`.
+    pub fn tick_probed<P: Probe>(&mut self, now: Cycle, probe: &mut P) {
         for s in 0..self.slices.len() {
             if !self.active[s] {
                 continue;
             }
             let slice = &mut self.slices[s];
-            let dram = &mut self.drams[s / self.slices_per_mc];
-            slice.tick(now, dram);
+            let mc = s / self.slices_per_mc;
+            let dram = &mut self.drams[mc];
+            slice.tick_probed(now, dram, mc, probe);
             self.active[s] = slice.needs_tick();
             self.reply_counts[s] = slice.reply_len() as u32;
         }
@@ -175,7 +184,7 @@ impl MemorySubsystem {
     }
 
     /// The earliest [`NextEvent`] across every slice. Slices whose work
-    /// flag is clear are drained and fault-free, hence [`NextEvent::Idle`].
+    /// flag is clear are drained, hence [`NextEvent::Idle`].
     pub fn next_event(&self) -> NextEvent {
         self.slices
             .iter()

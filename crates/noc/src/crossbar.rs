@@ -10,6 +10,7 @@ use crate::event::NextEvent;
 use crate::mux::ConcentratorMux;
 use crate::packet::Packet;
 use gnc_common::config::{Arbitration, NocConfig};
+use gnc_common::telemetry::{Component, NullProbe, Probe};
 use gnc_common::Cycle;
 
 /// An `n_in × n_out` crossbar with per-output arbitration.
@@ -74,7 +75,24 @@ impl Crossbar {
     ///
     /// Returns the packet when the virtual queue is full (backpressure).
     pub fn try_push(&mut self, input: usize, output: usize, packet: Packet) -> Result<(), Packet> {
-        let pushed = self.outputs[output].try_push(input, packet);
+        self.try_push_probed(input, output, packet, &mut NullProbe)
+    }
+
+    /// [`try_push`](Self::try_push) with telemetry: the output mux
+    /// reports under the [`Component::xbar_out`] label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet when the virtual queue is full (backpressure).
+    pub fn try_push_probed<P: Probe>(
+        &mut self,
+        input: usize,
+        output: usize,
+        packet: Packet,
+        probe: &mut P,
+    ) -> Result<(), Packet> {
+        let pushed =
+            self.outputs[output].try_push_probed(input, packet, Component::xbar_out(output), probe);
         if pushed.is_ok() {
             self.busy[output] += 1;
         }
@@ -84,9 +102,15 @@ impl Crossbar {
     /// Advances every output arbiter that holds a packet by one cycle
     /// (empty outputs tick to a no-op and are skipped).
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_probed(now, &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: per-port grants and forwards
+    /// report under the [`Component::xbar_out`] label.
+    pub fn tick_probed<P: Probe>(&mut self, now: Cycle, probe: &mut P) {
         for (o, mux) in self.outputs.iter_mut().enumerate() {
             if self.busy[o] > 0 {
-                mux.tick(now);
+                mux.tick_probed(now, Component::xbar_out(o), probe);
             }
         }
     }

@@ -25,6 +25,7 @@ use crate::packet::Packet;
 use gnc_common::config::Arbitration;
 use gnc_common::fault::FaultPlan;
 use gnc_common::ids::{GpcId, SliceId, SmId, TpcId};
+use gnc_common::telemetry::{Component, NullProbe, Probe};
 use gnc_common::{Cycle, GpuConfig};
 use std::sync::Arc;
 
@@ -144,8 +145,25 @@ impl RequestFabric {
     /// must stall, which is itself part of the contention the channel
     /// measures).
     pub fn inject(&mut self, sm: SmId, packet: Packet) -> Result<(), Packet> {
+        self.inject_probed(sm, packet, &mut NullProbe)
+    }
+
+    /// [`inject`](Self::inject) with telemetry: the TPC mux reports
+    /// refused pushes and queue depth under its [`Component::tpc_mux`]
+    /// label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet when the TPC mux input is full.
+    pub fn inject_probed<P: Probe>(
+        &mut self,
+        sm: SmId,
+        packet: Packet,
+        probe: &mut P,
+    ) -> Result<(), Packet> {
         let (tpc, port) = self.tpc_port_of_sm(sm);
-        let pushed = self.tpc_muxes[tpc].try_push(port, packet);
+        let pushed =
+            self.tpc_muxes[tpc].try_push_probed(port, packet, Component::tpc_mux(tpc), probe);
         if pushed.is_ok() {
             self.in_flight += 1;
             self.tpc_busy[tpc] += 1;
@@ -156,7 +174,13 @@ impl RequestFabric {
     /// Advances the whole request subnet by one cycle. Stages whose busy
     /// counter is zero are provably no-ops and are skipped untouched.
     pub fn tick(&mut self, now: Cycle) {
-        self.xbar.tick(now);
+        self.tick_probed(now, &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: every mux reports grants,
+    /// forwards, queue depths, and head-of-line blocking to `probe`.
+    pub fn tick_probed<P: Probe>(&mut self, now: Cycle, probe: &mut P) {
+        self.xbar.tick_probed(now, probe);
         // GPC outputs → crossbar inputs.
         for g in 0..self.gpc_muxes.len() {
             if self.gpc_busy[g] == 0 {
@@ -165,20 +189,24 @@ impl RequestFabric {
             while let Some(head) = self.gpc_muxes[g].peek_delivered(now) {
                 let out = head.slice.index();
                 if !self.xbar.can_accept(g, out) {
-                    break; // head-of-line blocking until the queue drains
+                    // Head-of-line blocking until the queue drains: the
+                    // GPC channel's delivered packet could not enter the
+                    // crossbar this cycle.
+                    probe.push_denied(Component::xbar_out(out), g);
+                    break;
                 }
                 let packet = self.gpc_muxes[g]
                     .pop_delivered(now)
                     .expect("peeked packet exists");
                 self.gpc_busy[g] -= 1;
                 self.xbar
-                    .try_push(g, out, packet)
+                    .try_push_probed(g, out, packet, probe)
                     .expect("capacity just checked");
             }
         }
         for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
             if self.gpc_busy[g] > 0 {
-                mux.tick(now);
+                mux.tick_probed(now, Component::gpc_req_mux(g), probe);
             }
         }
         // TPC outputs → GPC inputs.
@@ -192,6 +220,7 @@ impl RequestFabric {
                     break;
                 }
                 if !self.gpc_muxes[gpc.index()].can_accept(port) {
+                    probe.push_denied(Component::gpc_req_mux(gpc.index()), port);
                     break;
                 }
                 let packet = self.tpc_muxes[t]
@@ -199,14 +228,14 @@ impl RequestFabric {
                     .expect("peeked packet exists");
                 self.tpc_busy[t] -= 1;
                 self.gpc_muxes[gpc.index()]
-                    .try_push(port, packet)
+                    .try_push_probed(port, packet, Component::gpc_req_mux(gpc.index()), probe)
                     .expect("capacity just checked");
                 self.gpc_busy[gpc.index()] += 1;
             }
         }
         for (t, mux) in self.tpc_muxes.iter_mut().enumerate() {
             if self.tpc_busy[t] > 0 {
-                mux.tick(now);
+                mux.tick_probed(now, Component::tpc_mux(t), probe);
             }
         }
     }
@@ -368,8 +397,29 @@ impl ReplyFabric {
     /// Returns the packet when the GPC reply channel input is full; the
     /// slice holds the reply and retries (backpressure into L2).
     pub fn inject_at_slice(&mut self, slice: SliceId, packet: Packet) -> Result<(), Packet> {
+        self.inject_at_slice_probed(slice, packet, &mut NullProbe)
+    }
+
+    /// [`inject_at_slice`](Self::inject_at_slice) with telemetry: the
+    /// GPC reply channel reports refused pushes and queue depth under
+    /// its [`Component::gpc_reply_mux`] label.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet when the GPC reply channel input is full.
+    pub fn inject_at_slice_probed<P: Probe>(
+        &mut self,
+        slice: SliceId,
+        packet: Packet,
+        probe: &mut P,
+    ) -> Result<(), Packet> {
         let gpc = self.gpc_of_sm[packet.sm.index()];
-        let pushed = self.gpc_muxes[gpc.index()].try_push(slice.index(), packet);
+        let pushed = self.gpc_muxes[gpc.index()].try_push_probed(
+            slice.index(),
+            packet,
+            Component::gpc_reply_mux(gpc.index()),
+            probe,
+        );
         if pushed.is_ok() {
             self.in_flight += 1;
             self.gpc_busy[gpc.index()] += 1;
@@ -380,9 +430,15 @@ impl ReplyFabric {
     /// Advances the reply subnet by one cycle. Stages whose busy counter
     /// is zero are provably no-ops and are skipped untouched.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_probed(now, &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: the GPC reply channels and
+    /// SM ejection ports report grants, forwards, and queue depths.
+    pub fn tick_probed<P: Probe>(&mut self, now: Cycle, probe: &mut P) {
         for (sm, ej) in self.sm_ejectors.iter_mut().enumerate() {
             if self.sm_busy[sm] > 0 {
-                ej.tick(now);
+                ej.tick_probed(now, Component::sm_ejector(sm), probe);
             }
         }
         // GPC reply channel → per-SM staging (fan-out, no HOL blocking).
@@ -403,18 +459,19 @@ impl ReplyFabric {
             }
             while let Some(head) = staging.front() {
                 if !self.sm_ejectors[sm].can_accept(0) {
+                    probe.push_denied(Component::sm_ejector(sm), 0);
                     break;
                 }
                 let _ = head;
                 let packet = staging.pop_front().expect("front exists");
                 self.sm_ejectors[sm]
-                    .try_push(0, packet)
+                    .try_push_probed(0, packet, Component::sm_ejector(sm), probe)
                     .expect("capacity just checked");
             }
         }
         for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
             if self.gpc_busy[g] > 0 {
-                mux.tick(now);
+                mux.tick_probed(now, Component::gpc_reply_mux(g), probe);
             }
         }
     }

@@ -13,6 +13,7 @@ use crate::event::NextEvent;
 use crate::packet::Packet;
 use gnc_common::config::{Arbitration, NocConfig};
 use gnc_common::fault::FaultPlan;
+use gnc_common::telemetry::{Component, NullProbe, Probe};
 use gnc_common::Cycle;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -137,7 +138,29 @@ impl ConcentratorMux {
     ///
     /// Panics if `input` is out of range.
     pub fn try_push(&mut self, input: usize, packet: Packet) -> Result<(), Packet> {
+        self.try_push_probed(input, packet, Component::tpc_mux(0), &mut NullProbe)
+    }
+
+    /// [`try_push`](Self::try_push) with telemetry: reports the refused
+    /// push or the new queue depth to `probe` under the caller-supplied
+    /// `comp` label (the mux doesn't know which fabric slot it fills).
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back when the input queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    pub fn try_push_probed<P: Probe>(
+        &mut self,
+        input: usize,
+        packet: Packet,
+        comp: Component,
+        probe: &mut P,
+    ) -> Result<(), Packet> {
         if !self.can_accept(input) {
+            probe.push_denied(comp, input);
             return Err(packet);
         }
         let remaining = packet.flits(&self.noc).max(1);
@@ -149,6 +172,7 @@ impl ConcentratorMux {
         }
         self.inputs[input].push_back(InFlight { packet, remaining });
         self.queued += 1;
+        probe.queue_depth(comp, input, self.inputs[input].len());
         Ok(())
     }
 
@@ -160,6 +184,14 @@ impl ConcentratorMux {
     /// traffic gets to arbitrate — exactly the contention a co-tenant
     /// kernel sharing the mux would create.
     pub fn tick(&mut self, now: Cycle) {
+        self.tick_probed(now, Component::tpc_mux(0), &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: reports each granted flit
+    /// slot and each fully forwarded packet to `probe` under the
+    /// caller-supplied `comp` label. With [`NullProbe`] this
+    /// monomorphises to exactly the probe-free tick.
+    pub fn tick_probed<P: Probe>(&mut self, now: Cycle, comp: Component, probe: &mut P) {
         if self.queued == 0 {
             return;
         }
@@ -184,8 +216,20 @@ impl ConcentratorMux {
             let inflight = queue.front_mut().expect("granted input must be nonempty");
             inflight.remaining -= 1;
             self.granted_flits[winner] += 1;
+            probe.flit_granted(now, comp, winner);
             if inflight.remaining == 0 {
                 let done = queue.pop_front().expect("head exists");
+                if P::ENABLED {
+                    probe.packet_forwarded(
+                        now,
+                        comp,
+                        winner,
+                        done.packet.id.0,
+                        done.packet.sm.index(),
+                        done.packet.slice.index(),
+                        done.packet.flits(&self.noc).max(1),
+                    );
+                }
                 self.output.push(now, done.packet);
                 self.forwarded_packets += 1;
                 self.queued -= 1;

@@ -101,6 +101,19 @@ impl ClockDomain {
     pub fn has_fault(&self) -> bool {
         self.fault.is_some()
     }
+
+    /// First cycle strictly after `now` at which `sm`'s read can deviate
+    /// from the affine extrapolation `read(now) + (t - now)`, or `None`
+    /// when it never will. On `[now, boundary)` the fault offset is
+    /// constant, so clock-alignment wake times computed from the current
+    /// read are exact up to the boundary — the event-driven scheduler
+    /// uses this to fast-forward clock-spinning warps under faults.
+    pub fn stable_until(&self, sm: SmId, now: Cycle) -> Option<Cycle> {
+        match &self.fault {
+            Some(plan) => plan.clock_offset_stable_until(sm.index() as u64, now),
+            None => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +235,42 @@ mod tests {
                 faulty.read64(SmId::new(s), now),
                 again.read64(SmId::new(s), now)
             );
+        }
+    }
+
+    #[test]
+    fn stable_until_bounds_offset_changes() {
+        use gnc_common::fault::{FaultConfig, FaultPlan};
+
+        let cfg = GpuConfig::volta_v100();
+        let clean = ClockDomain::new(&cfg, 11);
+        assert_eq!(clean.stable_until(SmId::new(0), 123), None);
+
+        let mut faulty = ClockDomain::new(&cfg, 11);
+        faulty.set_fault_plan(FaultPlan::new(FaultConfig {
+            clock_drift_ppm: 700,
+            clock_glitch_rate: 0.3,
+            clock_glitch_cycles: 9,
+            ..FaultConfig::off().with_seed(2)
+        }));
+        let sm = SmId::new(5);
+        let mut now: Cycle = 0;
+        let mut checked = 0u64;
+        while checked < 50_000 {
+            let boundary = faulty
+                .stable_until(sm, now)
+                .expect("clock faults are configured");
+            assert!(boundary > now, "boundary must move forward");
+            let base = faulty.read64(sm, now);
+            for t in now..boundary.min(now + 2_048) {
+                assert_eq!(
+                    faulty.read64(sm, t),
+                    base + (t - now),
+                    "read deviated inside the stable interval at t={t}"
+                );
+                checked += 1;
+            }
+            now = boundary;
         }
     }
 

@@ -13,6 +13,7 @@ use crate::kernel::{KernelProgram, Recorder};
 use crate::sm::Sm;
 use gnc_common::hash::FastHashMap;
 use gnc_common::ids::{BlockId, KernelId, SliceId, SmId, StreamId};
+use gnc_common::telemetry::{NullProbe, Probe};
 use gnc_common::{ConfigError, Cycle, GpuConfig};
 use gnc_mem::subsystem::MemorySubsystem;
 use gnc_noc::event::NextEvent;
@@ -111,7 +112,13 @@ pub struct BlockSpan {
 }
 
 /// The simulated GPU.
-pub struct Gpu {
+///
+/// The probe parameter `P` selects the telemetry sink. The default
+/// [`NullProbe`] compiles every hook to a no-op (`P::ENABLED` is a
+/// `const false`, so even the hooks' argument construction folds away);
+/// [`with_probe`](Gpu::with_probe) swaps in a live collector such as
+/// [`gnc_common::telemetry::Collector`].
+pub struct Gpu<P: Probe = NullProbe> {
     cfg: GpuConfig,
     clock: ClockDomain,
     sms: Vec<Sm>,
@@ -129,9 +136,10 @@ pub struct Gpu {
     /// has drained, so this list bounds which SMs can tick to an effect
     /// or receive replies.
     active_sms: Vec<usize>,
+    probe: P,
 }
 
-impl fmt::Debug for Gpu {
+impl<P: Probe> fmt::Debug for Gpu<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Gpu")
             .field("config", &self.cfg.name)
@@ -186,6 +194,7 @@ impl Gpu {
                 LoopMode::FastForward
             },
             active_sms: Vec::new(),
+            probe: NullProbe,
         })
     }
 
@@ -214,6 +223,47 @@ impl Gpu {
         gpu.recorder.set_fault_plan(std::sync::Arc::clone(&plan));
         gpu.fault = Some(plan);
         Ok(gpu)
+    }
+}
+
+impl<P: Probe> Gpu<P> {
+    /// Rebuilds this GPU with `probe` as its telemetry sink, preserving
+    /// all simulation state. Typically called right after construction:
+    /// `Gpu::new(cfg)?.with_probe(Collector::for_config(&cfg))`.
+    pub fn with_probe<Q: Probe>(self, probe: Q) -> Gpu<Q> {
+        Gpu {
+            cfg: self.cfg,
+            clock: self.clock,
+            sms: self.sms,
+            request_fabric: self.request_fabric,
+            reply_fabric: self.reply_fabric,
+            mem: self.mem,
+            policy: self.policy,
+            kernels: self.kernels,
+            recorder: self.recorder,
+            now: self.now,
+            fault: self.fault,
+            loop_mode: self.loop_mode,
+            active_sms: self.active_sms,
+            probe,
+        }
+    }
+
+    /// The attached telemetry probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutable access to the telemetry probe (e.g. to finalise or drain
+    /// a collector between experiment phases).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
+    }
+
+    /// Consumes the GPU and returns its probe (to harvest a collector
+    /// after a run).
+    pub fn into_probe(self) -> P {
+        self.probe
     }
 
     /// The fault plan wired into this GPU, if any.
@@ -450,9 +500,10 @@ impl Gpu {
     ///
     /// Components that provably tick to a no-op are skipped (active-set
     /// tracking): SMs with no resident work, and subnets with nothing in
-    /// flight. The skips are unconditional because they are exact — with
-    /// one exception: under fault injection every SM ticks, because even
-    /// an idle SM's clock read evaluates (and counts) glitch faults.
+    /// flight. The skips are unconditional because they are exact, fault
+    /// injection included — fault decisions are pure functions of
+    /// `(seed, site, window)`, so not evaluating them on idle components
+    /// cannot perturb any later draw.
     pub fn tick(&mut self) {
         let now = self.now;
         // 0. Kernel lifecycle.
@@ -466,36 +517,27 @@ impl Gpu {
                 let sm_idx = self.active_sms[i];
                 let sm_id = SmId::new(sm_idx);
                 while let Some(p) = self.reply_fabric.pop_at_sm(sm_id, now) {
-                    self.sms[sm_idx].on_reply(&p, now);
+                    if P::ENABLED {
+                        self.probe.packet_delivered(now, sm_idx);
+                    }
+                    self.sms[sm_idx].on_reply_probed(&p, now, &mut self.probe);
                 }
             }
         }
         // 2. SMs execute and enqueue requests.
-        if self.fault.is_some() {
-            // Under fault injection every SM ticks: even an idle SM's
-            // clock read evaluates (and counts) glitch faults.
-            for sm in &mut self.sms {
-                sm.tick(
-                    now,
-                    &self.clock,
-                    &mut self.request_fabric,
-                    &mut self.recorder,
-                );
-            }
-        } else {
-            for i in 0..self.active_sms.len() {
-                let sm_idx = self.active_sms[i];
-                self.sms[sm_idx].tick(
-                    now,
-                    &self.clock,
-                    &mut self.request_fabric,
-                    &mut self.recorder,
-                );
-            }
+        for i in 0..self.active_sms.len() {
+            let sm_idx = self.active_sms[i];
+            self.sms[sm_idx].tick_probed(
+                now,
+                &self.clock,
+                &mut self.request_fabric,
+                &mut self.recorder,
+                &mut self.probe,
+            );
         }
         // 3. Request subnet moves.
         if self.request_fabric.in_flight() > 0 {
-            self.request_fabric.tick(now);
+            self.request_fabric.tick_probed(now, &mut self.probe);
             // 4. Requests arriving at slices enter the L2 pipelines.
             for s in 0..self.mem.num_slices() {
                 let slice = SliceId::new(s);
@@ -508,7 +550,7 @@ impl Gpu {
             }
         }
         // 5. Memory system advances.
-        self.mem.tick(now);
+        self.mem.tick_probed(now, &mut self.probe);
         // 6. Ready replies enter the reply subnet (with backpressure;
         // per-destination virtual channels, so one congested GPC cannot
         // head-of-line-block replies bound for the others).
@@ -526,13 +568,13 @@ impl Gpu {
                     break;
                 };
                 self.reply_fabric
-                    .inject_at_slice(slice, p)
+                    .inject_at_slice_probed(slice, p, &mut self.probe)
                     .expect("injectability just checked");
             }
         }
         // 7. Reply subnet moves.
         if self.reply_fabric.in_flight() > 0 {
-            self.reply_fabric.tick(now);
+            self.reply_fabric.tick_probed(now, &mut self.probe);
         }
         // 8. Retire finished blocks.
         self.retire_blocks();
@@ -543,15 +585,15 @@ impl Gpu {
     /// actionable work.
     ///
     /// Conservative by construction — anything whose future cannot be
-    /// bounded exactly reports [`NextEvent::Busy`]: all of fault
-    /// injection (whose seeded schedules and stat counters are evaluated
-    /// cycle-by-cycle inside the ticks), and kernel-lifecycle work
-    /// (unstarted kernels or unplaced blocks, which the scheduler
-    /// retries every cycle).
+    /// bounded exactly reports [`NextEvent::Busy`]. Fault injection
+    /// needs no global override: fault decisions are pure functions of
+    /// `(seed, site, window)`, components with pending work already
+    /// report `Busy` (which re-evaluates their fault draws every
+    /// cycle), and clock-wait wake estimates are clamped to
+    /// [`ClockDomain::stable_until`]. Kernel-lifecycle work (unstarted
+    /// kernels or unplaced blocks, which the scheduler retries every
+    /// cycle) still reports `Busy`.
     fn next_event(&self) -> NextEvent {
-        if self.fault.is_some() {
-            return NextEvent::Busy;
-        }
         if self
             .kernels
             .iter()

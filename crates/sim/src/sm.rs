@@ -12,6 +12,7 @@ use crate::coalesce::coalesce;
 use crate::kernel::{AccessKind, Record, Recorder, WarpContext, WarpProgram, WarpStep};
 use gnc_common::hash::FastHashMap;
 use gnc_common::ids::{BlockId, KernelId, SmId, WarpId};
+use gnc_common::telemetry::{NullProbe, Probe, StallReason};
 use gnc_common::{Cycle, GpuConfig};
 use gnc_mem::address::AddressMap;
 use gnc_noc::event::NextEvent;
@@ -49,6 +50,8 @@ struct WarpSlot {
     cap: usize,
     issue_cycle: Cycle,
     last_latency: Cycle,
+    /// Cycle the warp last entered a blocked state (stall telemetry).
+    blocked_at: Cycle,
 }
 
 /// A thread block resident on the SM.
@@ -147,6 +150,7 @@ impl Sm {
                 cap: 0,
                 issue_cycle: 0,
                 last_latency: 0,
+                blocked_at: 0,
             })
             .collect();
         self.blocks.push(BlockSlot {
@@ -183,13 +187,16 @@ impl Sm {
     ///
     /// Ready warps and queued LSU packets need service every cycle.
     /// Sleeping warps wake at a known cycle. Clock-aligned waits are
-    /// predictable too when the clock is fault-free and the mask selects
-    /// contiguous low bits (every protocol kernel's slot wait does):
-    /// `read32` is then affine in `now`, so the wake cycle is
-    /// `now + ((target - clock32) mod (mask + 1))`. Anything else —
-    /// glitchy clocks, exotic masks — conservatively reports
-    /// [`NextEvent::Busy`]. Warps in `WaitMem`/`Throttled` wake from
-    /// replies, which the fabric's own events account for.
+    /// predictable too when the mask selects contiguous low bits (every
+    /// protocol kernel's slot wait does): `read32` is affine in `now`
+    /// over any fault-free stretch, so the wake cycle is
+    /// `now + ((target - clock32) mod (mask + 1))`. Under clock faults
+    /// the wake estimate only holds while the fault offset is constant,
+    /// so it is clamped to [`ClockDomain::stable_until`] — the run loop
+    /// re-evaluates at the boundary with the post-fault clock value.
+    /// Exotic masks conservatively report [`NextEvent::Busy`]. Warps in
+    /// `WaitMem`/`Throttled` wake from replies, which the fabric's own
+    /// events account for.
     pub fn next_event(&self, now: Cycle, clock: &ClockDomain) -> NextEvent {
         if !self.lsu_queue.is_empty() {
             return NextEvent::Busy;
@@ -201,15 +208,18 @@ impl Sm {
                     WarpState::Ready => return NextEvent::Busy,
                     WarpState::Sleeping { until } => ev = ev.merge(NextEvent::At(until)),
                     WarpState::WaitClock { mask, target } => {
-                        // Predictable only for pure clocks and masks of
-                        // contiguous low bits with an in-range target.
+                        // Predictable only for masks of contiguous low
+                        // bits with an in-range target.
                         let contiguous = mask & mask.wrapping_add(1) == 0;
-                        if clock.has_fault() || !contiguous || mask == 0 || target & !mask != 0 {
+                        if !contiguous || mask == 0 || target & !mask != 0 {
                             return NextEvent::Busy;
                         }
                         let cur = clock.read32(self.id, now) & mask;
                         let wake = now + Cycle::from(target.wrapping_sub(cur) & mask);
-                        ev = ev.merge(NextEvent::At(wake));
+                        ev = ev.merge(match clock.stable_until(self.id, now) {
+                            None => NextEvent::At(wake),
+                            Some(stable) => NextEvent::At(wake.min(stable)),
+                        });
                     }
                     WarpState::WaitMem | WarpState::Throttled | WarpState::Done => {}
                 }
@@ -220,6 +230,12 @@ impl Sm {
 
     /// Delivers a reply packet from the reply fabric.
     pub fn on_reply(&mut self, packet: &Packet, now: Cycle) {
+        self.on_reply_probed(packet, now, &mut NullProbe);
+    }
+
+    /// [`on_reply`](Self::on_reply) with telemetry: warps leaving
+    /// `WaitMem`/`Throttled` report how long they were blocked.
+    pub fn on_reply_probed<P: Probe>(&mut self, packet: &Packet, now: Cycle, probe: &mut P) {
         let Some((kernel, block, warp_idx)) = self.in_flight.remove(&packet.id) else {
             debug_assert!(false, "reply {} for unknown packet", packet.id);
             return;
@@ -237,9 +253,19 @@ impl Sm {
             WarpState::WaitMem if warp.outstanding == 0 => {
                 warp.last_latency = now - warp.issue_cycle;
                 warp.state = WarpState::Ready;
+                if P::ENABLED {
+                    probe.sm_stall(self.id.index(), StallReason::WaitMem, now - warp.blocked_at);
+                }
             }
             WarpState::Throttled if warp.outstanding <= warp.cap / 2 => {
                 warp.state = WarpState::Ready;
+                if P::ENABLED {
+                    probe.sm_stall(
+                        self.id.index(),
+                        StallReason::Throttled,
+                        now - warp.blocked_at,
+                    );
+                }
             }
             _ => {}
         }
@@ -254,16 +280,36 @@ impl Sm {
         fabric: &mut RequestFabric,
         recorder: &mut Recorder,
     ) {
+        self.tick_probed(now, clock, fabric, recorder, &mut NullProbe);
+    }
+
+    /// [`tick`](Self::tick) with telemetry: waking warps report their
+    /// stall spans and injected packets report their (SM, slice) route.
+    pub fn tick_probed<P: Probe>(
+        &mut self,
+        now: Cycle,
+        clock: &ClockDomain,
+        fabric: &mut RequestFabric,
+        recorder: &mut Recorder,
+        probe: &mut P,
+    ) {
         let clock32 = clock.read32(self.id, now);
         // Wake phase.
+        let sm_idx = self.id.index();
         for block in &mut self.blocks {
             for warp in &mut block.warps {
                 match warp.state {
                     WarpState::Sleeping { until } if now >= until => {
                         warp.state = WarpState::Ready;
+                        if P::ENABLED {
+                            probe.sm_stall(sm_idx, StallReason::Sleep, now - warp.blocked_at);
+                        }
                     }
                     WarpState::WaitClock { mask, target } if clock32 & mask == target => {
                         warp.state = WarpState::Ready;
+                        if P::ENABLED {
+                            probe.sm_stall(sm_idx, StallReason::WaitClock, now - warp.blocked_at);
+                        }
                     }
                     _ => {}
                 }
@@ -283,10 +329,14 @@ impl Sm {
             if fabric.can_inject(self.id) {
                 let mut packet = self.lsu_queue.pop_front().expect("front exists");
                 packet.injected_at = now;
+                let slice = packet.slice.index();
                 fabric
-                    .inject(self.id, packet)
+                    .inject_probed(self.id, packet, probe)
                     .expect("can_inject was checked");
                 self.injected_packets += 1;
+                if P::ENABLED {
+                    probe.packet_injected(now, sm_idx, slice);
+                }
             } else {
                 let _ = front;
             }
@@ -332,12 +382,14 @@ impl Sm {
                         continue; // already aligned: free step
                     }
                     warp.state = WarpState::WaitClock { mask, target };
+                    warp.blocked_at = now;
                     return;
                 }
                 WarpStep::Sleep(cycles) => {
                     warp.state = WarpState::Sleeping {
                         until: now + Cycle::from(cycles.max(1)),
                     };
+                    warp.blocked_at = now;
                     return;
                 }
                 WarpStep::Finish => {
@@ -394,6 +446,7 @@ impl Sm {
         let warp = &mut self.blocks[bi].warps[wi];
         if txns.is_empty() {
             warp.state = WarpState::Sleeping { until: now + 1 };
+            warp.blocked_at = now;
             return;
         }
         let pkt_kind = match kind {
@@ -406,6 +459,7 @@ impl Sm {
         let group_base = self.packet_id_base | self.next_packet_seq;
         let warp_id = warp.id;
         warp.issue_cycle = now;
+        warp.blocked_at = now;
         warp.outstanding += txns.len();
         warp.cap = cap.unwrap_or(self.max_outstanding);
         warp.state = if wait {

@@ -191,6 +191,48 @@ fn fast_forward_is_bit_identical_to_naive_loop() {
     assert_eq!(naive_report.errors, fast_report.errors);
 }
 
+/// The fast-forward loop must stay exact under fault injection too:
+/// fault decisions are pure functions of `(seed, site, window)`, so
+/// skipping idle cycles cannot perturb which faults fire on the packets
+/// that do flow. A transmission under a moderate fault plan replayed in
+/// both loop modes has to agree bit for bit.
+#[test]
+fn fast_forward_is_bit_identical_under_faults() {
+    use gpu_noc_covert::common::bits::BitVec;
+    use gpu_noc_covert::common::fault::{FaultConfig, FaultPlan};
+    use gpu_noc_covert::covert::channel::ChannelPlan;
+    use gpu_noc_covert::covert::protocol::ProtocolConfig;
+    use gpu_noc_covert::sim::LoopMode;
+
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(2), &[0]);
+    let payload = BitVec::from_bytes(b"ok");
+
+    let run = |mode: LoopMode| {
+        let faults = FaultPlan::new(FaultConfig::moderate().with_seed(11));
+        let mut gpu = Gpu::with_faults(cfg.clone(), 7, faults).unwrap();
+        gpu.set_loop_mode(mode);
+        let report = plan.transmit_on(&mut gpu, &payload, 7);
+        let records: Vec<_> = gpu.recorder().records().to_vec();
+        (report, records, gpu.now())
+    };
+
+    let (naive_report, naive_records, naive_now) = run(LoopMode::Naive);
+    let (fast_report, fast_records, fast_now) = run(LoopMode::FastForward);
+
+    assert_eq!(naive_now, fast_now, "final cycle counts diverge");
+    assert_eq!(naive_records, fast_records, "recorder contents diverge");
+    assert_eq!(
+        naive_report.received, fast_report.received,
+        "decoded payloads diverge"
+    );
+    assert_eq!(
+        naive_report.elapsed_cycles, fast_report.elapsed_cycles,
+        "latency traces diverge"
+    );
+    assert_eq!(naive_report.errors, fast_report.errors);
+}
+
 /// The parallel trial pool must not change results: the same sweeps run
 /// with 1 worker and 8 workers serialize to byte-identical JSON.
 #[test]

@@ -1,0 +1,118 @@
+//! Conservation invariants for the telemetry collector: whatever the
+//! probes count must balance against the simulator's own books. A probe
+//! that loses (or invents) events would poison every report built on it,
+//! so each representative workload checks:
+//!
+//! * packets injected == packets delivered + in flight (0 at quiesce);
+//! * per L2 slice, probed hits + misses == the slice's own lookup count;
+//! * per mux, grants summed over inputs == flits of forwarded packets.
+
+use gpu_noc_covert::common::bits::BitVec;
+use gpu_noc_covert::common::fault::{FaultConfig, FaultPlan};
+use gpu_noc_covert::common::ids::{GpcId, SliceId};
+use gpu_noc_covert::common::telemetry::Collector;
+use gpu_noc_covert::common::GpuConfig;
+use gpu_noc_covert::covert::channel::ChannelPlan;
+use gpu_noc_covert::covert::protocol::ProtocolConfig;
+use gpu_noc_covert::covert::reverse::run_active_sms_on;
+use gpu_noc_covert::sim::gpu::Gpu;
+use gpu_noc_covert::sim::kernel::AccessKind;
+
+/// Checks every conservation invariant on a quiesced, instrumented GPU.
+fn assert_conserved(gpu: &Gpu<Collector>, label: &str) {
+    let cfg = gpu.config().clone();
+    let col = gpu.probe();
+    assert!(
+        col.packets_injected() > 0,
+        "{label}: workload generated no traffic"
+    );
+    assert_eq!(
+        col.in_flight(),
+        0,
+        "{label}: {} of {} packets never delivered",
+        col.in_flight(),
+        col.packets_injected()
+    );
+    for comp in col.components() {
+        let (grants, forwarded) = col.mux_flit_balance(comp).unwrap();
+        assert_eq!(
+            grants,
+            forwarded,
+            "{label}: {} granted {grants} flits but forwarded {forwarded}",
+            comp.label()
+        );
+    }
+    for slice in 0..cfg.mem.num_l2_slices {
+        let (hits, misses) = col.l2_hit_miss(slice);
+        let stats = gpu.memory().slice_stats(SliceId::new(slice));
+        assert_eq!(
+            (hits, misses),
+            (stats.hits, stats.misses),
+            "{label}: slice {slice} probe disagrees with L2Stats"
+        );
+        assert_eq!(
+            hits + misses,
+            stats.accesses,
+            "{label}: slice {slice} hits+misses != lookups"
+        );
+    }
+}
+
+/// Fig 5(b)'s operating point: every TPC of GPC 0 streams reads through
+/// one GPC request mux at once.
+#[test]
+fn conservation_fig5_gpc_read_contention() {
+    let cfg = GpuConfig::volta_v100();
+    let members = cfg.tpcs_of_gpc(GpcId::new(0));
+    let active: Vec<usize> = members.iter().map(|t| 2 * t.index()).collect();
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), 5)
+        .unwrap()
+        .with_probe(Collector::for_config(&cfg));
+    run_active_sms_on(&mut gpu, &active, AccessKind::Read, 4, 16);
+    assert_conserved(&gpu, "fig5");
+}
+
+/// Fig 10's operating point: a full covert transmission over one TPC
+/// channel (sender + receiver co-located, write contention).
+#[test]
+fn conservation_fig10_tpc_transmission() {
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), 4)
+        .unwrap()
+        .with_probe(Collector::for_config(&cfg));
+    let report = plan.transmit_on(&mut gpu, &BitVec::from_bytes(b"ok"), 4);
+    assert!(report.error_rate < 0.05, "decode degraded under telemetry");
+    assert_conserved(&gpu, "fig10");
+}
+
+/// Fig 15's countermeasure sweep point: the same transmission under
+/// strict round-robin arbitration, which reshapes every mux's grant
+/// pattern — the books must still balance.
+#[test]
+fn conservation_fig15_srr_arbitration() {
+    let mut cfg = GpuConfig::volta_v100();
+    cfg.noc.arbitration = gpu_noc_covert::common::config::Arbitration::StrictRoundRobin;
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+    let mut gpu = Gpu::with_clock_seed(cfg.clone(), 4)
+        .unwrap()
+        .with_probe(Collector::for_config(&cfg));
+    plan.transmit_on(&mut gpu, &BitVec::from_bytes(b"ok"), 4);
+    assert_conserved(&gpu, "fig15-srr");
+}
+
+/// A fault-injected chaos run: severe NoC bursts, dropped samples, and
+/// clock glitches shake the pipeline, but faults only delay or corrupt
+/// measurements — they never create or destroy packets, so every
+/// conservation invariant must survive unchanged.
+#[test]
+fn conservation_under_fault_injection() {
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(2), &[0]);
+    let faults = FaultPlan::new(FaultConfig::severe().with_seed(13));
+    let mut gpu = Gpu::with_faults(cfg.clone(), 7, faults)
+        .unwrap()
+        .with_probe(Collector::for_config(&cfg));
+    plan.transmit_on(&mut gpu, &BitVec::from_bytes(b"ok"), 7);
+    assert_conserved(&gpu, "chaos");
+}
