@@ -19,8 +19,10 @@
 //! unaffected — they always come from uninstrumented runs).
 
 use gnc_bench::*;
+use gnc_common::SimError;
 use serde::Serialize;
 use std::collections::BTreeSet;
+use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -148,23 +150,41 @@ fn parse_args() -> Args {
 /// into `chrome://tracing` or Perfetto). Also prints the contention
 /// heatmap and channel-utilization table.
 fn run_telemetry(cfg: &gnc_common::GpuConfig, scale: Scale, dir: &std::path::Path) {
-    std::fs::create_dir_all(dir).expect("create telemetry dir");
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SimError::io("create telemetry directory", dir.display(), &e))
+        .unwrap_or_else(|e| bail(&e));
     let write = |name: &str, collector: &gnc_common::telemetry::Collector| {
         let report = collector.report();
         let path = dir.join(format!("telemetry_{name}.json"));
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(&report).expect("serialize telemetry"),
-        )
-        .expect("write telemetry report");
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| SimError::Journal {
+                path: path.display().to_string(),
+                reason: format!("telemetry report failed to serialize: {e}"),
+            })
+            .unwrap_or_else(|e| bail(&e));
+        std::fs::write(&path, json)
+            .map_err(|e| SimError::io("write telemetry report", path.display(), &e))
+            .unwrap_or_else(|e| bail(&e));
         println!("  [telemetry] {}", path.display());
         let jsonl = dir.join(format!("telemetry_{name}_trace.jsonl"));
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&jsonl).expect("create trace"));
-        collector.write_trace_jsonl(&mut f).expect("write trace");
+        std::fs::File::create(&jsonl)
+            .and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                collector.write_trace_jsonl(&mut w)?;
+                w.flush()
+            })
+            .map_err(|e| SimError::io("write flit trace", jsonl.display(), &e))
+            .unwrap_or_else(|e| bail(&e));
         println!("  [telemetry] {}", jsonl.display());
         let chrome = dir.join(format!("telemetry_{name}_trace.json"));
-        let mut f = std::io::BufWriter::new(std::fs::File::create(&chrome).expect("create trace"));
-        collector.write_chrome_trace(&mut f).expect("write trace");
+        std::fs::File::create(&chrome)
+            .and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                collector.write_chrome_trace(&mut w)?;
+                w.flush()
+            })
+            .map_err(|e| SimError::io("write Chrome trace", chrome.display(), &e))
+            .unwrap_or_else(|e| bail(&e));
         println!("  [telemetry] {}", chrome.display());
         println!("{}", report.heatmap_ascii());
         println!("{}", report.utilization_table_ascii());
@@ -182,16 +202,33 @@ fn run_telemetry(cfg: &gnc_common::GpuConfig, scale: Scale, dir: &std::path::Pat
     write("fig10", &col);
 }
 
+/// Reports an unrecoverable harness error (I/O, serialization) with its
+/// [`SimError`] message and exits — a figures run has nothing to salvage
+/// once its outputs cannot be written.
+fn bail(e: &SimError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
 fn emit<T: Serialize>(args: &Args, name: &str, value: &T) {
-    if let Some(dir) = &args.json_dir {
-        std::fs::create_dir_all(dir).expect("create json dir");
-        let path = dir.join(format!("{name}.json"));
-        std::fs::write(
-            &path,
-            serde_json::to_string_pretty(value).expect("serialize"),
-        )
-        .expect("write json");
-        println!("  [json] {}", path.display());
+    let Some(dir) = &args.json_dir else {
+        return;
+    };
+    let emitted = std::fs::create_dir_all(dir)
+        .map_err(|e| SimError::io("create json directory", dir.display(), &e))
+        .and_then(|()| {
+            let path = dir.join(format!("{name}.json"));
+            let json = serde_json::to_string_pretty(value).map_err(|e| SimError::Journal {
+                path: path.display().to_string(),
+                reason: format!("result failed to serialize: {e}"),
+            })?;
+            std::fs::write(&path, json)
+                .map_err(|e| SimError::io("write result json", path.display(), &e))?;
+            Ok(path)
+        });
+    match emitted {
+        Ok(path) => println!("  [json] {}", path.display()),
+        Err(e) => bail(&e),
     }
 }
 
@@ -577,11 +614,15 @@ fn main() {
             baseline_wall_clock_s: args.bench_baseline_s,
             speedup: args.bench_baseline_s.map(|b| b / wall_clock_s),
         };
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&report).expect("serialize bench report"),
-        )
-        .expect("write bench report");
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| SimError::Journal {
+                path: path.display().to_string(),
+                reason: format!("bench report failed to serialize: {e}"),
+            })
+            .unwrap_or_else(|e| bail(&e));
+        std::fs::write(path, json)
+            .map_err(|e| SimError::io("write bench report", path.display(), &e))
+            .unwrap_or_else(|e| bail(&e));
         println!(
             "[bench] {:.3} s wall clock, {} trials ({:.1}/s), report -> {}",
             wall_clock_s,

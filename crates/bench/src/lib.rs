@@ -10,7 +10,6 @@
 
 use gnc_common::bits::{BitVec, SymbolVec};
 use gnc_common::config::Arbitration;
-use gnc_common::fault::FaultConfig;
 use gnc_common::ids::GpcId;
 use gnc_common::rng::experiment_rng;
 use gnc_common::GpuConfig;
@@ -28,12 +27,13 @@ use gnc_covert::encoding::{MultiLevelChannel, MultiLevelReport};
 use gnc_covert::metrics::{ground_truth_membership, table2, ComparisonRow};
 use gnc_covert::protocol::{ProtocolConfig, SyncMode};
 use gnc_covert::reverse::{gpc_scan, recover_mapping, tpc_pairing_sweep, GpcScan, TpcSweepPoint};
-use gnc_covert::robust::{compare_decoders, transmit_reliable, RobustOptions};
+use gnc_covert::robust::RobustOptions;
 use gnc_covert::sidechannel::{spy_on_victim, SpyReport};
 use gnc_covert::sync::{clock_snapshot, skew_stats, ClockSnapshot, SkewStats};
 use gnc_sim::kernel::AccessKind;
 use serde::Serialize;
 
+pub mod sweep;
 pub mod telemetry;
 
 /// Experiment scale: `Quick` for benches and smoke runs, `Full` for
@@ -615,55 +615,14 @@ pub fn noise_sweep(cfg: &GpuConfig, scale: Scale) -> Vec<NoisePoint> {
     let bits = scale.pick(24, 64);
     let plan = ChannelPlan::tpc(cfg, ProtocolConfig::tpc(4), &[0]);
     let opts = RobustOptions::default();
-    let presets = ["off", "mild", "moderate", "severe", "jammed"];
     // Every (preset, trial) pair is an independent pair of GPU runs; fan
     // them all out at once and aggregate per preset in input order, so
-    // the result is identical to the serial sweep.
-    let units: Vec<(usize, u64)> = (0..presets.len())
-        .flat_map(|p| (0..trials as u64).map(move |t| (p, t)))
-        .collect();
+    // the result is identical to the serial sweep. The unit runner and
+    // the aggregation are shared with the resilient journaled engine in
+    // [`sweep`], which upholds the same byte-identity contract.
+    let units = sweep::noise_units(trials);
     let runs = gnc_common::par::parallel_map(&units, |&(p, trial)| {
-        let mut rng = experiment_rng("noise-sweep", trial);
-        let payload = BitVec::random(&mut rng, bits);
-        let faults = FaultConfig::parse(presets[p])
-            .expect("preset names parse")
-            .with_seed(trial * 17 + 3);
-        let cmp = compare_decoders(&plan, cfg, &payload, trial, &faults, &opts);
-        let rel = transmit_reliable(&plan, cfg, &payload, trial, Some(&faults), &opts);
-        (cmp, rel)
+        sweep::run_noise_unit(cfg, &plan, &opts, sweep::NOISE_PRESETS[p], trial, bits)
     });
-    presets
-        .iter()
-        .enumerate()
-        .map(|(p, preset)| {
-            let mut naive = 0usize;
-            let mut hardened = 0usize;
-            let mut delivered = 0usize;
-            let mut attempts = 0u32;
-            let mut total_bits = 0usize;
-            for ((up, _), (cmp, rel)) in units.iter().zip(&runs) {
-                if *up != p {
-                    continue;
-                }
-                naive += cmp.naive_errors;
-                hardened += cmp.hardened_errors;
-                total_bits += cmp.payload_bits;
-                if rel.outcome.is_delivered() {
-                    delivered += 1;
-                    attempts += rel.attempts;
-                }
-            }
-            NoisePoint {
-                preset: (*preset).to_owned(),
-                naive_ber: naive as f64 / total_bits as f64,
-                hardened_ber: hardened as f64 / total_bits as f64,
-                delivery_rate: delivered as f64 / trials as f64,
-                mean_attempts: if delivered > 0 {
-                    f64::from(attempts) / delivered as f64
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect()
+    sweep::aggregate_noise(trials, &runs.iter().collect::<Vec<_>>())
 }

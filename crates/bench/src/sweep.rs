@@ -1,0 +1,484 @@
+//! The resilient sweep engine: supervised noise-sweep execution with a
+//! crash-safe journal, content-addressed result caching, and graceful
+//! degradation.
+//!
+//! [`crate::noise_sweep`] is the fast path — every trial healthy, no
+//! bookkeeping. This module runs the *same* trial units (byte-identical
+//! aggregation) under [`gnc_common::supervise::run_supervised`]:
+//!
+//! * a panicking or timed-out trial becomes a manifest entry instead of
+//!   an aborted sweep;
+//! * every finished trial is appended to an on-disk [`Journal`] keyed by
+//!   a content hash of `(config, experiment, preset, bits, trial)`, so a
+//!   killed sweep resumes where it stopped;
+//! * a resumed sweep replays cached results through the identical
+//!   aggregation, producing byte-identical sweep JSON to an
+//!   uninterrupted run.
+
+use crate::NoisePoint;
+use gnc_common::bits::BitVec;
+use gnc_common::fault::FaultConfig;
+use gnc_common::hash::content_key;
+use gnc_common::journal::{self, Journal, JournalRecord};
+use gnc_common::rng::experiment_rng;
+use gnc_common::supervise::{run_supervised, SuperviseOptions};
+use gnc_common::{GpuConfig, SimError};
+use gnc_covert::channel::ChannelPlan;
+use gnc_covert::protocol::ProtocolConfig;
+use gnc_covert::robust::{compare_decoders, transmit_reliable, RobustOptions};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// The fault presets swept, in output order.
+pub const NOISE_PRESETS: [&str; 5] = ["off", "mild", "moderate", "severe", "jammed"];
+
+/// The sweep's unit list: every `(preset index, trial)` pair,
+/// preset-major, so unit order matches aggregation order.
+pub fn noise_units(trials: usize) -> Vec<(usize, u64)> {
+    (0..NOISE_PRESETS.len())
+        .flat_map(|p| (0..trials as u64).map(move |t| (p, t)))
+        .collect()
+}
+
+/// The measured quantities of one `(preset, trial)` unit — everything
+/// the aggregation consumes, and exactly what the journal caches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseTrial {
+    /// Fault preset name.
+    pub preset: String,
+    /// Trial number within the preset (doubles as the trial seed).
+    pub trial: u64,
+    /// Naive static-threshold decoder's post-FEC bit errors.
+    pub naive_errors: u64,
+    /// Adaptive erasure decoder's post-FEC bit errors on the same traces.
+    pub hardened_errors: u64,
+    /// Payload bits compared per decoder.
+    pub payload_bits: u64,
+    /// Whether the ACK/NACK loop delivered a CRC-verified payload.
+    pub delivered: bool,
+    /// Attempts the ACK/NACK loop used (meaningful when delivered).
+    pub attempts: u32,
+}
+
+/// Runs one noise-sweep unit: two full GPU simulations (decoder
+/// comparison + reliable delivery) for one `(preset, trial)` pair.
+pub fn run_noise_unit(
+    cfg: &GpuConfig,
+    plan: &ChannelPlan,
+    opts: &RobustOptions,
+    preset: &str,
+    trial: u64,
+    bits: usize,
+) -> NoiseTrial {
+    let mut rng = experiment_rng("noise-sweep", trial);
+    let payload = BitVec::random(&mut rng, bits);
+    let faults = FaultConfig::parse(preset)
+        .expect("preset names parse")
+        .with_seed(trial * 17 + 3);
+    let cmp = compare_decoders(plan, cfg, &payload, trial, &faults, opts);
+    let rel = transmit_reliable(plan, cfg, &payload, trial, Some(&faults), opts);
+    NoiseTrial {
+        preset: preset.to_owned(),
+        trial,
+        naive_errors: cmp.naive_errors as u64,
+        hardened_errors: cmp.hardened_errors as u64,
+        payload_bits: cmp.payload_bits as u64,
+        delivered: rel.outcome.is_delivered(),
+        attempts: rel.attempts,
+    }
+}
+
+/// Aggregates per-unit records into per-preset [`NoisePoint`]s with the
+/// exact accumulator order of the original serial sweep, so complete
+/// sweeps serialize byte-identically however the records were produced
+/// (serial, parallel, supervised, or replayed from a journal). Presets
+/// with no surviving records (a heavily degraded partial sweep) are
+/// omitted rather than reported as `NaN`.
+pub fn aggregate_noise(trials: usize, records: &[&NoiseTrial]) -> Vec<NoisePoint> {
+    NOISE_PRESETS
+        .iter()
+        .filter_map(|preset| {
+            let mut naive = 0u64;
+            let mut hardened = 0u64;
+            let mut delivered = 0usize;
+            let mut attempts = 0u32;
+            let mut total_bits = 0u64;
+            let mut seen = false;
+            for rec in records.iter().filter(|r| r.preset == *preset) {
+                seen = true;
+                naive += rec.naive_errors;
+                hardened += rec.hardened_errors;
+                total_bits += rec.payload_bits;
+                if rec.delivered {
+                    delivered += 1;
+                    attempts += rec.attempts;
+                }
+            }
+            seen.then(|| NoisePoint {
+                preset: (*preset).to_owned(),
+                naive_ber: naive as f64 / total_bits as f64,
+                hardened_ber: hardened as f64 / total_bits as f64,
+                delivery_rate: delivered as f64 / trials as f64,
+                mean_attempts: if delivered > 0 {
+                    f64::from(attempts) / delivered as f64
+                } else {
+                    0.0
+                },
+            })
+        })
+        .collect()
+}
+
+/// Configuration for one resilient sweep run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepConfig {
+    /// Trials per preset.
+    pub trials: usize,
+    /// Payload bits per trial.
+    pub bits: usize,
+    /// Supervision knobs: timeout, retries, chaos, cancellation.
+    pub supervise: SuperviseOptions,
+    /// Journal path; `None` runs supervised but unjournaled.
+    pub journal: Option<PathBuf>,
+    /// Resume from an existing journal instead of truncating it.
+    pub resume: bool,
+}
+
+/// One failed trial in the error manifest.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrialFailure {
+    /// Unit index in the sweep's unit list.
+    pub index: u64,
+    /// Fault preset of the failed unit.
+    pub preset: String,
+    /// Trial number within the preset.
+    pub trial: u64,
+    /// The trial's seed.
+    pub seed: u64,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// Failure class: `panic`, `timeout`, or `cancelled`.
+    pub kind: String,
+    /// Human-readable failure detail.
+    pub message: String,
+}
+
+/// The machine-readable summary a degraded sweep emits alongside its
+/// partial results (`errors.json`).
+#[derive(Debug, Clone, Serialize)]
+pub struct ErrorManifest {
+    /// Total units in the sweep (presets × trials).
+    pub total_units: u64,
+    /// Units actually simulated this run.
+    pub executed: u64,
+    /// Units satisfied from the journal cache.
+    pub cached: u64,
+    /// Units that delivered a result (this run or cached).
+    pub succeeded: u64,
+    /// Units whose final attempt panicked or timed out.
+    pub failed: u64,
+    /// Units cancelled before or during execution.
+    pub cancelled: u64,
+    /// Units that failed at least once but recovered within the retry
+    /// budget.
+    pub recovered: u64,
+    /// Extra attempts spent across all units (retries).
+    pub retries_spent: u64,
+    /// Per-unit failure details for every unit without a result.
+    pub failures: Vec<TrialFailure>,
+}
+
+impl ErrorManifest {
+    /// True when every unit delivered a result.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0 && self.cancelled == 0
+    }
+}
+
+/// What a resilient sweep hands back: the (possibly partial) curve plus
+/// the accounting behind it.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Per-preset aggregates over every unit that delivered a result.
+    pub points: Vec<NoisePoint>,
+    /// Execution accounting and failure details.
+    pub manifest: ErrorManifest,
+    /// True when every unit delivered a result (the sweep JSON is then
+    /// byte-identical to an undisturbed run).
+    pub complete: bool,
+}
+
+/// The content-hash cache key of one noise-sweep unit. Stable across
+/// runs, processes, and job counts: any change to the GPU config, the
+/// payload width, the preset, or the trial seed changes the key.
+fn unit_key(cfg_json: &str, preset: &str, bits: usize, trial: u64) -> String {
+    content_key(&[
+        cfg_json.as_bytes(),
+        b"noise-sweep",
+        preset.as_bytes(),
+        &(bits as u64).to_le_bytes(),
+        &trial.to_le_bytes(),
+    ])
+}
+
+fn failure_kind(err: &SimError) -> &'static str {
+    match err {
+        SimError::TrialPanicked { .. } => "panic",
+        SimError::TrialTimedOut { .. } => "timeout",
+        SimError::TrialCancelled { .. } => "cancelled",
+        _ => "error",
+    }
+}
+
+/// Runs the noise sweep under supervision with journaled
+/// checkpoint/resume. See the module docs for the contract; the short
+/// version: this function does not abort on trial failures, it records
+/// them, and a complete (possibly resumed) sweep aggregates
+/// byte-identically to [`crate::noise_sweep`] at the same
+/// `trials`/`bits`.
+///
+/// # Errors
+///
+/// Only infrastructure failures surface as `Err` — journal I/O and
+/// corruption ([`SimError::Io`] / [`SimError::Journal`]). Trial
+/// failures never do; they land in the report's manifest.
+pub fn resilient_noise_sweep(
+    cfg: &GpuConfig,
+    sweep: &SweepConfig,
+) -> Result<SweepReport, SimError> {
+    let plan = ChannelPlan::tpc(cfg, ProtocolConfig::tpc(4), &[0]);
+    let robust = RobustOptions::default();
+    let units = noise_units(sweep.trials);
+    let cfg_json = serde_json::to_string(cfg).map_err(|e| SimError::Journal {
+        path: String::new(),
+        reason: format!("config failed to serialize: {e}"),
+    })?;
+    let keys: Vec<String> = units
+        .iter()
+        .map(|&(p, trial)| unit_key(&cfg_json, NOISE_PRESETS[p], sweep.bits, trial))
+        .collect();
+
+    // Load the cache and open the journal for appending.
+    let mut cache: HashMap<String, NoiseTrial> = HashMap::new();
+    let mut journal = match &sweep.journal {
+        Some(path) if sweep.resume && path.exists() => {
+            let (journal, records) = Journal::resume(path)?;
+            for rec in records {
+                if let Some(ok) = rec.ok {
+                    if let Ok(trial) = serde_json::from_value::<NoiseTrial>(&ok) {
+                        cache.insert(rec.key, trial);
+                    }
+                }
+            }
+            Some(journal)
+        }
+        Some(path) => Some(Journal::create(path)?),
+        None => None,
+    };
+
+    // Only units without a cached success run; failures are re-tried on
+    // resume (they may have been transient).
+    let pending: Vec<usize> = (0..units.len())
+        .filter(|&i| !cache.contains_key(&keys[i]))
+        .collect();
+    let cached = (units.len() - pending.len()) as u64;
+
+    let outcomes = run_supervised(
+        &pending,
+        &sweep.supervise,
+        |&i| units[i].1,
+        |&i| {
+            let (p, trial) = units[i];
+            run_noise_unit(cfg, &plan, &robust, NOISE_PRESETS[p], trial, sweep.bits)
+        },
+    );
+
+    // Journal every settled outcome (flushed record-by-record) and fold
+    // the accounting. Cancelled units are deliberately *not* journaled:
+    // they carry no information a resume could reuse.
+    let mut fresh: HashMap<usize, NoiseTrial> = HashMap::new();
+    let mut manifest = ErrorManifest {
+        total_units: units.len() as u64,
+        executed: 0,
+        cached,
+        succeeded: cached,
+        failed: 0,
+        cancelled: 0,
+        recovered: 0,
+        retries_spent: 0,
+        failures: Vec::new(),
+    };
+    for (slot, outcome) in pending.iter().zip(&outcomes) {
+        let unit = *slot;
+        let (p, trial) = units[unit];
+        manifest.retries_spent += u64::from(outcome.attempts.saturating_sub(1));
+        let cancelled = matches!(outcome.result, Err(SimError::TrialCancelled { .. }));
+        if !cancelled {
+            manifest.executed += 1;
+        }
+        match &outcome.result {
+            Ok(rec) => {
+                manifest.succeeded += 1;
+                if outcome.attempts > 1 {
+                    manifest.recovered += 1;
+                }
+                if let Some(journal) = journal.as_mut() {
+                    journal.append(&JournalRecord {
+                        key: keys[unit].clone(),
+                        index: unit as u64,
+                        seed: outcome.seed,
+                        attempts: outcome.attempts,
+                        ok: Some(serde_json::to_value(rec).map_err(|e| SimError::Journal {
+                            path: journal_path_string(journal),
+                            reason: format!("trial record failed to serialize: {e}"),
+                        })?),
+                        err_kind: None,
+                        err_message: None,
+                    })?;
+                }
+                fresh.insert(unit, rec.clone());
+            }
+            Err(err) => {
+                if cancelled {
+                    manifest.cancelled += 1;
+                } else {
+                    manifest.failed += 1;
+                    if let Some(journal) = journal.as_mut() {
+                        journal.append(&JournalRecord {
+                            key: keys[unit].clone(),
+                            index: unit as u64,
+                            seed: outcome.seed,
+                            attempts: outcome.attempts,
+                            ok: None,
+                            err_kind: Some(failure_kind(err).to_owned()),
+                            err_message: Some(err.to_string()),
+                        })?;
+                    }
+                }
+                manifest.failures.push(TrialFailure {
+                    index: unit as u64,
+                    preset: NOISE_PRESETS[p].to_owned(),
+                    trial,
+                    seed: outcome.seed,
+                    attempts: outcome.attempts,
+                    kind: failure_kind(err).to_owned(),
+                    message: err.to_string(),
+                });
+            }
+        }
+    }
+
+    // Replay cached + fresh results through the aggregation in unit
+    // order — the byte-identity contract.
+    let ordered: Vec<&NoiseTrial> = (0..units.len())
+        .filter_map(|i| fresh.get(&i).or_else(|| cache.get(&keys[i])))
+        .collect();
+    let complete = ordered.len() == units.len();
+    let points = aggregate_noise(sweep.trials, &ordered);
+    Ok(SweepReport {
+        points,
+        manifest,
+        complete,
+    })
+}
+
+fn journal_path_string(journal: &Journal) -> String {
+    journal.path().display().to_string()
+}
+
+/// Counts trials recorded in a journal file — the accounting hook the
+/// resilience CI job uses to prove cache hits skip re-simulation.
+///
+/// # Errors
+///
+/// [`SimError::Io`] / [`SimError::Journal`] when the journal cannot be
+/// read or parsed.
+pub fn journal_summary(path: &Path) -> Result<(u64, u64), SimError> {
+    let records = journal::load(path)?;
+    let ok = records.iter().filter(|r| r.is_ok()).count() as u64;
+    let failed = records.len() as u64 - ok;
+    Ok((ok, failed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnc_common::fault::HarnessChaos;
+
+    fn quick_cfg() -> SweepConfig {
+        SweepConfig {
+            trials: 1,
+            bits: 8,
+            ..SweepConfig::default()
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gnc_sweep_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn supervised_sweep_matches_plain_sweep() {
+        let cfg = crate::platform();
+        let sweep = quick_cfg();
+        let report = resilient_noise_sweep(&cfg, &sweep).expect("sweep");
+        assert!(report.complete && report.manifest.is_clean());
+        // The plain path at the same unit parameters aggregates to the
+        // same bytes.
+        let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(4), &[0]);
+        let robust = RobustOptions::default();
+        let units = noise_units(sweep.trials);
+        let plain: Vec<NoiseTrial> = units
+            .iter()
+            .map(|&(p, t)| run_noise_unit(&cfg, &plan, &robust, NOISE_PRESETS[p], t, sweep.bits))
+            .collect();
+        let plain_points = aggregate_noise(sweep.trials, &plain.iter().collect::<Vec<_>>());
+        assert_eq!(
+            serde_json::to_string(&report.points).expect("json"),
+            serde_json::to_string(&plain_points).expect("json"),
+        );
+    }
+
+    #[test]
+    fn journal_caches_and_resume_is_byte_identical() {
+        let cfg = crate::platform();
+        let path = temp_path("resume");
+        std::fs::remove_file(&path).ok();
+        let mut sweep = quick_cfg();
+        sweep.journal = Some(path.clone());
+        let first = resilient_noise_sweep(&cfg, &sweep).expect("first run");
+        assert_eq!(first.manifest.executed, 5);
+        // Resume over the complete journal: everything is a cache hit.
+        sweep.resume = true;
+        let resumed = resilient_noise_sweep(&cfg, &sweep).expect("resumed run");
+        assert_eq!(resumed.manifest.executed, 0);
+        assert_eq!(resumed.manifest.cached, 5);
+        assert_eq!(
+            serde_json::to_string(&first.points).expect("json"),
+            serde_json::to_string(&resumed.points).expect("json"),
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_failures_degrade_into_the_manifest() {
+        let cfg = crate::platform();
+        let mut sweep = quick_cfg();
+        sweep.supervise.chaos = HarnessChaos {
+            seed: 7,
+            trial_panic_rate: 1.0,
+            trial_stall_rate: 0.0,
+        };
+        let report = resilient_noise_sweep(&cfg, &sweep).expect("sweep must not abort");
+        assert!(!report.complete);
+        assert_eq!(report.manifest.failed, 5);
+        assert_eq!(report.manifest.failures.len(), 5);
+        assert!(report.points.is_empty());
+        assert!(report
+            .manifest
+            .failures
+            .iter()
+            .all(|f| f.kind == "panic" && f.message.contains("chaos")));
+    }
+}

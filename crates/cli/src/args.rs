@@ -87,8 +87,60 @@ pub enum Command {
         /// Per-phase L2 access counts (0–32 each).
         profile: Vec<u32>,
     },
+    /// Run the supervised, journaled noise sweep (resumable).
+    Sweep {
+        /// Architecture preset.
+        arch: Arch,
+        /// Supervision, journaling, and output options.
+        opts: SweepOpts,
+    },
     /// Print usage.
     Help,
+}
+
+/// Options of the `sweep` command, grouped so [`Command`] stays small.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOpts {
+    /// Trials per fault preset.
+    pub trials: usize,
+    /// Payload bits per trial.
+    pub bits: usize,
+    /// Sweep JSON output path.
+    pub out: Option<String>,
+    /// Journal path for a fresh (truncating) run.
+    pub journal: Option<String>,
+    /// Journal path to resume from (skips cached trials).
+    pub resume: Option<String>,
+    /// Per-trial watchdog deadline in milliseconds.
+    pub trial_timeout_ms: Option<u64>,
+    /// Extra attempts for panicked/timed-out trials.
+    pub retries: u32,
+    /// Injected per-attempt panic probability (harness chaos).
+    pub chaos_trial_panic: f64,
+    /// Injected per-attempt stall probability (harness chaos).
+    pub chaos_trial_stall: f64,
+    /// Seed for the chaos draws.
+    pub chaos_seed: u64,
+    /// Error-manifest output path.
+    pub errors: String,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        Self {
+            trials: 2,
+            bits: 24,
+            out: None,
+            journal: None,
+            resume: None,
+            trial_timeout_ms: None,
+            retries: 0,
+            chaos_trial_panic: 0.0,
+            chaos_trial_stall: 0.0,
+            chaos_seed: 0,
+            errors: "errors.json".into(),
+        }
+    }
 }
 
 /// Architecture preset selector.
@@ -139,6 +191,8 @@ COMMANDS:
     report                       instrumented run: contention heatmap +
                                  channel-utilization table
     chaos                        sweep fault presets, naive vs hardened
+    sweep                        supervised, journaled noise sweep with
+                                 checkpoint/resume and graceful shutdown
     sidechannel --profile <CSV>  meter a victim's per-phase L2 activity
     help                         show this text
 
@@ -178,9 +232,42 @@ OPTIONS (chaos):
     --message <TEXT>               payload                [default: noc]
     --seed <N>                     deterministic seed    [default: 42]
 
+OPTIONS (sweep):
+    --trials <N>                   trials per fault preset [default: 2]
+    --bits <N>                     payload bits per trial  [default: 24]
+    --out <FILE>                   write the sweep JSON here
+    --journal <FILE>               append every finished trial to this
+                                   crash-safe JSONL journal
+    --resume <FILE>                resume from an existing journal:
+                                   cached trials are skipped, the final
+                                   JSON is byte-identical to an
+                                   uninterrupted run
+    --trial-timeout <MS>           per-trial watchdog deadline
+    --retries <N>                  extra attempts for panicked or
+                                   timed-out trials  [default: 0]
+    --errors <FILE>                error-manifest path
+                                   [default: errors.json]
+    --chaos-trial-panic <P>        inject a panic into each attempt with
+                                   probability P (0-1)  [default: 0]
+    --chaos-trial-stall <P>        stall each attempt until the watchdog
+                                   fires with probability P [default: 0]
+    --chaos-seed <N>               seed for the chaos draws [default: 0]
+    SIGINT (Ctrl-C) cancels gracefully: the journal is flushed and
+    partial results plus the error manifest are still written.
+
 OPTIONS (sidechannel):
     --profile <a,b,c,...>          per-phase access counts (0-32)
 ";
+
+fn parse_rate(value: &str, flag: &str) -> Result<f64, ParseError> {
+    let rate: f64 = value
+        .parse()
+        .map_err(|_| ParseError(format!("{flag} requires a probability")))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(ParseError(format!("{flag} must be within 0-1")));
+    }
+    Ok(rate)
+}
 
 fn parse_arch(value: &str) -> Result<Arch, ParseError> {
     match value {
@@ -238,6 +325,8 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
     let mut profile: Option<Vec<u32>> = None;
     let mut telemetry: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut sweep = SweepOpts::default();
+    let mut trials_given = false;
 
     let take_value = |iter: &mut std::slice::Iter<String>, flag: &str| {
         iter.next()
@@ -252,6 +341,49 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
                 trials = take_value(&mut iter, "--trials")?
                     .parse()
                     .map_err(|_| ParseError("--trials requires a number".into()))?;
+                trials_given = true;
+            }
+            "--bits" => {
+                sweep.bits = take_value(&mut iter, "--bits")?
+                    .parse()
+                    .map_err(|_| ParseError("--bits requires a number".into()))?;
+                if sweep.bits == 0 {
+                    return Err(ParseError("--bits must be at least 1".into()));
+                }
+            }
+            "--journal" => sweep.journal = Some(take_value(&mut iter, "--journal")?),
+            "--resume" => sweep.resume = Some(take_value(&mut iter, "--resume")?),
+            "--trial-timeout" => {
+                let ms: u64 = take_value(&mut iter, "--trial-timeout")?
+                    .parse()
+                    .map_err(|_| ParseError("--trial-timeout requires milliseconds".into()))?;
+                if ms == 0 {
+                    return Err(ParseError("--trial-timeout must be at least 1 ms".into()));
+                }
+                sweep.trial_timeout_ms = Some(ms);
+            }
+            "--retries" => {
+                sweep.retries = take_value(&mut iter, "--retries")?
+                    .parse()
+                    .map_err(|_| ParseError("--retries requires a number".into()))?;
+            }
+            "--errors" => sweep.errors = take_value(&mut iter, "--errors")?,
+            "--chaos-trial-panic" => {
+                sweep.chaos_trial_panic = parse_rate(
+                    &take_value(&mut iter, "--chaos-trial-panic")?,
+                    "--chaos-trial-panic",
+                )?;
+            }
+            "--chaos-trial-stall" => {
+                sweep.chaos_trial_stall = parse_rate(
+                    &take_value(&mut iter, "--chaos-trial-stall")?,
+                    "--chaos-trial-stall",
+                )?;
+            }
+            "--chaos-seed" => {
+                sweep.chaos_seed = take_value(&mut iter, "--chaos-seed")?
+                    .parse()
+                    .map_err(|_| ParseError("--chaos-seed requires a number".into()))?;
             }
             "--message" => message = Some(take_value(&mut iter, "--message")?),
             "--all-tpcs" => all_tpcs = true,
@@ -333,6 +465,19 @@ pub fn parse_invocation(args: &[String]) -> Result<Invocation, ParseError> {
             message: message.unwrap_or_else(|| "noc".into()),
             seed,
         },
+        "sweep" => {
+            if trials_given {
+                sweep.trials = trials;
+            }
+            if sweep.journal.is_some() && sweep.resume.is_some() {
+                return Err(ParseError(
+                    "--journal and --resume are mutually exclusive (resume names the journal)"
+                        .into(),
+                ));
+            }
+            sweep.out = out;
+            Command::Sweep { arch, opts: sweep }
+        }
         "sidechannel" => {
             let profile =
                 profile.ok_or_else(|| ParseError("sidechannel requires --profile".into()))?;
@@ -538,6 +683,64 @@ mod tests {
             parse(&argv("info --jobs 2")).unwrap(),
             Command::Info { arch: Arch::Volta }
         );
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        assert_eq!(
+            parse(&argv("sweep")).unwrap(),
+            Command::Sweep {
+                arch: Arch::Volta,
+                opts: SweepOpts::default(),
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_full_form() {
+        let cmd = parse(&argv(
+            "sweep --trials 4 --bits 16 --out s.json --journal j.jsonl --trial-timeout 500 \
+             --retries 2 --errors e.json --chaos-trial-panic 0.25 --chaos-trial-stall 0.1 \
+             --chaos-seed 9",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Sweep {
+                arch: Arch::Volta,
+                opts: SweepOpts {
+                    trials: 4,
+                    bits: 16,
+                    out: Some("s.json".into()),
+                    journal: Some("j.jsonl".into()),
+                    resume: None,
+                    trial_timeout_ms: Some(500),
+                    retries: 2,
+                    chaos_trial_panic: 0.25,
+                    chaos_trial_stall: 0.1,
+                    chaos_seed: 9,
+                    errors: "e.json".into(),
+                },
+            }
+        );
+    }
+
+    #[test]
+    fn sweep_resume_and_validation() {
+        let Command::Sweep { opts, .. } = parse(&argv("sweep --resume j.jsonl")).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(opts.resume.as_deref(), Some("j.jsonl"));
+        assert!(parse(&argv("sweep --journal a --resume b")).is_err());
+        assert!(parse(&argv("sweep --chaos-trial-panic 1.5")).is_err());
+        assert!(parse(&argv("sweep --chaos-trial-stall nope")).is_err());
+        assert!(parse(&argv("sweep --trial-timeout 0")).is_err());
+        assert!(parse(&argv("sweep --bits 0")).is_err());
+        // `--trials` keeps its reverse default when sweeping without it.
+        let Command::Sweep { opts, .. } = parse(&argv("sweep --bits 8")).unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(opts.trials, 2);
     }
 
     #[test]

@@ -11,20 +11,24 @@
 
 mod args;
 
-use args::{Arch, Command, USAGE};
+use args::{Arch, Command, SweepOpts, USAGE};
+use gnc_bench::sweep::{resilient_noise_sweep, SweepConfig};
 use gnc_common::bits::BitVec;
-use gnc_common::fault::FaultConfig;
+use gnc_common::fault::{FaultConfig, HarnessChaos};
 use gnc_common::fec::{fec_decode, fec_encode};
 use gnc_common::ids::GpcId;
+use gnc_common::supervise::{CancelToken, SuperviseOptions};
 use gnc_common::telemetry::Collector;
+use gnc_common::SimError;
 use gnc_covert::channel::ChannelPlan;
 use gnc_covert::protocol::ProtocolConfig;
 use gnc_covert::reverse::recover_mapping;
 use gnc_covert::robust::{compare_decoders, transmit_reliable, RobustOptions};
 use gnc_covert::sidechannel::spy_on_victim;
 use gnc_sim::gpu::Gpu;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -89,7 +93,153 @@ fn main() -> ExitCode {
             seed,
         } => chaos(arch, &message, seed),
         Command::SideChannel { arch, profile } => sidechannel(arch, &profile),
+        Command::Sweep { arch, opts } => sweep(arch, &opts),
     }
+}
+
+/// Installs a SIGINT handler that flips the sweep's [`CancelToken`]:
+/// running trials unwind at their next cooperative checkpoint, the
+/// journal is flushed, and partial results are still emitted.
+#[cfg(unix)]
+fn install_sigint(token: CancelToken) {
+    use std::sync::OnceLock;
+    static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single atomic store, no allocation.
+        if let Some(token) = CANCEL.get() {
+            token.cancel();
+        }
+    }
+    // std links libc on unix, so the C `signal` entry point is already
+    // in the binary; declaring it avoids a dependency on a libc crate.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    if CANCEL.set(token).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint(_token: CancelToken) {}
+
+/// Serializes `value` as pretty JSON into `path`, mapping failures into
+/// the [`SimError`] taxonomy.
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), SimError> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| SimError::Journal {
+        path: path.to_owned(),
+        reason: format!("output failed to serialize: {e}"),
+    })?;
+    std::fs::write(path, json + "\n").map_err(|e| SimError::io("write output", path, &e))
+}
+
+fn sweep(arch: Arch, opts: &SweepOpts) -> ExitCode {
+    let cfg = arch.config();
+    let chaos = HarnessChaos {
+        seed: opts.chaos_seed,
+        trial_panic_rate: opts.chaos_trial_panic,
+        trial_stall_rate: opts.chaos_trial_stall,
+    };
+    if let Err(e) = chaos.validate() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    let cancel = CancelToken::new();
+    install_sigint(cancel.clone());
+    let resume = opts.resume.is_some();
+    let journal = opts
+        .resume
+        .as_ref()
+        .or(opts.journal.as_ref())
+        .map(PathBuf::from);
+    let sweep_cfg = SweepConfig {
+        trials: opts.trials,
+        bits: opts.bits,
+        supervise: SuperviseOptions {
+            timeout: opts.trial_timeout_ms.map(Duration::from_millis),
+            retries: opts.retries,
+            backoff: Duration::ZERO,
+            chaos,
+            cancel: cancel.clone(),
+        },
+        journal: journal.clone(),
+        resume,
+    };
+    println!(
+        "supervised noise sweep on {}: {} trial(s) x 5 presets, {} payload bits{}{}",
+        cfg.name,
+        opts.trials,
+        opts.bits,
+        opts.trial_timeout_ms
+            .map_or_else(String::new, |ms| format!(", {ms} ms watchdog")),
+        if opts.retries > 0 {
+            format!(
+                ", {} retr{}",
+                opts.retries,
+                if opts.retries == 1 { "y" } else { "ies" }
+            )
+        } else {
+            String::new()
+        },
+    );
+    let report = match resilient_noise_sweep(&cfg, &sweep_cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{:<10} {:>11} {:>14} {:>9} delivery",
+        "preset", "naive BER", "hardened BER", "attempts"
+    );
+    for p in &report.points {
+        println!(
+            "{:<10} {:>10.1}% {:>13.1}% {:>9.2} {:>7.0}%",
+            p.preset,
+            p.naive_ber * 100.0,
+            p.hardened_ber * 100.0,
+            p.mean_attempts,
+            p.delivery_rate * 100.0,
+        );
+    }
+    let m = &report.manifest;
+    println!(
+        "trials: {} total | {} executed, {} cached, {} failed, {} cancelled | {} recovered via {} retr{}",
+        m.total_units,
+        m.executed,
+        m.cached,
+        m.failed,
+        m.cancelled,
+        m.recovered,
+        m.retries_spent,
+        if m.retries_spent == 1 { "y" } else { "ies" },
+    );
+    if let Some(out) = &opts.out {
+        if let Err(e) = write_json(out, &report.points) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[sweep] results: {out}");
+    }
+    if let Err(e) = write_json(&opts.errors, &report.manifest) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("[sweep] manifest: {}", opts.errors);
+    if let Some(journal) = &journal {
+        println!("[sweep] journal: {}", journal.display());
+    }
+    if cancel.is_cancelled() {
+        println!("sweep interrupted — journal flushed; continue with --resume");
+        // The conventional 128+SIGINT code, minus the killed-by-signal
+        // semantics: we exited cleanly after persisting state.
+        return ExitCode::from(130);
+    }
+    ExitCode::SUCCESS
 }
 
 fn info(arch: Arch) -> ExitCode {
@@ -149,22 +299,36 @@ fn reverse(arch: Arch, trials: usize) -> ExitCode {
 
 /// Writes the telemetry report JSON plus both flit-trace formats into
 /// `dir`, then prints the heatmap and utilization table.
-fn emit_telemetry(collector: &Collector, dir: &Path, name: &str) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
+fn emit_telemetry(collector: &Collector, dir: &Path, name: &str) -> Result<(), SimError> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SimError::io("create telemetry directory", dir.display(), &e))?;
     let report = collector.report();
     let path = dir.join(format!("telemetry_{name}.json"));
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(&report).expect("serialize telemetry"),
-    )?;
+    let json = serde_json::to_string_pretty(&report).map_err(|e| SimError::Journal {
+        path: path.display().to_string(),
+        reason: format!("telemetry report failed to serialize: {e}"),
+    })?;
+    std::fs::write(&path, json)
+        .map_err(|e| SimError::io("write telemetry report", path.display(), &e))?;
     println!("[telemetry] {}", path.display());
     let jsonl = dir.join(format!("telemetry_{name}_trace.jsonl"));
-    let mut f = std::io::BufWriter::new(std::fs::File::create(&jsonl)?);
-    collector.write_trace_jsonl(&mut f)?;
+    std::fs::File::create(&jsonl)
+        .and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            collector.write_trace_jsonl(&mut w)?;
+            w.flush()
+        })
+        .map_err(|e| SimError::io("write flit trace", jsonl.display(), &e))?;
     println!("[telemetry] {}", jsonl.display());
     let chrome = dir.join(format!("telemetry_{name}_trace.json"));
-    let mut f = std::io::BufWriter::new(std::fs::File::create(&chrome)?);
-    collector.write_chrome_trace(&mut f)?;
+    std::fs::File::create(&chrome)
+        .and_then(|f| {
+            let mut w = std::io::BufWriter::new(f);
+            collector.write_chrome_trace(&mut w)?;
+            w.flush()
+        })
+        .map_err(|e| SimError::io("write Chrome trace", chrome.display(), &e))?;
     println!("[telemetry] {}", chrome.display());
     Ok(())
 }
@@ -233,7 +397,7 @@ fn send(
         let collector = gpu.into_probe();
         print_telemetry_summary(&collector);
         if let Err(e) = emit_telemetry(&collector, Path::new(dir), "send") {
-            eprintln!("error: writing telemetry to {dir}: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
         report
@@ -343,7 +507,7 @@ fn report(
     print_telemetry_summary(&collector);
     if let Some(dir) = out {
         if let Err(e) = emit_telemetry(&collector, Path::new(dir), "report") {
-            eprintln!("error: writing telemetry to {dir}: {e}");
+            eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     }

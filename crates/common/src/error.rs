@@ -82,6 +82,74 @@ pub enum SimError {
         /// What the decoder choked on.
         reason: String,
     },
+    /// A supervised trial panicked on every attempt. The panic unwound
+    /// only that trial — the rest of the sweep kept its results.
+    TrialPanicked {
+        /// Position of the trial in the sweep's unit list.
+        index: usize,
+        /// The trial's deterministic seed.
+        seed: u64,
+        /// The panic payload, stringified best-effort.
+        payload: String,
+    },
+    /// A supervised trial overran its watchdog deadline on every
+    /// attempt and was unwound at a cooperative cancellation point.
+    TrialTimedOut {
+        /// Position of the trial in the sweep's unit list.
+        index: usize,
+        /// The trial's deterministic seed.
+        seed: u64,
+        /// The per-attempt deadline that was exceeded, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// A supervised trial was abandoned because the sweep was cancelled
+    /// (Ctrl-C or an explicit [`crate::supervise::CancelToken`]).
+    TrialCancelled {
+        /// Position of the trial in the sweep's unit list.
+        index: usize,
+        /// The trial's deterministic seed.
+        seed: u64,
+    },
+    /// An I/O operation failed on a path the user named (journal,
+    /// sweep output, manifest, telemetry directory).
+    Io {
+        /// What was being attempted, e.g. `"write sweep output"`.
+        op: String,
+        /// The file or directory involved.
+        path: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+    /// A journal file could not be read back (not created by this tool,
+    /// or corrupted beyond the tolerated truncated tail).
+    Journal {
+        /// The journal path.
+        path: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::Io`].
+    pub fn io(op: impl Into<String>, path: impl fmt::Display, err: &std::io::Error) -> Self {
+        Self::Io {
+            op: op.into(),
+            path: path.to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// True for the trial-supervision failures ([`Self::TrialPanicked`],
+    /// [`Self::TrialTimedOut`], [`Self::TrialCancelled`]) — the errors a
+    /// resilient sweep records and continues past, as opposed to setup
+    /// or I/O errors that abort the run.
+    pub fn is_trial_failure(&self) -> bool {
+        matches!(
+            self,
+            Self::TrialPanicked { .. } | Self::TrialTimedOut { .. } | Self::TrialCancelled { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -103,6 +171,31 @@ impl fmt::Display for SimError {
                 "channel {label:?} lost sync: expected {expected} samples, got {got}"
             ),
             Self::DecodeFailed { reason } => write!(f, "decode failed: {reason}"),
+            Self::TrialPanicked {
+                index,
+                seed,
+                payload,
+            } => write!(f, "trial #{index} (seed {seed}) panicked: {payload}"),
+            Self::TrialTimedOut {
+                index,
+                seed,
+                timeout_ms,
+            } => write!(
+                f,
+                "trial #{index} (seed {seed}) exceeded its {timeout_ms} ms deadline"
+            ),
+            Self::TrialCancelled { index, seed } => {
+                write!(
+                    f,
+                    "trial #{index} (seed {seed}) cancelled before completion"
+                )
+            }
+            Self::Io { op, path, message } => {
+                write!(f, "failed to {op} at {path}: {message}")
+            }
+            Self::Journal { path, reason } => {
+                write!(f, "journal {path} is unusable: {reason}")
+            }
         }
     }
 }
@@ -168,5 +261,42 @@ mod tests {
         }
         .to_string()
         .contains("checksum"));
+    }
+
+    #[test]
+    fn trial_failures_display_and_classify() {
+        let panic = SimError::TrialPanicked {
+            index: 3,
+            seed: 51,
+            payload: "index out of bounds".into(),
+        };
+        assert_eq!(
+            panic.to_string(),
+            "trial #3 (seed 51) panicked: index out of bounds"
+        );
+        let timeout = SimError::TrialTimedOut {
+            index: 9,
+            seed: 156,
+            timeout_ms: 250,
+        };
+        assert!(timeout.to_string().contains("250 ms deadline"));
+        let cancelled = SimError::TrialCancelled { index: 1, seed: 18 };
+        assert!(cancelled.to_string().contains("cancelled"));
+        for e in [&panic, &timeout, &cancelled] {
+            assert!(e.is_trial_failure(), "{e}");
+        }
+        let io = SimError::io(
+            "write sweep output",
+            "/tmp/sweep.json",
+            &std::io::Error::new(std::io::ErrorKind::PermissionDenied, "denied"),
+        );
+        assert!(!io.is_trial_failure());
+        assert!(io.to_string().contains("/tmp/sweep.json"));
+        assert!(SimError::Journal {
+            path: "j.jsonl".into(),
+            reason: "bad header".into(),
+        }
+        .to_string()
+        .contains("bad header"));
     }
 }

@@ -272,6 +272,92 @@ impl FaultConfig {
     }
 }
 
+/// Harness-level chaos: fault injection aimed at the *trial supervisor*
+/// rather than the simulated GPU.
+///
+/// Where [`FaultConfig`] perturbs the machine under test (so the covert
+/// channel's robustness can be measured), `HarnessChaos` perturbs the
+/// sweep harness itself — making whole trials panic or hang — so the
+/// supervision layer (`gnc_common::supervise`) can be exercised
+/// deterministically from a seed: panic isolation, watchdog timeouts,
+/// and bounded retries all become reproducible CI scenarios
+/// (`--chaos-trial-panic`, `--chaos-trial-stall`).
+///
+/// Decisions are pure functions of `(seed, trial index, attempt)` via
+/// the same SplitMix64 draw the [`FaultPlan`] uses, so a chaos-panicked
+/// trial that is retried re-rolls its fate deterministically — a sweep
+/// with retries converges to the same results on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarnessChaos {
+    /// Seed of the chaos pattern.
+    pub seed: u64,
+    /// Probability that a given (trial, attempt) panics at trial start.
+    pub trial_panic_rate: f64,
+    /// Probability that a given (trial, attempt) stalls until the
+    /// watchdog deadline (or cancellation) unwinds it.
+    pub trial_stall_rate: f64,
+}
+
+impl HarnessChaos {
+    /// Chaos that never fires.
+    pub fn off() -> Self {
+        Self {
+            seed: 0,
+            trial_panic_rate: 0.0,
+            trial_stall_rate: 0.0,
+        }
+    }
+
+    /// Whether either chaos class can ever fire.
+    pub fn is_off(&self) -> bool {
+        self.trial_panic_rate <= 0.0 && self.trial_stall_rate <= 0.0
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::FaultSpec`] when a rate lies outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (name, rate) in [
+            ("trial_panic_rate", self.trial_panic_rate),
+            ("trial_stall_rate", self.trial_stall_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(SimError::FaultSpec {
+                    spec: format!("{name}={rate}"),
+                    reason: "chaos rates must lie in [0, 1]".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn draw(&self, domain: u64, index: u64, attempt: u32) -> f64 {
+        let h = splitmix64(self.seed ^ splitmix64(domain ^ splitmix64(index ^ u64::from(attempt))));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether attempt `attempt` of trial `index` should panic.
+    pub fn panics(&self, index: u64, attempt: u32) -> bool {
+        self.trial_panic_rate > 0.0
+            && self.draw(domain::TRIAL_PANIC, index, attempt) < self.trial_panic_rate
+    }
+
+    /// Whether attempt `attempt` of trial `index` should stall until its
+    /// watchdog fires.
+    pub fn stalls(&self, index: u64, attempt: u32) -> bool {
+        self.trial_stall_rate > 0.0
+            && self.draw(domain::TRIAL_STALL, index, attempt) < self.trial_stall_rate
+    }
+}
+
+impl Default for HarnessChaos {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Hash-domain tags keeping the four fault classes statistically
 /// independent of each other under one seed.
 mod domain {
@@ -282,6 +368,8 @@ mod domain {
     pub const DRIFT: u64 = 0x636c_6f63_6b2d_6466; // "clock-df"
     pub const GLITCH: u64 = 0x636c_6f63_6b2d_676c; // "clock-gl"
     pub const L2: u64 = 0x6c32_2d68_6f74_0000; // "l2-hot"
+    pub const TRIAL_PANIC: u64 = 0x7472_6c2d_7061_6e69; // "trl-pani"
+    pub const TRIAL_STALL: u64 = 0x7472_6c2d_7374_616c; // "trl-stal"
 }
 
 #[inline]
@@ -610,5 +698,42 @@ mod tests {
         assert!(stats.samples_duplicated > 0);
         assert!(stats.samples_jittered > 0);
         assert!(stats.l2_stall_cycles > 0);
+    }
+
+    #[test]
+    fn harness_chaos_is_deterministic_and_seed_sensitive() {
+        let chaos = HarnessChaos {
+            seed: 7,
+            trial_panic_rate: 0.5,
+            trial_stall_rate: 0.5,
+        };
+        let a: Vec<bool> = (0..64).map(|i| chaos.panics(i, 0)).collect();
+        let b: Vec<bool> = (0..64).map(|i| chaos.panics(i, 0)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&p| p) && a.iter().any(|&p| !p));
+        let reseeded = HarnessChaos { seed: 8, ..chaos };
+        let c: Vec<bool> = (0..64).map(|i| reseeded.panics(i, 0)).collect();
+        assert_ne!(a, c);
+        // Attempts re-roll independently: some first-attempt panics clear
+        // on retry, which is what makes bounded retry converge.
+        assert!((0..64).any(|i| chaos.panics(i, 0) && !chaos.panics(i, 1)));
+        // Panic and stall draws are independent domains.
+        let stalls: Vec<bool> = (0..64).map(|i| chaos.stalls(i, 0)).collect();
+        assert_ne!(a, stalls);
+    }
+
+    #[test]
+    fn harness_chaos_off_and_validation() {
+        assert!(HarnessChaos::off().is_off());
+        assert!(HarnessChaos::default().is_off());
+        assert!(!HarnessChaos::off().panics(3, 0));
+        assert!(!HarnessChaos::off().stalls(3, 0));
+        assert!(HarnessChaos::off().validate().is_ok());
+        let bad = HarnessChaos {
+            seed: 0,
+            trial_panic_rate: 1.5,
+            trial_stall_rate: 0.0,
+        };
+        assert!(matches!(bad.validate(), Err(SimError::FaultSpec { .. })));
     }
 }

@@ -74,6 +74,49 @@ impl Hasher for FastHasher {
     }
 }
 
+// ---------------------------------------------------------------------
+// Content addressing for the trial journal / result cache.
+// ---------------------------------------------------------------------
+
+/// FNV-1a offset basis, 128-bit parameters.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a prime, 128-bit parameters.
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// FNV-1a over `bytes` at 128-bit width. Deterministic across runs,
+/// platforms, and compiler versions — the property a persistent
+/// content-addressed cache needs (unlike [`FastHasher`], whose mixing
+/// is an internal detail free to change between PRs).
+pub fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// A stable content key over a list of heterogeneous parts (e.g. the
+/// serialized GPU config, a program label, and a trial seed).
+///
+/// Each part is prefixed by its length so `["ab", "c"]` and
+/// `["a", "bc"]` hash differently. Returns 32 lowercase hex digits —
+/// the journal's record key format.
+pub fn content_key(parts: &[&[u8]]) -> String {
+    let mut h = FNV128_OFFSET;
+    let mut absorb = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u128::from(b);
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+    };
+    for part in parts {
+        absorb(&(part.len() as u64).to_le_bytes());
+        absorb(part);
+    }
+    format!("{h:032x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +144,29 @@ mod tests {
     #[test]
     fn length_tag_separates_padded_strings() {
         assert_ne!(hash_of(&[0x61u8, 0x62]), hash_of(&[0x61u8, 0x62, 0x00]));
+    }
+
+    #[test]
+    fn fnv128_matches_reference_vectors() {
+        // Published FNV-1a 128-bit test vectors.
+        assert_eq!(fnv1a_128(b""), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
+        assert_eq!(fnv1a_128(b"a"), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+    }
+
+    #[test]
+    fn content_key_is_stable_and_injective_on_part_boundaries() {
+        let k = content_key(&[b"config", b"program", &7u64.to_le_bytes()]);
+        assert_eq!(k.len(), 32);
+        assert_eq!(
+            k,
+            content_key(&[b"config", b"program", &7u64.to_le_bytes()])
+        );
+        // Length prefixes keep part boundaries significant.
+        assert_ne!(content_key(&[b"ab", b"c"]), content_key(&[b"a", b"bc"]));
+        assert_ne!(
+            k,
+            content_key(&[b"config", b"program", &8u64.to_le_bytes()])
+        );
     }
 
     #[test]

@@ -1,0 +1,347 @@
+//! A crash-safe, append-only trial journal — the sweep engine's
+//! write-ahead log and content-addressed result cache in one file.
+//!
+//! # Format
+//!
+//! JSON Lines. The first line is a header identifying the file and its
+//! format version; every following line is one [`JournalRecord`] —
+//! the outcome of one trial, keyed by a stable content hash of
+//! `(config, program, seed)` (see [`crate::hash::content_key`]):
+//!
+//! ```text
+//! {"journal":"gnc-sweep","version":1}
+//! {"key":"3f…","index":0,"seed":0,"attempts":1,"ok":{…},"err_kind":null,"err_message":null}
+//! {"key":"a1…","index":7,"seed":7,"attempts":3,"ok":null,"err_kind":"panic","err_message":"…"}
+//! ```
+//!
+//! # Crash safety
+//!
+//! Records are appended and flushed one at a time, so the file is
+//! always a prefix of complete records plus at most one torn tail line
+//! (the write the crash interrupted). The loader tolerates exactly
+//! that shape: a final line that does not parse is dropped, a
+//! non-final line that does not parse is corruption and reported as
+//! [`SimError::Journal`]. [`Journal::resume`] additionally *repairs*
+//! the torn tail — truncating the file back to the last complete
+//! record — so appends after a resume never concatenate onto a
+//! partial line.
+//!
+//! # Cache semantics
+//!
+//! Only `ok` records are cache hits: a resumed sweep skips trials whose
+//! key has a successful record and re-runs everything else (failures
+//! may have been transient — a timeout under load, an injected chaos
+//! panic). Because trials are deterministic in their key, replaying the
+//! missing ones reproduces byte-identical sweep output.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+/// The header line opening every journal file.
+const HEADER: &str = "{\"journal\":\"gnc-sweep\",\"version\":1}";
+
+/// One journaled trial outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    /// Content-hash key of `(config, program, seed)` — the cache key.
+    pub key: String,
+    /// Position of the trial in the sweep's unit list.
+    pub index: u64,
+    /// The trial's deterministic seed.
+    pub seed: u64,
+    /// Attempts the supervisor made (1 = first try succeeded).
+    pub attempts: u32,
+    /// The trial's result on success (the cached value), else `None`.
+    pub ok: Option<Value>,
+    /// Failure class on error: `"panic"`, `"timeout"`, or `"cancelled"`.
+    pub err_kind: Option<String>,
+    /// Human-readable failure detail on error.
+    pub err_message: Option<String>,
+}
+
+impl JournalRecord {
+    /// True when this record carries a cached successful result.
+    pub fn is_ok(&self) -> bool {
+        self.ok.is_some()
+    }
+}
+
+/// An open journal, positioned for appending.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, truncating any existing file,
+    /// and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the file cannot be created or written.
+    pub fn create(path: &Path) -> Result<Self, SimError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| SimError::io("create journal directory", parent.display(), &e))?;
+            }
+        }
+        let file =
+            File::create(path).map_err(|e| SimError::io("create journal", path.display(), &e))?;
+        let mut journal = Self {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+        };
+        journal.write_line(HEADER)?;
+        Ok(journal)
+    }
+
+    /// Opens an existing journal for appending, returning the complete
+    /// records it already holds. A torn tail line (from a crash or
+    /// kill) is truncated away so subsequent appends start clean.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] on filesystem failures, [`SimError::Journal`]
+    /// when the file is not a gnc sweep journal or has corruption
+    /// before its final line.
+    pub fn resume(path: &Path) -> Result<(Self, Vec<JournalRecord>), SimError> {
+        let (records, good_bytes) = load_with_offset(path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| SimError::io("open journal for append", path.display(), &e))?;
+        file.set_len(good_bytes)
+            .map_err(|e| SimError::io("repair torn journal tail", path.display(), &e))?;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| SimError::io("seek journal", path.display(), &e))?;
+        Ok((
+            Self {
+                writer: BufWriter::new(file),
+                path: path.to_path_buf(),
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS, so a later crash
+    /// can lose at most the record currently being written.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] when the write or flush fails.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<(), SimError> {
+        let line = serde_json::to_string(record).map_err(|e| SimError::Journal {
+            path: self.path.display().to_string(),
+            reason: format!("record failed to serialize: {e}"),
+        })?;
+        self.write_line(&line)
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), SimError> {
+        let io_err = |e: &std::io::Error| SimError::io("append to journal", self.path.display(), e);
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err(&e))?;
+        self.writer.write_all(b"\n").map_err(|e| io_err(&e))?;
+        self.writer.flush().map_err(|e| io_err(&e))
+    }
+}
+
+/// Reads a journal without opening it for writing (e.g. to inspect a
+/// finished sweep). Same tolerance as [`Journal::resume`]: a torn final
+/// line is dropped.
+///
+/// # Errors
+///
+/// [`SimError::Io`] / [`SimError::Journal`] as for [`Journal::resume`].
+pub fn load(path: &Path) -> Result<Vec<JournalRecord>, SimError> {
+    load_with_offset(path).map(|(records, _)| records)
+}
+
+/// Parses the journal, returning its records plus the byte offset of
+/// the end of the last complete line (the repair point for a torn tail).
+fn load_with_offset(path: &Path) -> Result<(Vec<JournalRecord>, u64), SimError> {
+    let corrupt = |reason: String| SimError::Journal {
+        path: path.display().to_string(),
+        reason,
+    };
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| SimError::io("read journal", path.display(), &e))?;
+
+    // Split into lines, remembering whether the file ended mid-line.
+    let mut lines: Vec<&str> = text.split('\n').collect();
+    let ends_complete = lines.last() == Some(&"");
+    if ends_complete {
+        lines.pop();
+    }
+    if lines.is_empty() {
+        return Err(corrupt("empty file (missing header)".to_string()));
+    }
+
+    let header = lines[0];
+    if !(ends_complete || lines.len() > 1) {
+        // The header itself is torn: nothing usable.
+        return Err(corrupt("torn header line".to_string()));
+    }
+    let header_value: Value =
+        serde_json::from_str(header).map_err(|_| corrupt("header is not JSON".to_string()))?;
+    if header_value.get("journal").and_then(|v| match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }) != Some("gnc-sweep")
+    {
+        return Err(corrupt("not a gnc sweep journal".to_string()));
+    }
+
+    let mut records = Vec::new();
+    let mut good_bytes = header.len() as u64 + 1;
+    for (i, line) in lines.iter().enumerate().skip(1) {
+        let is_last = i == lines.len() - 1;
+        let torn_tail = is_last && !ends_complete;
+        match serde_json::from_str::<JournalRecord>(line) {
+            Ok(record) => {
+                if torn_tail {
+                    // Parsed, but the newline never made it to disk; the
+                    // record may still be missing trailing bytes that
+                    // happen to parse. Treat it as torn and drop it.
+                    break;
+                }
+                good_bytes += line.len() as u64 + 1;
+                records.push(record);
+            }
+            Err(e) => {
+                if torn_tail {
+                    break;
+                }
+                return Err(corrupt(format!("corrupt record on line {}: {e}", i + 1)));
+            }
+        }
+    }
+    Ok((records, good_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: u64, ok: bool) -> JournalRecord {
+        JournalRecord {
+            key: format!("key-{i:04}"),
+            index: i,
+            seed: i * 31,
+            attempts: 1 + (i % 3) as u32,
+            ok: ok.then(|| Value::Map(vec![("errors".into(), Value::UInt(i))])),
+            err_kind: (!ok).then(|| "panic".to_string()),
+            err_message: (!ok).then(|| format!("trial {i} panicked")),
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gnc_journal_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let path = temp_path("round_trip");
+        let mut j = Journal::create(&path).expect("create");
+        let written: Vec<JournalRecord> = (0..10).map(|i| record(i, i % 4 != 3)).collect();
+        for r in &written {
+            j.append(r).expect("append");
+        }
+        drop(j);
+        let read = load(&path).expect("load");
+        assert_eq!(read, written);
+        assert_eq!(read.iter().filter(|r| r.is_ok()).count(), 8);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tolerates_and_repairs_torn_tail() {
+        let path = temp_path("torn_tail");
+        let mut j = Journal::create(&path).expect("create");
+        for i in 0..6 {
+            j.append(&record(i, true)).expect("append");
+        }
+        drop(j);
+        let full = std::fs::read(&path).expect("read");
+        // Truncate at every byte boundary inside the last record.
+        let last_line_start = full[..full.len() - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .expect("newline")
+            + 1;
+        for cut in [last_line_start + 1, last_line_start + 9, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).expect("truncate");
+            let read = load(&path).expect("torn tail must be tolerated");
+            assert_eq!(read.len(), 5, "cut at {cut}");
+            // Resume repairs the tail so appends start on a fresh line.
+            let (mut j, resumed) = Journal::resume(&path).expect("resume");
+            assert_eq!(resumed.len(), 5);
+            j.append(&record(99, true)).expect("append after repair");
+            drop(j);
+            let read = load(&path).expect("load after repair");
+            assert_eq!(read.len(), 6);
+            assert_eq!(read[5].index, 99);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_foreign_and_corrupt_files() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, "{\"some\":\"json\"}\n").expect("write");
+        assert!(matches!(
+            load(&path),
+            Err(SimError::Journal { reason, .. }) if reason.contains("not a gnc sweep journal")
+        ));
+        std::fs::write(&path, "").expect("write");
+        assert!(matches!(load(&path), Err(SimError::Journal { .. })));
+        // Corruption before the final line is an error, not a skip.
+        let mut j = Journal::create(&path).expect("create");
+        j.append(&record(0, true)).expect("append");
+        drop(j);
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes.extend_from_slice(b"garbage not json\n");
+        let mut j2 = record(1, true);
+        j2.key = "k2".into();
+        bytes.extend_from_slice(serde_json::to_string(&j2).expect("ser").as_bytes());
+        bytes.push(b'\n');
+        std::fs::write(&path, &bytes).expect("write");
+        assert!(matches!(
+            load(&path),
+            Err(SimError::Journal { reason, .. }) if reason.contains("corrupt record")
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("missing_never_created");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(load(&path), Err(SimError::Io { .. })));
+    }
+
+    #[test]
+    fn header_only_journal_is_empty() {
+        let path = temp_path("header_only");
+        let j = Journal::create(&path).expect("create");
+        drop(j);
+        assert!(load(&path).expect("load").is_empty());
+        let (_, records) = Journal::resume(&path).expect("resume");
+        assert!(records.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

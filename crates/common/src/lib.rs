@@ -19,6 +19,11 @@
 //!   slices to study the channel under realistic interference.
 //! * [`rng`] — deterministic random number generation so experiments are
 //!   reproducible run-to-run.
+//! * [`supervise`] — panic-isolated, watchdogged trial execution for the
+//!   experiment harness: per-trial timeouts, seeded retries, and
+//!   cooperative cancellation over [`par`]'s work-stealing pool.
+//! * [`journal`] — the crash-safe append-only trial journal that doubles
+//!   as a content-addressed result cache for `sweep --resume`.
 //! * [`telemetry`] — the zero-overhead-when-off observability seam: the
 //!   [`telemetry::Probe`] hook trait the engine is generic over, the
 //!   recording [`telemetry::Collector`], and its report/trace exporters.
@@ -43,9 +48,11 @@ pub mod fault;
 pub mod fec;
 pub mod hash;
 pub mod ids;
+pub mod journal;
 pub mod par;
 pub mod rng;
 pub mod stats;
+pub mod supervise;
 pub mod telemetry;
 
 /// A simulation timestamp measured in core clock cycles.

@@ -18,8 +18,26 @@
 //! The global worker count defaults to [`std::thread::available_parallelism`]
 //! and can be pinned (e.g. from a `--jobs N` CLI flag) with [`set_jobs`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::thread;
+
+/// A panic captured from one item of a [`parallel_map_catch`] run: the
+/// original unwind payload, preserved so callers can re-raise it
+/// ([`std::panic::resume_unwind`]) or classify it (downcast).
+pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Best-effort stringification of a panic payload (`&str` and `String`
+/// payloads — i.e. everything `panic!` produces — come through verbatim).
+pub fn payload_message(payload: &PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Global worker-count override: 0 means "use available parallelism".
 static JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -57,7 +75,45 @@ fn unpack(word: u64) -> (usize, usize) {
 /// an arbitrary interleaving across workers, but the returned `Vec` is
 /// always `[f(&items[0]), f(&items[1]), ...]`. With `jobs() == 1` (or one
 /// item) the map runs inline on the calling thread.
+///
+/// # Panics
+///
+/// If `f` panics on any item, the panic is re-raised on the calling
+/// thread with its original payload — but only after every *other* item
+/// has been processed, so a poisoned trial never aborts its siblings
+/// mid-flight. Callers who want the completed results instead of a
+/// propagated panic use [`parallel_map_catch`].
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut first_panic = None;
+    let out: Vec<R> = parallel_map_catch(items, f)
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(v) => Some(v),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+                None
+            }
+        })
+        .collect();
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
+}
+
+/// [`parallel_map`], but each item's panic is captured instead of
+/// propagated: the output slot for a panicking item holds the unwind
+/// payload, and every other item's result survives.
+///
+/// This is the error-carrying primitive the supervised trial runner
+/// ([`crate::supervise`]) builds on: one pathological trial degrades to
+/// an `Err` in the result vector rather than poisoning the pool.
+pub fn parallel_map_catch<T, R, F>(items: &[T], f: F) -> Vec<Result<R, PanicPayload>>
 where
     T: Sync,
     R: Send,
@@ -65,8 +121,9 @@ where
 {
     let n = items.len();
     let workers = jobs().min(n.max(1));
+    let run_one = |item: &T| catch_unwind(AssertUnwindSafe(|| f(item)));
     if workers <= 1 || n <= 1 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(run_one).collect();
     }
 
     // Split [0, n) into one contiguous range per worker.
@@ -78,41 +135,54 @@ where
         })
         .collect();
 
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    let mut slots: Vec<Option<Result<R, PanicPayload>>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
 
     let chunks = thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|me| {
                 let ranges = &ranges;
-                let f = &f;
-                scope.spawn(move || worker_loop(me, ranges, items, f))
+                let run_one = &run_one;
+                scope.spawn(move || worker_loop(me, ranges, items, run_one))
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("parallel_map worker panicked"))
-            .collect::<Vec<_>>()
+        handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
     });
-    for (idx, result) in chunks.into_iter().flatten() {
-        slots[idx] = Some(result);
+    // A worker thread that itself unwound (join `Err`) contributes no
+    // chunk. Item panics are caught per-item inside the worker, so that
+    // only happens for panics in the scheduler scaffolding; the other
+    // workers' results are still intact in their own chunks, and only
+    // the indices the dead worker had claimed stay `None` below.
+    for chunk in chunks.into_iter().flatten() {
+        for (idx, result) in chunk {
+            slots[idx] = Some(result);
+        }
     }
     slots
         .into_iter()
-        .map(|r| r.expect("parallel_map lost a trial result"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                Err(Box::new("parallel_map worker died before reporting this item") as PanicPayload)
+            })
+        })
         .collect()
 }
 
 /// One worker: drain the owned range, then steal until all ranges are dry.
-fn worker_loop<T, R, F>(me: usize, ranges: &[AtomicU64], items: &[T], f: &F) -> Vec<(usize, R)>
+fn worker_loop<T, R, F>(
+    me: usize,
+    ranges: &[AtomicU64],
+    items: &[T],
+    run_one: &F,
+) -> Vec<(usize, Result<R, PanicPayload>)>
 where
-    F: Fn(&T) -> R,
+    F: Fn(&T) -> Result<R, PanicPayload>,
 {
     let mut out = Vec::new();
     loop {
         // Pop from the front of our own range.
         while let Some(idx) = pop_front(&ranges[me]) {
-            out.push((idx, f(&items[idx])));
+            out.push((idx, run_one(&items[idx])));
         }
         // Own range dry: steal the upper half of the largest victim range.
         if !steal_into(me, ranges) {
@@ -222,5 +292,58 @@ mod tests {
         for (lo, hi) in [(0, 0), (3, 17), (100, 4_000_000)] {
             assert_eq!(unpack(pack(lo, hi)), (lo, hi));
         }
+    }
+
+    #[test]
+    fn catch_isolates_panicking_items() {
+        let items: Vec<u32> = (0..64).collect();
+        set_jobs(4);
+        let out = parallel_map_catch(&items, |&x| {
+            assert!(x % 13 != 5, "poisoned item {x}");
+            x * 2
+        });
+        set_jobs(0);
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let payload = r.as_ref().expect_err("item should have panicked");
+                assert!(payload_message(payload).contains("poisoned item"));
+            } else {
+                assert_eq!(
+                    *r.as_ref().expect("item should have succeeded"),
+                    i as u32 * 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn map_reraises_after_finishing_siblings() {
+        let done: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        let items: Vec<usize> = (0..32).collect();
+        set_jobs(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            parallel_map(&items, |&i| {
+                done[i].fetch_add(1, Ordering::Relaxed);
+                assert!(i != 7, "boom on 7");
+            })
+        }));
+        set_jobs(0);
+        let payload = caught.expect_err("panic must propagate");
+        assert!(payload_message(&payload).contains("boom on 7"));
+        // Every sibling still ran exactly once despite the poisoned item.
+        for (i, d) in done.iter().enumerate() {
+            assert_eq!(d.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn payload_message_covers_common_payloads() {
+        let s: PanicPayload = Box::new("static str");
+        assert_eq!(payload_message(&s), "static str");
+        let owned: PanicPayload = Box::new(String::from("owned"));
+        assert_eq!(payload_message(&owned), "owned");
+        let other: PanicPayload = Box::new(17u32);
+        assert_eq!(payload_message(&other), "non-string panic payload");
     }
 }

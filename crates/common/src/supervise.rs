@@ -1,0 +1,528 @@
+//! Supervised trial execution: panic isolation, watchdog deadlines,
+//! bounded deterministic retries, and cooperative cancellation.
+//!
+//! [`crate::par::parallel_map`] gives the sweep harness throughput; this
+//! module gives it *survivability*. A multi-hour measurement campaign
+//! sees failures a quick benchmark never does — a pathological
+//! configuration that panics deep in the simulator, a trial that
+//! wanders into a quasi-livelock, an operator pressing Ctrl-C two hours
+//! in — and none of them should cost the trials that already finished.
+//!
+//! [`run_supervised`] wraps every trial in three layers:
+//!
+//! 1. **Panic isolation** — each attempt runs under
+//!    [`std::panic::catch_unwind`]; a panicking trial becomes
+//!    [`SimError::TrialPanicked`] in its own result slot while its
+//!    siblings keep running.
+//! 2. **Watchdog deadline** — an optional per-attempt wall-clock budget.
+//!    The watchdog is *cooperative*: long-running simulator loops call
+//!    [`checkpoint`] (the GPU cycle loop does, every few thousand
+//!    iterations), which unwinds the trial with a private signal payload
+//!    once the deadline passes. The supervisor catches the unwind and
+//!    records [`SimError::TrialTimedOut`].
+//! 3. **Bounded retry** — panicked and timed-out attempts are retried up
+//!    to `retries` extra times with a deterministic exponential backoff.
+//!    Combined with [`HarnessChaos`] (whose panic/stall draws are pure in
+//!    `(seed, index, attempt)`), chaos-injected failures re-roll
+//!    deterministically, so a sweep with retries converges to the same
+//!    result set on every run.
+//!
+//! Cancellation uses the same unwind path: a [`CancelToken`] flipped by
+//! a Ctrl-C handler makes pending trials return
+//! [`SimError::TrialCancelled`] immediately and running trials unwind at
+//! their next [`checkpoint`], after which the caller can flush journals
+//! and emit partial results.
+
+use crate::error::SimError;
+use crate::fault::HarnessChaos;
+use crate::par::{self, payload_message, PanicPayload};
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag: clone it into a signal handler or another
+/// thread, and every supervised trial observes the flip — pending trials
+/// before they start, running trials at their next [`checkpoint`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent, lock-free, and async-signal
+    /// safe (a single atomic store).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Supervision knobs for one [`run_supervised`] sweep.
+#[derive(Debug, Clone, Default)]
+pub struct SuperviseOptions {
+    /// Per-attempt wall-clock deadline. `None` disarms the watchdog.
+    pub timeout: Option<Duration>,
+    /// Extra attempts after the first for panicked/timed-out trials.
+    pub retries: u32,
+    /// Base backoff before retry `k` (scaled by `2^(k-1)`, capped at
+    /// 1 s). Zero (the default) retries immediately — right for a
+    /// deterministic simulator, where backoff only models the service
+    /// loop's politeness.
+    pub backoff: Duration,
+    /// Harness-level fault injection (panic/stall draws per attempt).
+    pub chaos: HarnessChaos,
+    /// Cooperative cancellation flag shared with the caller.
+    pub cancel: CancelToken,
+}
+
+/// The supervised result of one trial.
+#[derive(Debug)]
+pub struct TrialOutcome<R> {
+    /// Position of the trial in the input slice.
+    pub index: usize,
+    /// The trial's deterministic seed (from the caller's `seed_of`).
+    pub seed: u64,
+    /// Attempts actually made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Errors from attempts that failed but were retried successfully —
+    /// the evidence behind "recovered after N retries" accounting.
+    pub setbacks: Vec<SimError>,
+    /// The final verdict: the trial's value, or the last attempt's error.
+    pub result: Result<R, SimError>,
+}
+
+impl<R> TrialOutcome<R> {
+    /// True when the trial delivered a value.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The thread-local watchdog and its cooperative checkpoints.
+// ---------------------------------------------------------------------
+
+/// Watchdog state armed for the supervised trial running on this thread.
+struct Armed {
+    deadline: Option<Instant>,
+    timeout_ms: u64,
+    cancel: CancelToken,
+}
+
+thread_local! {
+    static WATCHDOG: RefCell<Option<Armed>> = const { RefCell::new(None) };
+    /// Set while a supervised trial body runs: tells the quiet panic
+    /// hook that this thread's unwind will be caught and recorded, so
+    /// the default "thread panicked" banner would only be noise.
+    static IN_SUPERVISED_TRIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Unwind payload for a watchdog expiry (private to the supervisor).
+struct TimeoutSignal {
+    timeout_ms: u64,
+}
+
+/// Unwind payload for a cooperative cancellation (private to the
+/// supervisor).
+struct CancelSignal;
+
+/// Cooperative watchdog/cancellation check.
+///
+/// Long-running simulation loops call this periodically (the GPU cycle
+/// loop does every few thousand iterations). Outside a supervised trial
+/// it is a thread-local read and a branch — effectively free. Inside
+/// one, it unwinds the trial when the watchdog deadline has passed or
+/// the sweep's [`CancelToken`] has flipped; [`run_supervised`] catches
+/// the unwind and records the structured error.
+#[inline]
+pub fn checkpoint() {
+    let fate = WATCHDOG.with(|w| {
+        let slot = w.borrow();
+        let armed = slot.as_ref()?;
+        if armed.cancel.is_cancelled() {
+            return Some(Err(CancelSignal));
+        }
+        if let Some(deadline) = armed.deadline {
+            if Instant::now() >= deadline {
+                return Some(Ok(TimeoutSignal {
+                    timeout_ms: armed.timeout_ms,
+                }));
+            }
+        }
+        None
+    });
+    match fate {
+        None => {}
+        Some(Ok(timeout)) => std::panic::panic_any(timeout),
+        Some(Err(cancel)) => std::panic::panic_any(cancel),
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent for
+/// panics the supervisor is about to catch and keeps the previous
+/// behavior for everything else.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_SUPERVISED_TRIAL.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Classifies a caught unwind payload into the supervision error
+/// taxonomy.
+fn classify(payload: PanicPayload, index: usize, seed: u64) -> SimError {
+    let payload = match payload.downcast::<TimeoutSignal>() {
+        Ok(t) => {
+            return SimError::TrialTimedOut {
+                index,
+                seed,
+                timeout_ms: t.timeout_ms,
+            }
+        }
+        Err(p) => p,
+    };
+    if payload.is::<CancelSignal>() {
+        return SimError::TrialCancelled { index, seed };
+    }
+    SimError::TrialPanicked {
+        index,
+        seed,
+        payload: payload_message(&payload),
+    }
+}
+
+/// Spin at the cooperative checkpoints until the watchdog (or
+/// cancellation) unwinds this trial — the body of an injected stall.
+fn stall_until_watchdog() {
+    loop {
+        checkpoint();
+        std::thread::sleep(Duration::from_micros(500));
+    }
+}
+
+/// Deterministic backoff before retry attempt `attempt` (1-based).
+fn backoff_for(base: Duration, attempt: u32) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let scaled = base.saturating_mul(1u32 << (attempt - 1).min(6));
+    scaled.min(Duration::from_secs(1))
+}
+
+/// Runs `f` over `items` on the work-stealing pool with panic isolation,
+/// watchdogs, chaos injection, and bounded retries per trial.
+///
+/// Results come back in input order, one [`TrialOutcome`] per item, and
+/// every item gets an outcome — a sweep under supervision never aborts,
+/// it degrades. `seed_of` names each trial's deterministic seed; it only
+/// labels outcomes (and feeds the chaos draws via the trial index), the
+/// trial body is still responsible for using the seed itself.
+pub fn run_supervised<T, R, F, S>(
+    items: &[T],
+    opts: &SuperviseOptions,
+    seed_of: S,
+    f: F,
+) -> Vec<TrialOutcome<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+    S: Fn(&T) -> u64 + Sync,
+{
+    install_quiet_hook();
+    let indexed: Vec<usize> = (0..items.len()).collect();
+    par::parallel_map(&indexed, |&index| {
+        let item = &items[index];
+        let seed = seed_of(item);
+        let mut setbacks = Vec::new();
+        let mut attempts = 0u32;
+        loop {
+            if opts.cancel.is_cancelled() {
+                return TrialOutcome {
+                    index,
+                    seed,
+                    attempts,
+                    setbacks,
+                    result: Err(SimError::TrialCancelled { index, seed }),
+                };
+            }
+            let attempt = attempts;
+            attempts += 1;
+            let caught = supervised_attempt(item, index, seed, attempt, opts, &f);
+            match caught {
+                Ok(value) => {
+                    return TrialOutcome {
+                        index,
+                        seed,
+                        attempts,
+                        setbacks,
+                        result: Ok(value),
+                    }
+                }
+                Err(err) => {
+                    let retryable = !matches!(err, SimError::TrialCancelled { .. });
+                    if retryable && attempt < opts.retries {
+                        setbacks.push(err);
+                        let pause = backoff_for(opts.backoff, attempt + 1);
+                        if !pause.is_zero() {
+                            std::thread::sleep(pause);
+                        }
+                        continue;
+                    }
+                    return TrialOutcome {
+                        index,
+                        seed,
+                        attempts,
+                        setbacks,
+                        result: Err(err),
+                    };
+                }
+            }
+        }
+    })
+}
+
+/// One armed, caught attempt of one trial.
+fn supervised_attempt<T, R, F>(
+    item: &T,
+    index: usize,
+    seed: u64,
+    attempt: u32,
+    opts: &SuperviseOptions,
+    f: &F,
+) -> Result<R, SimError>
+where
+    F: Fn(&T) -> R,
+{
+    WATCHDOG.with(|w| {
+        *w.borrow_mut() = Some(Armed {
+            deadline: opts.timeout.map(|t| Instant::now() + t),
+            timeout_ms: opts.timeout.map_or(0, |t| t.as_millis() as u64),
+            cancel: opts.cancel.clone(),
+        });
+    });
+    IN_SUPERVISED_TRIAL.with(|q| q.set(true));
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        if opts.chaos.panics(index as u64, attempt) {
+            panic!("harness chaos: injected panic (trial #{index}, attempt {attempt})");
+        }
+        if opts.chaos.stalls(index as u64, attempt) {
+            stall_until_watchdog();
+        }
+        f(item)
+    }));
+    IN_SUPERVISED_TRIAL.with(|q| q.set(false));
+    WATCHDOG.with(|w| {
+        *w.borrow_mut() = None;
+    });
+    caught.map_err(|payload| classify(payload, index, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> SuperviseOptions {
+        SuperviseOptions::default()
+    }
+
+    #[test]
+    fn all_trials_succeed_without_supervision_events() {
+        let items: Vec<u64> = (0..20).collect();
+        let out = run_supervised(&items, &opts(), |&s| s, |&x| x * 2);
+        assert_eq!(out.len(), 20);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.seed, i as u64);
+            assert_eq!(o.attempts, 1);
+            assert!(o.setbacks.is_empty());
+            assert_eq!(*o.result.as_ref().expect("ok"), i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn panicking_trial_is_isolated() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = run_supervised(
+            &items,
+            &opts(),
+            |&s| s,
+            |&x| {
+                assert!(x != 5, "trial five exploded");
+                x
+            },
+        );
+        for o in &out {
+            if o.index == 5 {
+                match &o.result {
+                    Err(SimError::TrialPanicked {
+                        index,
+                        seed,
+                        payload,
+                    }) => {
+                        assert_eq!((*index, *seed), (5, 5));
+                        assert!(payload.contains("exploded"), "{payload}");
+                    }
+                    other => panic!("expected TrialPanicked, got {other:?}"),
+                }
+            } else {
+                assert!(o.is_ok(), "trial {} should have survived", o.index);
+            }
+        }
+    }
+
+    #[test]
+    fn watchdog_times_out_a_stalled_trial() {
+        let items = [0u64, 1, 2];
+        let o = SuperviseOptions {
+            timeout: Some(Duration::from_millis(50)),
+            ..opts()
+        };
+        let out = run_supervised(
+            &items,
+            &o,
+            |&s| s,
+            |&x| {
+                if x == 1 {
+                    // A quasi-livelock that still hits cooperative
+                    // checkpoints, like a pathological simulator config.
+                    stall_until_watchdog();
+                }
+                x
+            },
+        );
+        assert!(out[0].is_ok() && out[2].is_ok());
+        match &out[1].result {
+            Err(SimError::TrialTimedOut { timeout_ms, .. }) => assert_eq!(*timeout_ms, 50),
+            other => panic!("expected TrialTimedOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_panics_recover_within_retry_budget() {
+        let chaos = HarnessChaos {
+            seed: 11,
+            trial_panic_rate: 0.5,
+            trial_stall_rate: 0.0,
+        };
+        let items: Vec<u64> = (0..48).collect();
+        let o = SuperviseOptions {
+            retries: 8,
+            chaos,
+            ..opts()
+        };
+        let out = run_supervised(&items, &o, |&s| s, |&x| x + 100);
+        let mut recovered = 0;
+        for o in &out {
+            assert!(
+                o.is_ok(),
+                "trial {} should converge: {:?}",
+                o.index,
+                o.result
+            );
+            assert_eq!(o.setbacks.len() as u32, o.attempts - 1);
+            if o.attempts > 1 {
+                recovered += 1;
+                assert!(matches!(o.setbacks[0], SimError::TrialPanicked { .. }));
+            }
+        }
+        assert!(recovered > 0, "p=0.5 over 48 trials must hit some");
+        // Determinism: the same options reproduce the same attempt counts.
+        let again = run_supervised(&items, &o, |&s| s, |&x| x + 100);
+        let a: Vec<u32> = out.iter().map(|o| o.attempts).collect();
+        let b: Vec<u32> = again.iter().map(|o| o.attempts).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn chaos_stall_degrades_to_timeout_without_retries() {
+        let chaos = HarnessChaos {
+            seed: 3,
+            trial_panic_rate: 0.0,
+            trial_stall_rate: 1.0,
+        };
+        let items = [0u64, 1];
+        let o = SuperviseOptions {
+            timeout: Some(Duration::from_millis(40)),
+            chaos,
+            ..opts()
+        };
+        let out = run_supervised(&items, &o, |&s| s, |&x| x);
+        for o in &out {
+            assert!(
+                matches!(o.result, Err(SimError::TrialTimedOut { .. })),
+                "{:?}",
+                o.result
+            );
+            assert_eq!(o.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_pending_and_running_trials() {
+        let cancel = CancelToken::new();
+        let o = SuperviseOptions {
+            cancel: cancel.clone(),
+            ..opts()
+        };
+        let items: Vec<u64> = (0..64).collect();
+        crate::par::set_jobs(2);
+        let out = run_supervised(
+            &items,
+            &o,
+            |&s| s,
+            |&x| {
+                if x == 0 {
+                    // First trial pulls the plug on the whole sweep.
+                    o.cancel.cancel();
+                }
+                x
+            },
+        );
+        crate::par::set_jobs(0);
+        let cancelled = out
+            .iter()
+            .filter(|o| matches!(o.result, Err(SimError::TrialCancelled { .. })))
+            .count();
+        assert!(cancelled > 0, "later trials must observe the cancel");
+        assert!(cancel.is_cancelled());
+        // Cancelled trials are not retried.
+        for o in &out {
+            if matches!(o.result, Err(SimError::TrialCancelled { .. })) {
+                assert!(o.attempts <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_inert_outside_supervision() {
+        // Must not panic and must cost ~nothing when no watchdog is armed.
+        for _ in 0..1000 {
+            checkpoint();
+        }
+    }
+
+    #[test]
+    fn backoff_is_bounded_and_deterministic() {
+        assert_eq!(backoff_for(Duration::ZERO, 3), Duration::ZERO);
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_for(base, 1), Duration::from_millis(10));
+        assert_eq!(backoff_for(base, 2), Duration::from_millis(20));
+        assert_eq!(backoff_for(base, 3), Duration::from_millis(40));
+        assert!(backoff_for(Duration::from_millis(900), 9) <= Duration::from_secs(1));
+    }
+}

@@ -648,9 +648,20 @@ impl<P: Probe> Gpu<P> {
         // `MAX_SCAN_STRIDE` no-op ticks late, which the active-set
         // gating makes nearly free.
         const MAX_SCAN_STRIDE: Cycle = 64;
+        // Watchdog cadence: the supervisor's deadline/cancel check is an
+        // atomic load behind a TLS lookup — cheap, but not free enough
+        // for every cycle. Every 4096 loop iterations keeps the check in
+        // the microsecond range while bounding how long a runaway trial
+        // can overshoot its deadline.
+        const CHECKPOINT_MASK: u64 = 4096 - 1;
         let mut scan_stride: Cycle = 1;
         let mut scan_in: Cycle = 0;
+        let mut iterations: u64 = 0;
         while self.now < deadline {
+            iterations += 1;
+            if iterations & CHECKPOINT_MASK == 0 {
+                gnc_common::supervise::checkpoint();
+            }
             if self.is_idle() {
                 return RunOutcome::Idle { at: self.now };
             }

@@ -1,0 +1,168 @@
+//! Resilience integration tests for the supervised, journaled sweep
+//! engine.
+//!
+//! The contract under test (ISSUE 6 / the PR-2 identity contract,
+//! extended): a sweep killed mid-flight — modeled by truncating its
+//! journal at an arbitrary byte boundary, including mid-record — must
+//! resume to sweep JSON **byte-identical** to an uninterrupted run, at
+//! any worker count, re-simulating only the trials the journal lost.
+
+use gnc_bench::sweep::{
+    journal_summary, resilient_noise_sweep, SweepConfig, SweepReport, NOISE_PRESETS,
+};
+use gnc_common::fault::HarnessChaos;
+use gnc_common::par::set_jobs;
+use std::path::PathBuf;
+
+/// Quick-scale sweep: 1 trial per preset, 8 payload bits — 5 units.
+const TRIALS: usize = 1;
+const BITS: usize = 8;
+const UNITS: u64 = NOISE_PRESETS.len() as u64;
+
+fn base_cfg() -> SweepConfig {
+    SweepConfig {
+        trials: TRIALS,
+        bits: BITS,
+        ..SweepConfig::default()
+    }
+}
+
+fn points_json(report: &SweepReport) -> String {
+    serde_json::to_string(&report.points).expect("points serialize")
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gnc_resilient_{name}_{}", std::process::id()))
+}
+
+#[test]
+fn killed_sweep_resumes_byte_identical_across_job_counts() {
+    let cfg = gnc_bench::platform();
+    // The uninterrupted, unjournaled reference.
+    let reference = points_json(&resilient_noise_sweep(&cfg, &base_cfg()).expect("reference"));
+
+    // A complete journal to kill at various points.
+    let path = temp("kill_resume");
+    std::fs::remove_file(&path).ok();
+    let journaled = SweepConfig {
+        journal: Some(path.clone()),
+        ..base_cfg()
+    };
+    let full = resilient_noise_sweep(&cfg, &journaled).expect("journaled sweep");
+    assert!(full.complete);
+    assert_eq!(
+        points_json(&full),
+        reference,
+        "journaling must not change results"
+    );
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    let line_ends: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| (b == b'\n').then_some(i + 1))
+        .collect();
+    assert_eq!(
+        line_ends.len() as u64,
+        UNITS + 1,
+        "header + one record per unit"
+    );
+
+    // Kill points: after 2 complete records (a record boundary), 7
+    // bytes into the 3rd record (torn tail), and after 4 records —
+    // resumed at 1, 4, and 8 workers respectively.
+    let resume_cfg = SweepConfig {
+        journal: Some(path.clone()),
+        resume: true,
+        ..base_cfg()
+    };
+    for (jobs, cut, survivors) in [
+        (1usize, line_ends[2], 2u64),
+        (4, line_ends[2] + 7, 2),
+        (8, line_ends[4], 4),
+    ] {
+        std::fs::write(&path, &bytes[..cut]).expect("truncate journal");
+        set_jobs(jobs);
+        let built_before = gnc_sim::gpus_built();
+        let resumed = resilient_noise_sweep(&cfg, &resume_cfg).expect("resumed sweep");
+        set_jobs(0);
+        assert!(resumed.complete, "jobs={jobs} cut={cut}");
+        assert_eq!(
+            points_json(&resumed),
+            reference,
+            "resume must be byte-identical (jobs={jobs} cut={cut})"
+        );
+        // Cache accounting: exactly the surviving records are reused,
+        // and only the lost units hit the simulator.
+        assert_eq!(resumed.manifest.cached, survivors, "jobs={jobs} cut={cut}");
+        assert_eq!(resumed.manifest.executed, UNITS - survivors);
+        assert!(
+            gnc_sim::gpus_built() > built_before,
+            "lost units must re-simulate"
+        );
+    }
+
+    // The journal is complete again after the last resume: one more
+    // resume is a pure cache replay — zero GPUs built.
+    let built_before = gnc_sim::gpus_built();
+    let replay = resilient_noise_sweep(&cfg, &resume_cfg).expect("cache replay");
+    assert!(replay.complete);
+    assert_eq!(points_json(&replay), reference);
+    assert_eq!(replay.manifest.executed, 0);
+    assert_eq!(replay.manifest.cached, UNITS);
+    assert_eq!(
+        gnc_sim::gpus_built(),
+        built_before,
+        "a fully cached resume must not build a single GPU"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn injected_panics_degrade_to_manifest_and_journal_records() {
+    let cfg = gnc_bench::platform();
+    let path = temp("chaos_panic");
+    std::fs::remove_file(&path).ok();
+    let mut sweep = SweepConfig {
+        journal: Some(path.clone()),
+        ..base_cfg()
+    };
+    sweep.supervise.chaos = HarnessChaos {
+        seed: 5,
+        trial_panic_rate: 1.0,
+        trial_stall_rate: 0.0,
+    };
+    let report = resilient_noise_sweep(&cfg, &sweep).expect("sweep must not abort");
+    assert!(!report.complete);
+    assert_eq!(report.manifest.failed, UNITS);
+    assert_eq!(report.manifest.failures.len() as u64, UNITS);
+    assert!(report
+        .manifest
+        .failures
+        .iter()
+        .all(|f| f.kind == "panic" && f.message.contains("chaos")));
+    // The failures are journaled (for forensics) but are not cache
+    // entries: a later resume retries every unit.
+    let (ok, failed) = journal_summary(&path).expect("summary");
+    assert_eq!((ok, failed), (0, UNITS));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn injected_stalls_time_out_under_the_watchdog() {
+    let cfg = gnc_bench::platform();
+    let mut sweep = base_cfg();
+    sweep.supervise.timeout = Some(std::time::Duration::from_millis(50));
+    sweep.supervise.chaos = HarnessChaos {
+        seed: 9,
+        trial_panic_rate: 0.0,
+        trial_stall_rate: 1.0,
+    };
+    let report = resilient_noise_sweep(&cfg, &sweep).expect("sweep must not abort");
+    assert!(!report.complete);
+    assert_eq!(report.manifest.failed, UNITS);
+    assert!(report
+        .manifest
+        .failures
+        .iter()
+        .all(|f| f.kind == "timeout" && f.attempts == 1));
+}
