@@ -128,6 +128,18 @@ pub enum SimError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A hardware-protocol invariant was violated inside the simulated
+    /// machine — e.g. the reply fabric delivered a packet no SM has
+    /// outstanding. The simulation state is corrupt, so the violation is
+    /// fatal: components raise it by panicking with this error's
+    /// [`Display`](fmt::Display) form, which supervised sweeps record as
+    /// a failed trial instead of benchmarking a corrupted machine.
+    ProtocolViolation {
+        /// The component that observed the violation (e.g. `"sm3"`).
+        component: String,
+        /// Which invariant was broken.
+        detail: String,
+    },
 }
 
 impl SimError {
@@ -195,6 +207,9 @@ impl fmt::Display for SimError {
             }
             Self::Journal { path, reason } => {
                 write!(f, "journal {path} is unusable: {reason}")
+            }
+            Self::ProtocolViolation { component, detail } => {
+                write!(f, "protocol violation at {component}: {detail}")
             }
         }
     }

@@ -132,7 +132,11 @@ pub fn srr_overhead(cfg: &GpuConfig, batches: u32, seed: u64) -> OverheadReport 
         let outcome = gpu.run_until_idle(100_000);
         assert!(outcome.is_idle(), "compute kernel did not finish");
         let (s, e) = gpu.kernel_span(k);
-        (e.unwrap() - s.unwrap()) as f64
+        let (s, e) = (
+            s.expect("idle run implies a start cycle"),
+            e.expect("idle run implies an end cycle"),
+        );
+        (e - s) as f64
     };
     OverheadReport {
         memory_intensive_slowdown: mem_time(Arbitration::StrictRoundRobin)

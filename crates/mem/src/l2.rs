@@ -351,6 +351,25 @@ impl L2Slice {
         !self.is_drained()
     }
 
+    /// The earliest cycle at which [`tick`](Self::tick) can have an
+    /// effect, or `Cycle::MAX` when ticking is a no-op until new
+    /// requests arrive. A stalled lookup retries every cycle (reported
+    /// as cycle 0 — always due). Pending replies do *not* force ticks:
+    /// ticking never touches the reply queue, it only appends to it.
+    /// Fault injection needs no special case — a hot-spot stall leaves
+    /// the blocked lookup's ready cycle in the past, so the slice stays
+    /// due until the lookup finally issues.
+    pub fn next_tick(&self) -> Cycle {
+        if self.stalled.is_some() {
+            return 0;
+        }
+        let pipeline = self.pipeline.next_ready_cycle().unwrap_or(Cycle::MAX);
+        match self.pending_fills.peek() {
+            Some(&Reverse((ready, _))) => pipeline.min(ready),
+            None => pipeline,
+        }
+    }
+
     /// When this slice next has actionable work (see [`NextEvent`]).
     ///
     /// Pending replies and a stalled lookup need service every cycle; an

@@ -11,8 +11,10 @@ use crate::l2::{L2Slice, L2Stats};
 use gnc_common::ids::SliceId;
 use gnc_common::telemetry::{NullProbe, Probe};
 use gnc_common::{Cycle, GpuConfig};
-use gnc_noc::event::NextEvent;
+use gnc_noc::event::{ComponentId, EventCalendar, NextEvent, Wake};
+use gnc_noc::fabric::ReplyFabric;
 use gnc_noc::packet::Packet;
+use gnc_noc::OccupancyMask;
 
 /// All L2 slices and memory controllers of the GPU.
 #[derive(Debug)]
@@ -21,15 +23,22 @@ pub struct MemorySubsystem {
     drams: Vec<DramController>,
     map: AddressMap,
     slices_per_mc: usize,
-    /// Per-slice work flags: `false` proves the slice is drained (its
-    /// tick is a no-op, even under fault injection); `true` is
-    /// conservative and is re-derived from [`L2Slice::needs_tick`] after
-    /// each tick. Lets the hot loops skip quiet slices without touching
-    /// them.
-    active: Vec<bool>,
+    /// Per-slice wake-up calendar (mirrors [`L2Slice::next_tick`]):
+    /// slices due every cycle sit in the busy set, quiet ones park a
+    /// timed entry, drained ones cost nothing. The tick walks the due
+    /// bits in slice order — the same ascending order the old full scan
+    /// visited — so it touches only slices whose tick can have an
+    /// effect, without rescanning the other 47 wake cycles.
+    cal: EventCalendar,
     /// Ready replies waiting at each slice's port (dense mirror of
     /// [`L2Slice::reply_len`], same skip-without-touching purpose).
     reply_counts: Vec<u32>,
+    /// Bit `s` set iff `reply_counts[s] > 0`: the drain walks set bits
+    /// in slice order instead of scanning all 48 counters.
+    reply_mask: OccupancyMask,
+    /// Sum of `reply_counts`: lets the reply-drain phase and the
+    /// drained check skip the per-slice scan entirely.
+    total_replies: usize,
 }
 
 impl MemorySubsystem {
@@ -46,19 +55,29 @@ impl MemorySubsystem {
             drams,
             map: AddressMap::new(cfg),
             slices_per_mc: cfg.mem.num_l2_slices / cfg.mem.num_mcs,
-            active: vec![false; cfg.mem.num_l2_slices],
+            cal: EventCalendar::new(cfg.mem.num_l2_slices),
             reply_counts: vec![0; cfg.mem.num_l2_slices],
+            reply_mask: OccupancyMask::new(cfg.mem.num_l2_slices),
+            total_replies: 0,
         }
     }
 
-    /// Attaches a fault plan to every L2 slice (hot-spot stalls). Work
-    /// flags are re-derived from [`L2Slice::needs_tick`] on the next
-    /// tick: hot-spot windows only matter while a lookup is pending, so
-    /// drained slices still skip.
+    /// Attaches a fault plan to every L2 slice (hot-spot stalls). Wake
+    /// cycles are re-derived from [`L2Slice::next_tick`]: hot-spot
+    /// windows only matter while a lookup is pending, so drained slices
+    /// still sleep.
     pub fn set_fault_plan(&mut self, plan: &std::sync::Arc<gnc_common::fault::FaultPlan>) {
         for (s, slice) in self.slices.iter_mut().enumerate() {
             slice.set_fault_plan(std::sync::Arc::clone(plan));
-            self.active[s] = slice.needs_tick();
+            let next = slice.next_tick();
+            self.cal.reschedule(
+                s as ComponentId,
+                if next == Cycle::MAX {
+                    NextEvent::Idle
+                } else {
+                    NextEvent::At(next)
+                },
+            );
         }
     }
 
@@ -74,8 +93,17 @@ impl MemorySubsystem {
 
     /// Routes a request popped from the fabric into its slice at `now`.
     pub fn push_request(&mut self, packet: Packet, now: Cycle) {
-        self.active[packet.slice.index()] = true;
-        self.slices[packet.slice.index()].push_request(packet, now);
+        let s = packet.slice.index();
+        self.slices[s].push_request(packet, now);
+        // New work can only move a slice's wake-up earlier. A wake at or
+        // before `now` means the slice must tick in this very cycle's
+        // memory phase, which the busy bit guarantees.
+        let next = self.slices[s].next_tick();
+        if next <= now {
+            self.cal.make_busy(s as ComponentId);
+        } else if next != Cycle::MAX {
+            self.cal.notify_at(s as ComponentId, next);
+        }
     }
 
     /// Warms the line containing `addr` in its owning slice.
@@ -97,8 +125,10 @@ impl MemorySubsystem {
         self.slices[self.map.slice_of(addr).index()].contains(addr)
     }
 
-    /// Advances every slice that has work by one cycle. Drained slices
-    /// are skipped — their tick is a no-op (see [`L2Slice::needs_tick`]).
+    /// Advances every slice that is due at `now` by one cycle. Slices
+    /// whose wake cycle lies in the future are skipped — their tick is
+    /// provably a no-op (see [`L2Slice::next_tick`]), fault injection
+    /// included.
     pub fn tick(&mut self, now: Cycle) {
         self.tick_probed(now, &mut NullProbe);
     }
@@ -106,16 +136,36 @@ impl MemorySubsystem {
     /// [`tick`](Self::tick) with telemetry: each slice reports lookup
     /// outcomes, MSHR occupancy, and DRAM bank activity to `probe`.
     pub fn tick_probed<P: Probe>(&mut self, now: Cycle, probe: &mut P) {
-        for s in 0..self.slices.len() {
-            if !self.active[s] {
-                continue;
+        self.cal.promote_due(now);
+        for w in 0..self.cal.busy_words().len() {
+            // Snapshot one word: a slice's reschedule may clear its own
+            // (already-visited) bit, never set another slice's.
+            let mut bits = self.cal.busy_words()[w];
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let slice = &mut self.slices[s];
+                let mc = s / self.slices_per_mc;
+                let dram = &mut self.drams[mc];
+                let before = self.reply_counts[s] as usize;
+                slice.tick_probed(now, dram, mc, probe);
+                let after = slice.reply_len();
+                self.total_replies += after - before;
+                self.reply_counts[s] = after as u32;
+                if before == 0 && after > 0 {
+                    self.reply_mask.set(s);
+                }
+                let next = slice.next_tick();
+                self.cal.reschedule_near(
+                    s as ComponentId,
+                    if next == Cycle::MAX {
+                        NextEvent::Idle
+                    } else {
+                        NextEvent::At(next)
+                    },
+                    now,
+                );
             }
-            let slice = &mut self.slices[s];
-            let mc = s / self.slices_per_mc;
-            let dram = &mut self.drams[mc];
-            slice.tick_probed(now, dram, mc, probe);
-            self.active[s] = slice.needs_tick();
-            self.reply_counts[s] = slice.reply_len() as u32;
         }
     }
 
@@ -134,6 +184,10 @@ impl MemorySubsystem {
         let popped = self.slices[slice.index()].pop_reply();
         if popped.is_some() {
             self.reply_counts[slice.index()] -= 1;
+            self.total_replies -= 1;
+            if self.reply_counts[slice.index()] == 0 {
+                self.reply_mask.clear(slice.index());
+            }
         }
         popped
     }
@@ -150,8 +204,46 @@ impl MemorySubsystem {
         let popped = self.slices[slice.index()].pop_reply_where(injectable);
         if popped.is_some() {
             self.reply_counts[slice.index()] -= 1;
+            self.total_replies -= 1;
+            if self.reply_counts[slice.index()] == 0 {
+                self.reply_mask.clear(slice.index());
+            }
         }
         popped
+    }
+
+    /// Injects every ready reply the reply fabric will currently accept,
+    /// slice by slice in id order — the engine's reply-inject phase,
+    /// batched here so quiet machines skip it with one counter read.
+    /// Within a slice the reply port keeps a virtual channel per
+    /// destination GPC (see [`pop_reply_where`](Self::pop_reply_where)):
+    /// one congested GPC must not head-of-line-block the others.
+    pub fn drain_replies_probed<P: Probe>(&mut self, fabric: &mut ReplyFabric, probe: &mut P) {
+        if self.total_replies == 0 {
+            return;
+        }
+        for w in 0..self.reply_mask.words().len() {
+            // Snapshot one word: injections may clear bits of visited
+            // slices, never set new ones.
+            let mut bits = self.reply_mask.words()[w];
+            while bits != 0 {
+                let s = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let slice_id = SliceId::new(s);
+                while let Some(p) =
+                    self.slices[s].pop_reply_where(|p| fabric.can_inject(slice_id, p.sm))
+                {
+                    self.reply_counts[s] -= 1;
+                    self.total_replies -= 1;
+                    if self.reply_counts[s] == 0 {
+                        self.reply_mask.clear(s);
+                    }
+                    fabric
+                        .inject_at_slice_probed(slice_id, p, probe)
+                        .expect("injectability just checked");
+                }
+            }
+        }
     }
 
     /// Counter snapshot for `slice`.
@@ -174,23 +266,39 @@ impl MemorySubsystem {
         total
     }
 
-    /// True when every slice is idle and reply-free. Only slices whose
-    /// work flag is set are inspected — a clear flag proves drained.
+    /// True when every slice is idle and reply-free. Two counter reads
+    /// decide it: a slice with any in-flight request keeps a finite wake
+    /// cycle (MSHRs always have a pending fill), and replies are summed
+    /// in `total_replies`. A positive claim is cross-checked against the
+    /// full per-slice scan even in release builds — the check is off the
+    /// hot path (it only runs when the machine looks idle) and a
+    /// corrupted wake-cycle mirror here would silently end a simulation
+    /// early, the worst possible failure mode for a timing study.
     pub fn is_drained(&self) -> bool {
-        self.active
-            .iter()
-            .enumerate()
-            .all(|(s, &a)| !a || self.slices[s].is_drained())
+        if self.total_replies != 0 || !self.cal.is_idle() {
+            return false;
+        }
+        assert!(
+            self.slices.iter().all(L2Slice::is_drained),
+            "memory wake cycles claim drained but a slice holds requests"
+        );
+        true
     }
 
-    /// The earliest [`NextEvent`] across every slice. Slices whose work
-    /// flag is clear are drained, hence [`NextEvent::Idle`].
-    pub fn next_event(&self) -> NextEvent {
-        self.slices
-            .iter()
-            .enumerate()
-            .filter(|&(s, _)| self.active[s])
-            .fold(NextEvent::Idle, |acc, (_, s)| acc.merge(s.next_event()))
+    /// The earliest [`NextEvent`] across every slice. Pending replies
+    /// need service every cycle (Busy); otherwise the slice calendar's
+    /// earliest wake-up is exact. A stalled lookup reports wake cycle 0,
+    /// i.e. a timestamp never in the future — the driver treats it as
+    /// due every cycle, matching the old per-slice Busy report.
+    pub fn next_event(&mut self) -> NextEvent {
+        if self.total_replies > 0 {
+            return NextEvent::Busy;
+        }
+        match self.cal.next_wake() {
+            Wake::Now => NextEvent::Busy,
+            Wake::At(c) => NextEvent::At(c),
+            Wake::Never => NextEvent::Idle,
+        }
     }
 }
 

@@ -170,6 +170,200 @@ impl Arbiter for AgeBasedArbiter {
     }
 }
 
+/// Dense occupancy bitmask over a fixed index range.
+///
+/// One bit per slot. Inside the mux it tracks which input queues hold a
+/// head flit, replacing the `&[Option<ArbHead>]` slice on the per-flit
+/// hot path: a round-robin grant is a rotate-and-count-zeros instead of
+/// an `Option` walk. The fabrics and the memory subsystem reuse it to
+/// track which of their components are busy, so the per-cycle loops
+/// walk only live components (in index order — identical visit order to
+/// a full scan that skips idle entries) instead of scanning every
+/// busy counter.
+#[derive(Debug, Clone)]
+pub struct OccupancyMask {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl OccupancyMask {
+    /// Creates an all-clear mask over `len` slots.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64).max(1)],
+            len,
+        }
+    }
+
+    /// Number of slots covered (set or not).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// The raw words, low bit = slot 0. Drain loops that clear bits as
+    /// they visit copy one word at a time from this slice: the copy is a
+    /// snapshot, so clearing an already-visited bit cannot perturb the
+    /// walk, and no bit can be *set* mid-drain (draining only empties).
+    #[inline]
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates set bits in ascending index order.
+    #[inline]
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            std::iter::successors(if bits == 0 { None } else { Some(bits) }, |&b| {
+                let rest = b & (b - 1);
+                if rest == 0 {
+                    None
+                } else {
+                    Some(rest)
+                }
+            })
+            .map(move |b| w * 64 + b.trailing_zeros() as usize)
+        })
+    }
+
+    /// Lowest set bit at index `from` or above, if any.
+    #[inline]
+    pub fn first_at_or_after(&self, from: usize) -> Option<usize> {
+        let mut word = from / 64;
+        if word >= self.words.len() {
+            return None;
+        }
+        let masked = self.words[word] & (!0u64 << (from % 64));
+        if masked != 0 {
+            return Some(word * 64 + masked.trailing_zeros() as usize);
+        }
+        word += 1;
+        while word < self.words.len() {
+            if self.words[word] != 0 {
+                return Some(word * 64 + self.words[word].trailing_zeros() as usize);
+            }
+            word += 1;
+        }
+        None
+    }
+
+    /// First set bit in cyclic scan order starting at `from`: the lowest
+    /// bit at or above `from`, else the lowest set bit overall. Matches
+    /// the `(next..n).chain(0..next)` walk of [`RoundRobinArbiter`].
+    #[inline]
+    pub fn first_cyclic(&self, from: usize) -> Option<usize> {
+        self.first_at_or_after(from)
+            .or_else(|| self.first_at_or_after(0))
+    }
+}
+
+/// Unboxed arbitration state driving the mask-based grant path.
+///
+/// Decision-for-decision identical to the boxed [`Arbiter`]
+/// implementations above (the `simulator_fidelity` bit-identity tests
+/// and the policy equivalence tests below depend on it); the enum
+/// dispatch replaces a virtual call per flit slot, and the occupancy
+/// mask plus SoA head columns replace the `Option<ArbHead>` slice.
+#[derive(Debug, Clone)]
+pub(crate) enum InlineArbiter {
+    RoundRobin {
+        next: usize,
+    },
+    CoarseRoundRobin {
+        next: usize,
+        current: Option<(usize, u64)>,
+    },
+    StrictRoundRobin,
+    AgeBased,
+}
+
+impl InlineArbiter {
+    pub(crate) fn new(policy: Arbitration) -> Self {
+        match policy {
+            Arbitration::RoundRobin => InlineArbiter::RoundRobin { next: 0 },
+            Arbitration::CoarseRoundRobin => InlineArbiter::CoarseRoundRobin {
+                next: 0,
+                current: None,
+            },
+            Arbitration::StrictRoundRobin => InlineArbiter::StrictRoundRobin,
+            Arbitration::AgeBased => InlineArbiter::AgeBased,
+        }
+    }
+
+    /// Chooses the input transmitting in this flit slot (see
+    /// [`Arbiter::grant`] for the contract). `head_age` / `head_group`
+    /// are only read at indices whose occupancy bit is set.
+    #[inline]
+    pub(crate) fn grant(
+        &mut self,
+        global_slot: u64,
+        occ: &OccupancyMask,
+        head_age: &[Cycle],
+        head_group: &[u64],
+    ) -> Option<usize> {
+        match self {
+            InlineArbiter::RoundRobin { next } => {
+                let i = occ.first_cyclic(*next)?;
+                *next = if i + 1 == occ.len() { 0 } else { i + 1 };
+                Some(i)
+            }
+            InlineArbiter::CoarseRoundRobin { next, current } => {
+                if let Some((input, group)) = *current {
+                    if occ.get(input) && head_group[input] == group {
+                        return Some(input);
+                    }
+                    *current = None;
+                }
+                let i = occ.first_cyclic(*next)?;
+                *next = if i + 1 == occ.len() { 0 } else { i + 1 };
+                *current = Some((i, head_group[i]));
+                Some(i)
+            }
+            InlineArbiter::StrictRoundRobin => {
+                let owner = (global_slot % occ.len() as u64) as usize;
+                occ.get(owner).then_some(owner)
+            }
+            InlineArbiter::AgeBased => {
+                // Ascending-index scan keeping the strict minimum matches
+                // the boxed arbiter's (age, index) tie-break.
+                let mut best: Option<usize> = None;
+                let mut probe = occ.first_at_or_after(0);
+                while let Some(i) = probe {
+                    if best.is_none_or(|b| head_age[i] < head_age[b]) {
+                        best = Some(i);
+                    }
+                    probe = occ.first_at_or_after(i + 1);
+                }
+                best
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +458,70 @@ mod tests {
         // Tie breaks to the lower index.
         assert_eq!(arb.grant(1, &[head(5, 0), head(5, 1)]), Some(0));
         assert_eq!(arb.grant(2, &[None, None]), None);
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    #[test]
+    fn inline_arbiter_matches_boxed_for_all_policies() {
+        // The mux's hot path uses InlineArbiter; the boxed trait objects
+        // remain the specification. Drive both with the same churning
+        // head pattern and require identical grants — including across
+        // the 64-bit word boundary of the occupancy mask (n = 70).
+        for policy in Arbitration::ALL {
+            for n in [1usize, 2, 7, 48, 70] {
+                let mut rng: u64 = 0x9E37_79B9_7F4A_7C15 ^ n as u64;
+                let mut boxed = make_arbiter(policy);
+                let mut inline = InlineArbiter::new(policy);
+                let mut heads: Vec<Option<ArbHead>> = vec![None; n];
+                let mut occ = OccupancyMask::new(n);
+                let mut head_age = vec![0u64; n];
+                let mut head_group = vec![0u64; n];
+                for slot in 0..2000u64 {
+                    for _ in 0..3 {
+                        let i = (xorshift(&mut rng) % n as u64) as usize;
+                        if xorshift(&mut rng) % 3 == 0 {
+                            heads[i] = None;
+                            occ.clear(i);
+                        } else {
+                            let age = xorshift(&mut rng) % 16;
+                            let group = xorshift(&mut rng) % 4;
+                            heads[i] = head(age, group);
+                            occ.set(i);
+                            head_age[i] = age;
+                            head_group[i] = group;
+                        }
+                    }
+                    assert_eq!(
+                        boxed.grant(slot, &heads),
+                        inline.grant(slot, &occ, &head_age, &head_group),
+                        "{policy:?}/{n} inputs diverged at slot {slot}: {heads:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_mask_cyclic_scan() {
+        let mut occ = OccupancyMask::new(70);
+        assert_eq!(occ.first_cyclic(0), None);
+        occ.set(3);
+        occ.set(65);
+        assert_eq!(occ.first_at_or_after(0), Some(3));
+        assert_eq!(occ.first_at_or_after(4), Some(65));
+        assert_eq!(occ.first_at_or_after(66), None);
+        assert_eq!(occ.first_cyclic(66), Some(3));
+        assert_eq!(occ.first_cyclic(64), Some(65));
+        assert!(occ.get(65));
+        occ.clear(65);
+        assert!(!occ.get(65));
+        assert_eq!(occ.first_cyclic(4), Some(3));
     }
 
     #[test]

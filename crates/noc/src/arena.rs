@@ -1,0 +1,119 @@
+//! Slab arena for packets resident inside a mux.
+//!
+//! A [`ConcentratorMux`](crate::mux::ConcentratorMux) used to move whole
+//! [`Packet`] structs (~80 B) through its input queues and output delay
+//! line, copying each packet on every stage hop. The arena pins a packet
+//! in one slot for its entire residence in the mux; queues and delay
+//! lines carry 4-byte slot ids instead, and the per-flit arbitration hot
+//! path never touches packet memory at all — it reads the parallel
+//! structure-of-arrays flit-length column.
+
+use crate::packet::Packet;
+
+/// Slab of packet slots with a free list, plus the flit-length column
+/// the grant loop reads (structure-of-arrays: lengths live apart from
+/// the packets so arbitration stays in one small array).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PacketArena {
+    slots: Vec<Option<Packet>>,
+    flits: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl PacketArena {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `packet` (with its precomputed flit length) and returns
+    /// its slot id, reusing a freed slot when one exists.
+    pub(crate) fn insert(&mut self, packet: Packet, flits: u32) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(packet);
+            self.flits[slot as usize] = flits;
+            return slot;
+        }
+        let slot = u32::try_from(self.slots.len()).expect("mux arena exceeds u32 slots");
+        self.slots.push(Some(packet));
+        self.flits.push(flits);
+        slot
+    }
+
+    /// The packet in `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a vacant slot: slot ids are only ever held by exactly
+    /// one queue or delay line, so a vacant lookup is a use-after-free.
+    pub(crate) fn get(&self, slot: u32) -> &Packet {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("arena slot vacated while still referenced")
+    }
+
+    /// Flit length of the packet in `slot`.
+    pub(crate) fn flits(&self, slot: u32) -> u32 {
+        self.flits[slot as usize]
+    }
+
+    /// Removes and returns the packet in `slot`, recycling the slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a vacant slot (double free).
+    pub(crate) fn take(&mut self, slot: u32) -> Packet {
+        let packet = self.slots[slot as usize]
+            .take()
+            .expect("arena slot vacated while still referenced");
+        self.free.push(slot);
+        packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketId, PacketKind};
+    use gnc_common::ids::{SliceId, SmId, WarpId};
+
+    fn pkt(id: u64) -> Packet {
+        Packet {
+            id: PacketId(id),
+            kind: PacketKind::ReadRequest,
+            sm: SmId::new(0),
+            warp: WarpId::new(0),
+            slice: SliceId::new(0),
+            addr: 0,
+            data_bytes: 4,
+            injected_at: 0,
+            group: id,
+        }
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(pkt(1), 1);
+        let b = arena.insert(pkt(2), 5);
+        assert_ne!(a, b);
+        assert_eq!(arena.get(a).id, PacketId(1));
+        assert_eq!(arena.flits(b), 5);
+        assert_eq!(arena.take(a).id, PacketId(1));
+        // The freed slot is reused before the slab grows.
+        let c = arena.insert(pkt(3), 2);
+        assert_eq!(c, a);
+        assert_eq!(arena.get(c).id, PacketId(3));
+        assert_eq!(arena.flits(c), 2);
+        assert_eq!(arena.take(b).id, PacketId(2));
+        assert_eq!(arena.take(c).id, PacketId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "vacated while still referenced")]
+    fn double_free_is_detected() {
+        let mut arena = PacketArena::new();
+        let a = arena.insert(pkt(1), 1);
+        let _ = arena.take(a);
+        let _ = arena.take(a);
+    }
+}

@@ -6,6 +6,7 @@
 //! per output port: output contention is arbitrated, distinct outputs are
 //! independent (non-blocking fabric).
 
+use crate::arbiter::OccupancyMask;
 use crate::event::NextEvent;
 use crate::mux::ConcentratorMux;
 use crate::packet::Packet;
@@ -22,6 +23,9 @@ pub struct Crossbar {
     /// proves that output's tick, pop, and next_event are no-ops, so the
     /// hot loops skip the mux without touching it.
     busy: Vec<u32>,
+    /// Bit `o` set iff `busy[o] > 0`: the per-cycle loops walk set bits
+    /// in index order instead of scanning every counter.
+    mask: OccupancyMask,
 }
 
 impl Crossbar {
@@ -51,6 +55,7 @@ impl Crossbar {
                 .collect(),
             n_inputs,
             busy: vec![0; n_outputs],
+            mask: OccupancyMask::new(n_outputs),
         }
     }
 
@@ -94,6 +99,9 @@ impl Crossbar {
         let pushed =
             self.outputs[output].try_push_probed(input, packet, Component::xbar_out(output), probe);
         if pushed.is_ok() {
+            if self.busy[output] == 0 {
+                self.mask.set(output);
+            }
             self.busy[output] += 1;
         }
         pushed
@@ -108,10 +116,8 @@ impl Crossbar {
     /// [`tick`](Self::tick) with telemetry: per-port grants and forwards
     /// report under the [`Component::xbar_out`] label.
     pub fn tick_probed<P: Probe>(&mut self, now: Cycle, probe: &mut P) {
-        for (o, mux) in self.outputs.iter_mut().enumerate() {
-            if self.busy[o] > 0 {
-                mux.tick_probed(now, Component::xbar_out(o), probe);
-            }
+        for o in self.mask.iter_set() {
+            self.outputs[o].tick_probed(now, Component::xbar_out(o), probe);
         }
     }
 
@@ -125,8 +131,29 @@ impl Crossbar {
         let popped = self.outputs[output].pop_delivered(now);
         if popped.is_some() {
             self.busy[output] -= 1;
+            if self.busy[output] == 0 {
+                self.mask.clear(output);
+            }
         }
         popped
+    }
+
+    /// Pops every packet already delivered at any output (in output
+    /// order) into `sink`. Equivalent to a full `pop_delivered` sweep
+    /// over all outputs, but walks only busy ones.
+    pub fn drain_delivered<F: FnMut(Packet)>(&mut self, now: Cycle, mut sink: F) {
+        for w in 0..self.mask.words().len() {
+            // Snapshot one word: pops may clear bits of already-visited
+            // outputs, never set new ones.
+            let mut bits = self.mask.words()[w];
+            while bits != 0 {
+                let o = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                while let Some(p) = self.pop_delivered(o, now) {
+                    sink(p);
+                }
+            }
+        }
     }
 
     /// True when nothing is queued or in flight anywhere.
@@ -135,12 +162,17 @@ impl Crossbar {
     }
 
     /// The earliest [`NextEvent`] across every output mux.
+    /// [`NextEvent::Busy`] dominates the merge, so the scan stops at the
+    /// first busy output — same result, O(1) under load.
     pub fn next_event(&self) -> NextEvent {
-        self.outputs
-            .iter()
-            .enumerate()
-            .filter(|&(o, _)| self.busy[o] > 0)
-            .fold(NextEvent::Idle, |acc, (_, mux)| acc.merge(mux.next_event()))
+        let mut ev = NextEvent::Idle;
+        for o in self.mask.iter_set() {
+            match self.outputs[o].next_event() {
+                NextEvent::Busy => return NextEvent::Busy,
+                e => ev = ev.merge(e),
+            }
+        }
+        ev
     }
 }
 

@@ -44,10 +44,13 @@ impl<T> DelayLine<T> {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `ready_at` is earlier than the readiness
-    /// of the current tail, which would violate FIFO order.
+    /// Panics if `ready_at` is earlier than the readiness of the current
+    /// tail, which would violate FIFO order. The check is a single
+    /// compare, so it stays on in release builds — a delay line that
+    /// reorders readiness would silently corrupt every latency the
+    /// simulator measures.
     pub fn push_ready_at(&mut self, ready_at: Cycle, item: T) {
-        debug_assert!(
+        assert!(
             self.items.back().is_none_or(|(t, _)| *t <= ready_at),
             "push_ready_at must preserve FIFO readiness order"
         );

@@ -1,13 +1,19 @@
-//! Next-event reporting for fast-forwarding simulation loops.
+//! Next-event reporting and the event calendar for event-driven loops.
 //!
 //! Each fabric and memory component can report when it next has work to
-//! do. A driver (the `Gpu` run loop) merges the reports: if *every*
-//! component is waiting on a known future timestamp, the driver may jump
-//! the clock straight to the earliest such timestamp instead of ticking
-//! through dead cycles — without changing any observable behaviour,
-//! because ticks in the skipped window are provably no-ops.
+//! do ([`NextEvent`]). The engine-v2 core extends the report into a
+//! per-component [`EventCalendar`]: a binary-heap wake-up queue keyed by
+//! `(Cycle, ComponentId)` that the `Gpu` run loop owns. Components
+//! *push* their next wake-up into the calendar whenever their state
+//! changes, instead of being polled on every jump attempt; a cycle in
+//! which no component is due is provably a no-op for the whole machine,
+//! so the driver jumps straight over it without changing any observable
+//! behaviour.
 
+use crate::arbiter::OccupancyMask;
 use gnc_common::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A component's claim about when it next needs a `tick`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,9 +43,234 @@ impl NextEvent {
     }
 }
 
+/// Index of one schedulable component in an [`EventCalendar`]. The
+/// driver assigns the ids (the `Gpu` engine uses a fixed layout: kernel
+/// lifecycle, the two fabrics, the memory system, then one id per SM).
+pub type ComponentId = u32;
+
+/// When an [`EventCalendar`] next has a due component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// At least one component is busy: the driver must process the
+    /// current cycle.
+    Now,
+    /// Nothing is busy; the earliest scheduled wake-up is at this cycle.
+    At(Cycle),
+    /// Nothing is busy and nothing is scheduled: every remaining cycle
+    /// is a no-op until external work arrives.
+    Never,
+}
+
+/// A per-component wake-up queue: a binary heap keyed by
+/// `(Cycle, ComponentId)` with lazy deletion, plus a busy set that keeps
+/// cycle-by-cycle components out of the heap entirely.
+///
+/// # Push-vs-poll contract
+///
+/// The calendar is *pushed*, never polled: a component's entry changes
+/// only at the two points where its state can change —
+///
+/// 1. **Processing time.** After the driver services a due component it
+///    calls [`reschedule`](Self::reschedule) with the component's fresh
+///    [`NextEvent`] report. This is the only call that may move a
+///    wake-up *later* (the component consumed its work) or drop it.
+/// 2. **External events.** When one component hands work to another
+///    (a reply delivered to an SM, a block placed, a kernel freed), the
+///    giver calls [`make_busy`](Self::make_busy) /
+///    [`notify_at`](Self::notify_at) for the receiver. These calls only
+///    ever move a wake-up *earlier* — new work cannot make a component
+///    quiescent — which is what makes the min-merge sound.
+///
+/// # Invariants
+///
+/// * Any component with possible effect at cycle `c` is either busy or
+///   has a live heap entry at or before `c`; hence a jump to
+///   [`next_wake`](Self::next_wake) skips only provably dead cycles.
+/// * `scheduled[comp]` mirrors the earliest *live* heap entry for
+///   `comp`; heap entries that disagree are stale and are dropped
+///   lazily on peek (same-cycle entries order by component id, so
+///   two components waking together are both due, deterministically).
+/// * Busy components are processed every cycle without heap traffic;
+///   in a saturated machine the calendar costs O(1) per cycle.
+#[derive(Debug, Clone)]
+pub struct EventCalendar {
+    heap: BinaryHeap<Reverse<(Cycle, ComponentId)>>,
+    /// Earliest live heap entry per component; `Cycle::MAX` means none.
+    scheduled: Vec<Cycle>,
+    /// One bit per busy component: drivers walk set bits in id order to
+    /// find due components without scanning every id.
+    busy: OccupancyMask,
+    num_busy: usize,
+    /// Components with a live scheduled wake-up (`scheduled != MAX`).
+    /// Kept exact so [`is_idle`](Self::is_idle) answers from two counter
+    /// reads — stale heap entries never inflate it.
+    live_scheduled: usize,
+}
+
+impl EventCalendar {
+    /// Creates a calendar for `components` schedulable components, all
+    /// initially idle (nothing busy, nothing scheduled).
+    pub fn new(components: usize) -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            scheduled: vec![Cycle::MAX; components],
+            busy: OccupancyMask::new(components),
+            num_busy: 0,
+            live_scheduled: 0,
+        }
+    }
+
+    /// True when nothing is busy and nothing holds a live wake-up: every
+    /// remaining cycle is a no-op until external work arrives. Exact —
+    /// lazily deleted heap entries do not count.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.num_busy == 0 && self.live_scheduled == 0
+    }
+
+    /// Marks `comp` busy: due every cycle until its next
+    /// [`reschedule`](Self::reschedule) says otherwise. Idempotent.
+    #[inline]
+    pub fn make_busy(&mut self, comp: ComponentId) {
+        let c = comp as usize;
+        if !self.busy.get(c) {
+            self.busy.set(c);
+            self.num_busy += 1;
+        }
+    }
+
+    /// External notification that `comp` has work at `at`. Only moves
+    /// the component's wake-up earlier; a later `at` than what is
+    /// already scheduled is ignored (the earlier entry stands and the
+    /// component will re-report when processed).
+    #[inline]
+    pub fn notify_at(&mut self, comp: ComponentId, at: Cycle) {
+        let c = comp as usize;
+        if self.busy.get(c) || at >= self.scheduled[c] {
+            return;
+        }
+        if self.scheduled[c] == Cycle::MAX {
+            self.live_scheduled += 1;
+        }
+        self.scheduled[c] = at;
+        self.heap.push(Reverse((at, comp)));
+    }
+
+    /// Processing-time reschedule from the component's fresh report.
+    /// Unlike [`notify_at`](Self::notify_at) this may move the wake-up
+    /// later or drop it — the component just consumed its work, so its
+    /// own report is the new ground truth.
+    pub fn reschedule(&mut self, comp: ComponentId, report: NextEvent) {
+        let c = comp as usize;
+        match report {
+            NextEvent::Busy => {
+                self.make_busy(comp);
+                return;
+            }
+            NextEvent::Idle => {
+                // Any heap entries for comp become stale.
+                if self.scheduled[c] != Cycle::MAX {
+                    self.live_scheduled -= 1;
+                    self.scheduled[c] = Cycle::MAX;
+                }
+            }
+            NextEvent::At(at) => {
+                if self.scheduled[c] != at {
+                    if self.scheduled[c] == Cycle::MAX {
+                        self.live_scheduled += 1;
+                    }
+                    self.scheduled[c] = at;
+                    self.heap.push(Reverse((at, comp)));
+                }
+            }
+        }
+        if self.busy.get(c) {
+            self.busy.clear(c);
+            self.num_busy -= 1;
+        }
+    }
+
+    /// [`reschedule`](Self::reschedule) for a component that was just
+    /// processed at `now`, folding near-term wake-ups into the busy set:
+    /// a report of `At(now + 1)` (or earlier — an overdue stall site)
+    /// makes the component due on the very next processed cycle, exactly
+    /// like `Busy`, so the heap round-trip — push here, pop in the next
+    /// cycle's [`promote_due`](Self::promote_due) — buys nothing. The
+    /// component's next processing reschedules it again, so busy-ness
+    /// never outlives the report. Due-ness per cycle is identical to
+    /// the plain reschedule; only the bookkeeping route differs.
+    #[inline]
+    pub fn reschedule_near(&mut self, comp: ComponentId, report: NextEvent, now: Cycle) {
+        match report {
+            NextEvent::At(at) if at <= now + 1 => self.make_busy(comp),
+            r => self.reschedule(comp, r),
+        }
+    }
+
+    /// Whether `comp` must be processed at `now`.
+    #[inline]
+    pub fn is_due(&self, comp: ComponentId, now: Cycle) -> bool {
+        let c = comp as usize;
+        self.busy.get(c) || self.scheduled[c] <= now
+    }
+
+    /// Promotes every component whose scheduled wake-up has arrived
+    /// (`at <= now`) into the busy set, consuming its heap entry. After
+    /// this, "due at `now`" and "busy" coincide, so a driver can walk
+    /// the busy bits instead of checking each component's schedule.
+    /// Stale heap entries encountered on the way are dropped.
+    pub fn promote_due(&mut self, now: Cycle) {
+        while let Some(&Reverse((at, comp))) = self.heap.peek() {
+            if self.scheduled[comp as usize] != at {
+                self.heap.pop();
+                continue;
+            }
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            self.scheduled[comp as usize] = Cycle::MAX;
+            self.live_scheduled -= 1;
+            self.make_busy(comp);
+        }
+    }
+
+    /// The busy set's raw words, low bit = component 0. Phase loops
+    /// snapshot one word at a time: processing a component may clear its
+    /// (already-visited) bit; bits set mid-walk belong to components
+    /// woken for this same cycle by an earlier phase, which the walk
+    /// must NOT revisit — hence the snapshot, not a live borrow.
+    #[inline]
+    pub fn busy_words(&self) -> &[u64] {
+        self.busy.words()
+    }
+
+    /// When the machine next has a due component. Pops stale heap
+    /// entries (lazy deletion) but leaves live ones in place — they go
+    /// stale when their component is processed and rescheduled.
+    pub fn next_wake(&mut self) -> Wake {
+        debug_assert_eq!(self.num_busy, self.busy.iter_set().count());
+        debug_assert_eq!(
+            self.live_scheduled,
+            self.scheduled.iter().filter(|&&c| c != Cycle::MAX).count()
+        );
+        if self.num_busy > 0 {
+            return Wake::Now;
+        }
+        while let Some(&Reverse((at, comp))) = self.heap.peek() {
+            if self.scheduled[comp as usize] == at {
+                return Wake::At(at);
+            }
+            self.heap.pop();
+        }
+        Wake::Never
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::NextEvent::{At, Busy, Idle};
+    use super::{EventCalendar, Wake};
 
     #[test]
     fn busy_dominates() {
@@ -59,5 +290,72 @@ mod tests {
     fn timestamps_take_the_minimum() {
         assert_eq!(At(7).merge(At(3)), At(3));
         assert_eq!(At(3).merge(At(7)), At(3));
+    }
+
+    #[test]
+    fn calendar_busy_set_bypasses_heap() {
+        let mut cal = EventCalendar::new(3);
+        assert_eq!(cal.next_wake(), Wake::Never);
+        cal.make_busy(1);
+        cal.make_busy(1); // idempotent
+        assert_eq!(cal.next_wake(), Wake::Now);
+        assert!(cal.is_due(1, 0));
+        assert!(!cal.is_due(0, 0));
+        cal.reschedule(1, Idle);
+        assert_eq!(cal.next_wake(), Wake::Never);
+        assert!(!cal.is_due(1, 0));
+    }
+
+    #[test]
+    fn calendar_same_cycle_wakeups_are_all_due() {
+        // Two components parked on the same cycle: the wake is that
+        // cycle and BOTH are due when the driver processes it — ordering
+        // within the cycle is the driver's fixed phase order, never heap
+        // pop order.
+        let mut cal = EventCalendar::new(4);
+        cal.reschedule(2, At(5));
+        cal.reschedule(1, At(5));
+        cal.reschedule(3, At(9));
+        assert_eq!(cal.next_wake(), Wake::At(5));
+        assert!(cal.is_due(1, 5));
+        assert!(cal.is_due(2, 5));
+        assert!(!cal.is_due(3, 5));
+        assert!(!cal.is_due(1, 4));
+        // Both reschedule after processing; the calendar moves on.
+        cal.reschedule(1, Idle);
+        cal.reschedule(2, At(12));
+        assert_eq!(cal.next_wake(), Wake::At(9));
+    }
+
+    #[test]
+    fn calendar_stale_entries_are_lazily_deleted() {
+        let mut cal = EventCalendar::new(2);
+        cal.reschedule(0, At(10));
+        // Processing moves the wake-up later: the @10 heap entry is now
+        // stale and must not wake the driver.
+        cal.reschedule(0, At(20));
+        assert!(!cal.is_due(0, 10));
+        assert_eq!(cal.next_wake(), Wake::At(20));
+        // Going idle strands the @20 entry too.
+        cal.reschedule(0, Idle);
+        assert_eq!(cal.next_wake(), Wake::Never);
+        // An earlier external notify resurrects scheduling cleanly.
+        cal.notify_at(0, 7);
+        assert_eq!(cal.next_wake(), Wake::At(7));
+        // A later notify is ignored — the earlier entry stands.
+        cal.notify_at(0, 9);
+        assert_eq!(cal.next_wake(), Wake::At(7));
+        assert!(cal.is_due(0, 7));
+    }
+
+    #[test]
+    fn calendar_busy_report_round_trip() {
+        let mut cal = EventCalendar::new(1);
+        cal.reschedule(0, Busy);
+        assert_eq!(cal.next_wake(), Wake::Now);
+        // A busy component ignores external notifies (already due now).
+        cal.notify_at(0, 3);
+        cal.reschedule(0, At(8));
+        assert_eq!(cal.next_wake(), Wake::At(8));
     }
 }

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod arbiter;
+mod arena;
 pub mod crossbar;
 pub mod delay;
 pub mod event;
@@ -38,7 +39,7 @@ pub mod fabric;
 pub mod mux;
 pub mod packet;
 
-pub use arbiter::{ArbHead, Arbiter};
+pub use arbiter::{ArbHead, Arbiter, OccupancyMask};
 pub use event::NextEvent;
 pub use fabric::{ReplyFabric, RequestFabric};
 pub use mux::ConcentratorMux;

@@ -7,7 +7,8 @@
 //! speedup, each crossbar output, the GPC reply channel, and the per-SM
 //! ejection port (Figure 1 of the paper).
 
-use crate::arbiter::{make_arbiter, ArbHead, Arbiter};
+use crate::arbiter::{InlineArbiter, OccupancyMask};
+use crate::arena::PacketArena;
 use crate::delay::DelayLine;
 use crate::event::NextEvent;
 use crate::packet::Packet;
@@ -18,12 +19,6 @@ use gnc_common::Cycle;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-#[derive(Debug, Clone)]
-struct InFlight {
-    packet: Packet,
-    remaining: u32,
-}
-
 /// An N-input, single-output concentrating mux with bounded input queues,
 /// per-flit arbitration, and an output pipeline delay.
 ///
@@ -33,6 +28,17 @@ struct InFlight {
 /// queue is at capacity, returning the packet to the caller; upstream
 /// stages keep it queued, which yields credit-based backpressure through
 /// the whole fabric.
+///
+/// # Internal layout
+///
+/// Packets live in a slab arena for their entire residence; the input
+/// queues and the output delay line carry 4-byte slot ids. Arbitration
+/// state is structure-of-arrays: an occupancy bitmask plus per-input
+/// head columns (remaining flits, age, group), so the per-flit grant
+/// loop is bit scans over a few small arrays and never touches packet
+/// memory. Externally nothing changed: packets go in and come out by
+/// value, and grant decisions are bit-identical to the boxed
+/// [`Arbiter`](crate::arbiter::Arbiter) implementations.
 ///
 /// # Example
 ///
@@ -47,20 +53,28 @@ struct InFlight {
 /// ```
 #[derive(Debug)]
 pub struct ConcentratorMux {
-    inputs: Vec<VecDeque<InFlight>>,
+    /// Per-input FIFO of arena slot ids.
+    inputs: Vec<VecDeque<u32>>,
     depth: usize,
     bandwidth: u32,
-    arbiter: Box<dyn Arbiter>,
-    output: DelayLine<Packet>,
+    arbiter: InlineArbiter,
+    /// Packet storage for everything queued or in the output pipeline.
+    arena: PacketArena,
+    /// Which inputs have a head flit ready to arbitrate.
+    occ: OccupancyMask,
+    /// Flits left to transmit for each input's head packet. Only indices
+    /// whose occupancy bit is set are meaningful.
+    head_remaining: Vec<u32>,
+    /// Injection age of each input's head packet (age-based policy).
+    head_age: Vec<Cycle>,
+    /// Arbitration group of each input's head packet (CRR policy).
+    head_group: Vec<u64>,
+    output: DelayLine<u32>,
     noc: NocConfig,
     granted_flits: Vec<u64>,
     forwarded_packets: u64,
     /// Total packets across all input queues (fast idle check).
     queued: usize,
-    /// Per-input queue heads, maintained incrementally: set on push into
-    /// an empty queue, refreshed on pop. Mirrors `inputs[i].front()` at
-    /// all times so [`tick`] never has to walk the input queues.
-    heads: Vec<Option<ArbHead>>,
     /// Optional fault injection: background-traffic bursts at this mux
     /// steal output flit slots. The `u64` is this mux's stable site id
     /// within the fault plan's hash space.
@@ -95,15 +109,30 @@ impl ConcentratorMux {
             inputs: (0..n_inputs).map(|_| VecDeque::new()).collect(),
             depth,
             bandwidth,
-            arbiter: make_arbiter(policy),
+            arbiter: InlineArbiter::new(policy),
+            arena: PacketArena::new(),
+            occ: OccupancyMask::new(n_inputs),
+            head_remaining: vec![0; n_inputs],
+            head_age: vec![0; n_inputs],
+            head_group: vec![0; n_inputs],
             output: DelayLine::new(latency),
             noc: noc.clone(),
             granted_flits: vec![0; n_inputs],
             forwarded_packets: 0,
             queued: 0,
-            heads: vec![None; n_inputs],
             fault: None,
         }
+    }
+
+    /// Refreshes the SoA head columns of `input` from the packet in
+    /// `slot`, which just became the queue head.
+    #[inline]
+    fn set_head(&mut self, input: usize, slot: u32) {
+        self.occ.set(input);
+        self.head_remaining[input] = self.arena.flits(slot);
+        let packet = self.arena.get(slot);
+        self.head_age[input] = packet.injected_at;
+        self.head_group[input] = packet.group;
     }
 
     /// Attaches a fault plan; background-traffic bursts decided by the
@@ -163,14 +192,13 @@ impl ConcentratorMux {
             probe.push_denied(comp, input);
             return Err(packet);
         }
-        let remaining = packet.flits(&self.noc).max(1);
-        if self.inputs[input].is_empty() {
-            self.heads[input] = Some(ArbHead {
-                age: packet.injected_at,
-                group: packet.group,
-            });
+        let flits = packet.flits(&self.noc).max(1);
+        let was_empty = self.inputs[input].is_empty();
+        let slot = self.arena.insert(packet, flits);
+        if was_empty {
+            self.set_head(input, slot);
         }
-        self.inputs[input].push_back(InFlight { packet, remaining });
+        self.inputs[input].push_back(slot);
         self.queued += 1;
         probe.queue_depth(comp, input, self.inputs[input].len());
         Ok(())
@@ -202,42 +230,46 @@ impl ConcentratorMux {
                 return;
             }
         }
-        for slot in 0..budget {
+        for flit_slot in 0..budget {
             if self.queued == 0 {
                 // No arbiter can grant an idle mux; strict RR would waste
                 // the remaining slots anyway.
                 break;
             }
-            let global_slot = now * u64::from(self.bandwidth) + u64::from(slot);
-            let Some(winner) = self.arbiter.grant(global_slot, &self.heads) else {
+            let global_slot = now * u64::from(self.bandwidth) + u64::from(flit_slot);
+            let Some(winner) =
+                self.arbiter
+                    .grant(global_slot, &self.occ, &self.head_age, &self.head_group)
+            else {
                 continue;
             };
-            let queue = &mut self.inputs[winner];
-            let inflight = queue.front_mut().expect("granted input must be nonempty");
-            inflight.remaining -= 1;
+            self.head_remaining[winner] -= 1;
             self.granted_flits[winner] += 1;
             probe.flit_granted(now, comp, winner);
-            if inflight.remaining == 0 {
-                let done = queue.pop_front().expect("head exists");
+            if self.head_remaining[winner] == 0 {
+                let done = self.inputs[winner]
+                    .pop_front()
+                    .expect("granted input must be nonempty");
                 if P::ENABLED {
+                    let packet = self.arena.get(done);
                     probe.packet_forwarded(
                         now,
                         comp,
                         winner,
-                        done.packet.id.0,
-                        done.packet.sm.index(),
-                        done.packet.slice.index(),
-                        done.packet.flits(&self.noc).max(1),
+                        packet.id.0,
+                        packet.sm.index(),
+                        packet.slice.index(),
+                        self.arena.flits(done),
                     );
                 }
-                self.output.push(now, done.packet);
+                self.output.push(now, done);
                 self.forwarded_packets += 1;
                 self.queued -= 1;
                 // Only the winner's queue head changed; refresh just it.
-                self.heads[winner] = self.inputs[winner].front().map(|inflight| ArbHead {
-                    age: inflight.packet.injected_at,
-                    group: inflight.packet.group,
-                });
+                match self.inputs[winner].front() {
+                    Some(&next) => self.set_head(winner, next),
+                    None => self.occ.clear(winner),
+                }
             }
         }
     }
@@ -245,12 +277,15 @@ impl ConcentratorMux {
     /// A reference to the next delivered packet, if one has cleared the
     /// output pipeline by `now`.
     pub fn peek_delivered(&self, now: Cycle) -> Option<&Packet> {
-        self.output.peek_ready(now)
+        self.output
+            .peek_ready(now)
+            .map(|&slot| self.arena.get(slot))
     }
 
     /// Removes and returns the next delivered packet, if ready at `now`.
     pub fn pop_delivered(&mut self, now: Cycle) -> Option<Packet> {
-        self.output.pop_ready(now)
+        let slot = self.output.pop_ready(now)?;
+        Some(self.arena.take(slot))
     }
 
     /// Flits granted to each input since construction (fairness metric).
@@ -270,7 +305,7 @@ impl ConcentratorMux {
 
     /// True when no packets are queued or in the output pipeline.
     pub fn is_drained(&self) -> bool {
-        self.inputs.iter().all(VecDeque::is_empty) && self.output.is_empty()
+        self.queued == 0 && self.output.is_empty()
     }
 
     /// When this mux next has actionable work (see [`NextEvent`]).

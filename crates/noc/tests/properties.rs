@@ -201,3 +201,59 @@ proptest! {
         prop_assert_eq!(run(other_busy), run(false));
     }
 }
+
+/// The conservation checks in `is_drained` are plain `assert!`s — they
+/// must fire in release builds too, where a silently wrong in-flight
+/// counter would otherwise end a run with packets still queued. Corrupt
+/// the counter behind the fabric's back and confirm the check catches
+/// the lie in whatever profile this test compiles under.
+mod conservation_checks_are_always_on {
+    use super::packet;
+    use gnc_common::ids::SliceId;
+    use gnc_common::GpuConfig;
+    use gnc_noc::fabric::{ReplyFabric, RequestFabric};
+    use gnc_noc::packet::PacketKind;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn request_fabric_detects_corrupted_in_flight_counter() {
+        let cfg = GpuConfig::volta_v100();
+        let mut fabric = RequestFabric::new(&cfg);
+        let sm = gnc_common::ids::SmId::new(0);
+        fabric
+            .inject(sm, packet(1, 0, PacketKind::ReadRequest, 4, 0))
+            .expect("empty fabric accepts");
+        assert!(!fabric.is_drained(), "a queued packet means not drained");
+        fabric.corrupt_in_flight_counter_for_test();
+        let err = catch_unwind(AssertUnwindSafe(|| fabric.is_drained()))
+            .expect_err("corrupted counter must trip the conservation check");
+        assert!(
+            panic_message(err).contains("counter claims drained"),
+            "panic must name the counter desync"
+        );
+    }
+
+    #[test]
+    fn reply_fabric_detects_corrupted_in_flight_counter() {
+        let cfg = GpuConfig::volta_v100();
+        let mut fabric = ReplyFabric::new(&cfg);
+        fabric
+            .inject_at_slice(SliceId::new(0), packet(1, 0, PacketKind::ReadReply, 32, 0))
+            .expect("empty fabric accepts");
+        assert!(!fabric.is_drained(), "a queued reply means not drained");
+        fabric.corrupt_in_flight_counter_for_test();
+        let err = catch_unwind(AssertUnwindSafe(|| fabric.is_drained()))
+            .expect_err("corrupted counter must trip the conservation check");
+        assert!(
+            panic_message(err).contains("counter claims drained"),
+            "panic must name the counter desync"
+        );
+    }
+}

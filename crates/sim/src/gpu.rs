@@ -12,11 +12,11 @@ use crate::clock::ClockDomain;
 use crate::kernel::{KernelProgram, Recorder};
 use crate::sm::Sm;
 use gnc_common::hash::FastHashMap;
-use gnc_common::ids::{BlockId, KernelId, SliceId, SmId, StreamId};
+use gnc_common::ids::{BlockId, KernelId, SmId, StreamId};
 use gnc_common::telemetry::{NullProbe, Probe};
 use gnc_common::{ConfigError, Cycle, GpuConfig};
 use gnc_mem::subsystem::MemorySubsystem;
-use gnc_noc::event::NextEvent;
+use gnc_noc::event::{ComponentId, EventCalendar, NextEvent, Wake};
 use gnc_noc::fabric::{ReplyFabric, RequestFabric};
 use std::collections::VecDeque;
 use std::fmt;
@@ -34,6 +34,16 @@ pub fn gpus_built() -> u64 {
 
 /// Process-wide default for [`LoopMode`]; `true` selects `Naive`.
 static DEFAULT_NAIVE_LOOP: AtomicBool = AtomicBool::new(false);
+
+/// [`EventCalendar`] component ids used by the engine. The lifecycle,
+/// the two subnets, and the memory system are coarse components; every
+/// SM schedules individually (replies wake exactly one SM, and in a
+/// memory-bound phase most SMs sleep in `WaitMem` with nothing to do).
+const LIFECYCLE: ComponentId = 0;
+const REQ_FABRIC: ComponentId = 1;
+const REPLY_FABRIC: ComponentId = 2;
+const MEM: ComponentId = 3;
+const SM_BASE: ComponentId = 4;
 
 /// How [`Gpu::run_until_idle`] advances time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,6 +146,10 @@ pub struct Gpu<P: Probe = NullProbe> {
     /// has drained, so this list bounds which SMs can tick to an effect
     /// or receive replies.
     active_sms: Vec<usize>,
+    /// Scratch list of SMs ticked in the current gated cycle (reused
+    /// across cycles to avoid per-cycle allocation); only these SMs can
+    /// hold newly finished blocks, so retirement scans just them.
+    ticked_sms: Vec<usize>,
     probe: P,
 }
 
@@ -194,6 +208,7 @@ impl Gpu {
                 LoopMode::FastForward
             },
             active_sms: Vec::new(),
+            ticked_sms: Vec::new(),
             probe: NullProbe,
         })
     }
@@ -245,6 +260,7 @@ impl<P: Probe> Gpu<P> {
             fault: self.fault,
             loop_mode: self.loop_mode,
             active_sms: self.active_sms,
+            ticked_sms: self.ticked_sms,
             probe,
         }
     }
@@ -425,7 +441,9 @@ impl<P: Probe> Gpu<P> {
         );
     }
 
-    fn place_blocks(&mut self) {
+    /// Greedily places pending blocks; returns whether any block was
+    /// placed (the active-SM list was rebuilt).
+    fn place_blocks(&mut self) -> bool {
         let mut placed = false;
         // Launch-order priority, §4.3 SM visitation order, capacity from
         // the config. Placement is greedy each cycle.
@@ -467,33 +485,64 @@ impl<P: Probe> Gpu<P> {
         if placed {
             self.rebuild_active_sms();
         }
+        placed
     }
 
-    fn retire_blocks(&mut self) {
+    /// Collects finished blocks from the active SMs; returns whether any
+    /// block retired (kernel lifecycles may have advanced and the
+    /// active-SM list was rebuilt).
+    fn retire_blocks(&mut self) -> bool {
         let mut retired = false;
         for i in 0..self.active_sms.len() {
             let sm_idx = self.active_sms[i];
-            for (kernel, block) in self.sms[sm_idx].take_finished_blocks() {
-                retired = true;
-                let k = &mut self.kernels[kernel.index()];
-                k.active_blocks -= 1;
-                k.finished_blocks += 1;
-                if let Some(span) = k
-                    .span_index
-                    .get(&block)
-                    .map(|&i| &mut k.block_spans[i])
-                    .filter(|s| s.finished_at.is_none())
-                {
-                    span.finished_at = Some(self.now);
-                }
-                if k.finished_blocks == k.program.num_blocks() {
-                    k.end_cycle = Some(self.now);
-                }
-            }
+            retired |= self.retire_blocks_of(sm_idx);
         }
         if retired {
             self.rebuild_active_sms();
         }
+        retired
+    }
+
+    /// [`retire_blocks`](Self::retire_blocks) over only the SMs ticked
+    /// this cycle. A block's done-ness changes only while its SM
+    /// executes (every reply delivery also wakes the SM into the same
+    /// cycle's execute phase), so un-ticked SMs provably hold no newly
+    /// finished blocks and the sweeps retire identically.
+    fn retire_blocks_ticked(&mut self) -> bool {
+        let mut retired = false;
+        let ticked = std::mem::take(&mut self.ticked_sms);
+        for &sm_idx in &ticked {
+            retired |= self.retire_blocks_of(sm_idx);
+        }
+        self.ticked_sms = ticked;
+        if retired {
+            self.rebuild_active_sms();
+        }
+        retired
+    }
+
+    /// Collects `sm_idx`'s finished blocks into the kernel ledgers;
+    /// returns whether any block retired.
+    fn retire_blocks_of(&mut self, sm_idx: usize) -> bool {
+        let mut retired = false;
+        for (kernel, block) in self.sms[sm_idx].take_finished_blocks() {
+            retired = true;
+            let k = &mut self.kernels[kernel.index()];
+            k.active_blocks -= 1;
+            k.finished_blocks += 1;
+            if let Some(span) = k
+                .span_index
+                .get(&block)
+                .map(|&i| &mut k.block_spans[i])
+                .filter(|s| s.finished_at.is_none())
+            {
+                span.finished_at = Some(self.now);
+            }
+            if k.finished_blocks == k.program.num_blocks() {
+                k.end_cycle = Some(self.now);
+            }
+        }
+        retired
     }
 
     /// Advances the GPU one core cycle.
@@ -511,18 +560,20 @@ impl<P: Probe> Gpu<P> {
         self.place_blocks();
         // 1. Deliver replies that arrived at the SMs. Replies only ever
         // target warps with outstanding requests, whose blocks are still
-        // resident, so the active list covers every destination.
+        // resident, so the fabric's busy set covers every destination.
         if self.reply_fabric.in_flight() > 0 {
-            for i in 0..self.active_sms.len() {
-                let sm_idx = self.active_sms[i];
-                let sm_id = SmId::new(sm_idx);
-                while let Some(p) = self.reply_fabric.pop_at_sm(sm_id, now) {
-                    if P::ENABLED {
-                        self.probe.packet_delivered(now, sm_idx);
-                    }
-                    self.sms[sm_idx].on_reply_probed(&p, now, &mut self.probe);
+            let Self {
+                reply_fabric,
+                sms,
+                probe,
+                ..
+            } = self;
+            reply_fabric.deliver_ready(now, |sm_idx, p| {
+                if P::ENABLED {
+                    probe.packet_delivered(now, sm_idx);
                 }
-            }
+                sms[sm_idx].on_reply_probed(&p, now, probe);
+            });
         }
         // 2. SMs execute and enqueue requests.
         for i in 0..self.active_sms.len() {
@@ -539,39 +590,20 @@ impl<P: Probe> Gpu<P> {
         if self.request_fabric.in_flight() > 0 {
             self.request_fabric.tick_probed(now, &mut self.probe);
             // 4. Requests arriving at slices enter the L2 pipelines.
-            for s in 0..self.mem.num_slices() {
-                let slice = SliceId::new(s);
-                if !self.request_fabric.has_arrivals(slice) {
-                    continue;
-                }
-                while let Some(p) = self.request_fabric.pop_at_slice(slice, now) {
-                    self.mem.push_request(p, now);
-                }
-            }
+            let Self {
+                request_fabric,
+                mem,
+                ..
+            } = self;
+            request_fabric.drain_arrivals(now, |p| mem.push_request(p, now));
         }
         // 5. Memory system advances.
         self.mem.tick_probed(now, &mut self.probe);
         // 6. Ready replies enter the reply subnet (with backpressure;
         // per-destination virtual channels, so one congested GPC cannot
         // head-of-line-block replies bound for the others).
-        for s in 0..self.mem.num_slices() {
-            let slice = SliceId::new(s);
-            if !self.mem.has_reply(slice) {
-                continue;
-            }
-            loop {
-                let fabric = &self.reply_fabric;
-                let Some(p) = self
-                    .mem
-                    .pop_reply_where(slice, |p| fabric.can_inject(slice, p.sm))
-                else {
-                    break;
-                };
-                self.reply_fabric
-                    .inject_at_slice_probed(slice, p, &mut self.probe)
-                    .expect("injectability just checked");
-            }
-        }
+        self.mem
+            .drain_replies_probed(&mut self.reply_fabric, &mut self.probe);
         // 7. Reply subnet moves.
         if self.reply_fabric.in_flight() > 0 {
             self.reply_fabric.tick_probed(now, &mut self.probe);
@@ -581,44 +613,165 @@ impl<P: Probe> Gpu<P> {
         self.now += 1;
     }
 
-    /// The GPU-wide merged [`NextEvent`]: when any component next has
-    /// actionable work.
+    /// One engine cycle driven by the event calendar: identical phase
+    /// order to [`tick`](Self::tick), but each phase runs only when its
+    /// component is due. Due-ness is maintained by pushes —
     ///
-    /// Conservative by construction — anything whose future cannot be
-    /// bounded exactly reports [`NextEvent::Busy`]. Fault injection
-    /// needs no global override: fault decisions are pure functions of
-    /// `(seed, site, window)`, components with pending work already
-    /// report `Busy` (which re-evaluates their fault draws every
-    /// cycle), and clock-wait wake estimates are clamped to
-    /// [`ClockDomain::stable_until`]. Kernel-lifecycle work (unstarted
-    /// kernels or unplaced blocks, which the scheduler retries every
-    /// cycle) still reports `Busy`.
-    fn next_event(&self) -> NextEvent {
-        if self
-            .kernels
-            .iter()
-            .any(|k| !k.started || !k.pending_blocks.is_empty())
-        {
-            return NextEvent::Busy;
+    /// * **Processing-time reschedules.** Every due component is
+    ///   rescheduled from its fresh [`NextEvent`] report after its
+    ///   phase, even when the phase's work gate (an in-flight counter)
+    ///   was false.
+    /// * **Same-cycle handoffs.** A phase that hands work to a *later*
+    ///   phase of the same cycle marks the receiver due before its
+    ///   due-check runs: placement wakes the SMs, an SM injecting grows
+    ///   the request fabric's in-flight counter, the reply drain grows
+    ///   the reply fabric's.
+    /// * **Cross-cycle notifies.** A phase that hands work *backwards*
+    ///   (delivery waking an SM already ticked? no — delivery runs
+    ///   first; retirement freeing SM room for the next placement)
+    ///   marks the receiver busy for the next cycle.
+    ///
+    /// Every skipped phase is provably a no-op — the component's own
+    /// claim, the same one the conservation asserts and the
+    /// `simulator_fidelity` equality tests guard — so the trace is
+    /// bit-identical to [`tick`](Self::tick). Fault injection needs no
+    /// global override: fault decisions are pure functions of
+    /// `(seed, site, window)`, components with pending work report
+    /// `Busy` (re-evaluating their draws every cycle), and clock-wait
+    /// wake estimates are clamped to [`ClockDomain::stable_until`].
+    fn tick_gated(&mut self, cal: &mut EventCalendar) {
+        let now = self.now;
+        // Promote arrived wake-ups into the busy set once: for the rest
+        // of the cycle "due" and "busy" coincide, so the phases below
+        // read busy bits instead of comparing schedules.
+        cal.promote_due(now);
+        // 0. Kernel lifecycle. Placement can only make progress when
+        // launch()/retirement re-wakes it: an unstarted kernel becomes
+        // eligible when its stream predecessor retires its last block,
+        // and a placement-blocked block fits only after a retire frees
+        // SM room. So after one greedy pass the lifecycle sleeps.
+        if cal.is_due(LIFECYCLE, now) {
+            self.start_eligible_kernels();
+            if self.place_blocks() {
+                // Newly placed blocks execute this very cycle; the
+                // active list was just rebuilt, so wake every member.
+                for &sm_idx in &self.active_sms {
+                    cal.make_busy(SM_BASE + sm_idx as ComponentId);
+                }
+            }
+            cal.reschedule(LIFECYCLE, NextEvent::Idle);
         }
-        let mut ev = NextEvent::Idle;
-        // Idle SMs hold no warps (and every kernel's blocks are placed at
-        // this point), so only the active set can produce an event.
-        for &sm_idx in &self.active_sms {
-            ev = ev.merge(self.sms[sm_idx].next_event(self.now, &self.clock));
-            if ev == NextEvent::Busy {
-                return ev;
+        // 1. Deliver replies that arrived at the SMs; each delivery
+        // wakes its SM for the execute phase below.
+        let mut delivered = false;
+        if cal.is_due(REPLY_FABRIC, now) && self.reply_fabric.in_flight() > 0 {
+            let Self {
+                reply_fabric,
+                sms,
+                probe,
+                ..
+            } = self;
+            reply_fabric.deliver_ready(now, |sm_idx, p| {
+                if P::ENABLED {
+                    probe.packet_delivered(now, sm_idx);
+                }
+                sms[sm_idx].on_reply_probed(&p, now, probe);
+                cal.make_busy(SM_BASE + sm_idx as ComponentId);
+                delivered = true;
+            });
+        }
+        // 2. Due SMs execute and enqueue requests.
+        let rf_before = self.request_fabric.in_flight();
+        let mut sm_worked = delivered;
+        self.ticked_sms.clear();
+        for w in 0..cal.busy_words().len() {
+            // Snapshot one word: a reschedule may clear the visited bit,
+            // and nothing wakes an SM mid-phase.
+            let mut bits = cal.busy_words()[w];
+            if w == 0 {
+                bits &= !((1u64 << SM_BASE) - 1);
+            }
+            while bits != 0 {
+                let comp = (w * 64) as ComponentId + bits.trailing_zeros() as ComponentId;
+                bits &= bits - 1;
+                let sm_idx = (comp - SM_BASE) as usize;
+                self.sms[sm_idx].tick_probed(
+                    now,
+                    &self.clock,
+                    &mut self.request_fabric,
+                    &mut self.recorder,
+                    &mut self.probe,
+                );
+                sm_worked = true;
+                self.ticked_sms.push(sm_idx);
+                cal.reschedule_near(comp, self.sms[sm_idx].next_event(now, &self.clock), now);
             }
         }
-        ev = ev.merge(self.request_fabric.next_event());
-        if ev == NextEvent::Busy {
-            return ev;
+        // 3. Request subnet moves (also due when an SM just injected).
+        let req_due = cal.is_due(REQ_FABRIC, now) || self.request_fabric.in_flight() > rf_before;
+        if req_due {
+            if self.request_fabric.in_flight() > 0 {
+                self.request_fabric.tick_probed(now, &mut self.probe);
+                // 4. Requests arriving at slices enter the L2 pipelines
+                // (push_request moves the memory wake cycle earlier).
+                let Self {
+                    request_fabric,
+                    mem,
+                    ..
+                } = self;
+                request_fabric.drain_arrivals(now, |p| mem.push_request(p, now));
+            }
+            cal.reschedule_near(
+                REQ_FABRIC,
+                if self.request_fabric.in_flight() == 0 {
+                    NextEvent::Idle
+                } else {
+                    self.request_fabric.next_event()
+                },
+                now,
+            );
         }
-        ev = ev.merge(self.reply_fabric.next_event());
-        if ev == NextEvent::Busy {
-            return ev;
+        // 5. Memory system advances (gated internally on its per-slice
+        // wake cycles, so this is one counter compare when quiet).
+        self.mem.tick_probed(now, &mut self.probe);
+        // 6. Ready replies enter the reply subnet (gated internally on
+        // the subsystem's reply counter). The memory system's calendar
+        // entry is refreshed unconditionally: pushes in phase 4 and the
+        // drain both move it, and the reschedule is O(1) when unchanged.
+        let rp_before = self.reply_fabric.in_flight();
+        self.mem
+            .drain_replies_probed(&mut self.reply_fabric, &mut self.probe);
+        cal.reschedule_near(MEM, self.mem.next_event(), now);
+        // 7. Reply subnet moves (also due when a reply just injected).
+        let rep_due = cal.is_due(REPLY_FABRIC, now) || self.reply_fabric.in_flight() > rp_before;
+        if rep_due {
+            if self.reply_fabric.in_flight() > 0 {
+                self.reply_fabric.tick_probed(now, &mut self.probe);
+            }
+            cal.reschedule_near(
+                REPLY_FABRIC,
+                if self.reply_fabric.in_flight() == 0 {
+                    NextEvent::Idle
+                } else {
+                    self.reply_fabric.next_event()
+                },
+                now,
+            );
         }
-        ev.merge(self.mem.next_event())
+        // 8. Retire finished blocks. Block done-ness only changes when
+        // a reply lands or an SM executes, so an all-quiet cycle skips
+        // the scan. Retirement re-wakes the lifecycle (stream
+        // successors, blocked placements) and parks SMs that just went
+        // empty — their stale wake-ups must not keep the machine awake.
+        if sm_worked && self.retire_blocks_ticked() {
+            cal.make_busy(LIFECYCLE);
+            for (i, sm) in self.sms.iter().enumerate() {
+                if sm.resident_blocks() == 0 {
+                    cal.reschedule(SM_BASE + i as ComponentId, NextEvent::Idle);
+                }
+            }
+        }
+        self.now += 1;
     }
 
     /// Runs for exactly `cycles` cycles.
@@ -631,32 +784,57 @@ impl<P: Probe> Gpu<P> {
     /// Runs until every launched kernel has finished and all queues have
     /// drained, or until `max_cycles` more cycles have elapsed.
     ///
-    /// In [`LoopMode::FastForward`] (the default) the loop jumps over
-    /// windows in which every component reports that its ticks would be
-    /// no-ops — e.g. all warps parked on slot-boundary clock waits while
-    /// nothing is in flight. Every effectful cycle is still ticked, so
-    /// traces, records, and final cycle counts are bit-identical to
-    /// [`LoopMode::Naive`].
+    /// In [`LoopMode::FastForward`] (the default) the run is driven by
+    /// an [`EventCalendar`]: components push their next wake-up on state
+    /// change, phases of a processed cycle run only for due components,
+    /// and when nothing is due the loop jumps straight to the earliest
+    /// scheduled wake-up — no polling, no detection lag. Every effectful
+    /// cycle is still processed in the exact phase order of
+    /// [`tick`](Self::tick), so traces, records, and final cycle counts
+    /// are bit-identical to [`LoopMode::Naive`].
     pub fn run_until_idle(&mut self, max_cycles: Cycle) -> RunOutcome {
         let deadline = self.now + max_cycles;
-        // Scan backoff: a saturated pipeline reports Busy for thousands
-        // of consecutive cycles, and each scan costs a walk over every
-        // active component. Skipping a scan is always sound — the loop
-        // just ticks normally — so consecutive Busy verdicts stretch the
-        // scan interval exponentially (capped), and any jump or idle
-        // verdict resets it. Dead windows are detected at most
-        // `MAX_SCAN_STRIDE` no-op ticks late, which the active-set
-        // gating makes nearly free.
-        const MAX_SCAN_STRIDE: Cycle = 64;
         // Watchdog cadence: the supervisor's deadline/cancel check is an
         // atomic load behind a TLS lookup — cheap, but not free enough
         // for every cycle. Every 4096 loop iterations keeps the check in
         // the microsecond range while bounding how long a runaway trial
         // can overshoot its deadline.
         const CHECKPOINT_MASK: u64 = 4096 - 1;
-        let mut scan_stride: Cycle = 1;
-        let mut scan_in: Cycle = 0;
         let mut iterations: u64 = 0;
+        if self.loop_mode == LoopMode::Naive {
+            while self.now < deadline {
+                iterations += 1;
+                if iterations & CHECKPOINT_MASK == 0 {
+                    gnc_common::supervise::checkpoint();
+                }
+                if self.is_idle() {
+                    return RunOutcome::Idle { at: self.now };
+                }
+                self.tick();
+            }
+            return if self.is_idle() {
+                RunOutcome::Idle { at: self.now }
+            } else {
+                RunOutcome::Timeout { at: self.now }
+            };
+        }
+        // The calendar is rebuilt per run (cheap: one allocation and a
+        // handful of busy bits), which keeps it correct across manual
+        // `tick()` calls and kernel launches between runs. Everything
+        // that currently holds state starts busy; quiescent components
+        // park themselves with their first reschedule.
+        let mut cal = EventCalendar::new(SM_BASE as usize + self.sms.len());
+        cal.make_busy(LIFECYCLE);
+        if self.request_fabric.in_flight() > 0 {
+            cal.make_busy(REQ_FABRIC);
+        }
+        if self.reply_fabric.in_flight() > 0 {
+            cal.make_busy(REPLY_FABRIC);
+        }
+        cal.reschedule(MEM, self.mem.next_event());
+        for &sm_idx in &self.active_sms {
+            cal.make_busy(SM_BASE + sm_idx as ComponentId);
+        }
         while self.now < deadline {
             iterations += 1;
             if iterations & CHECKPOINT_MASK == 0 {
@@ -665,40 +843,31 @@ impl<P: Probe> Gpu<P> {
             if self.is_idle() {
                 return RunOutcome::Idle { at: self.now };
             }
-            if self.loop_mode == LoopMode::FastForward {
-                if scan_in > 0 {
-                    scan_in -= 1;
-                } else {
-                    match self.next_event() {
-                        NextEvent::Busy => {
-                            scan_in = scan_stride;
-                            scan_stride = (scan_stride * 2).min(MAX_SCAN_STRIDE);
-                        }
-                        // Nothing will ever wake by itself: the remaining
-                        // naive ticks are all no-ops, so burn them at once
-                        // and time out at the deadline exactly as the naive
-                        // loop would.
-                        NextEvent::Idle => {
-                            self.now = deadline;
-                            break;
-                        }
-                        NextEvent::At(at) => {
-                            // Skip straight to the next effectful cycle
-                            // (never past the deadline). `at <= now` means
-                            // "busy this cycle": fall through and tick.
-                            let target = at.min(deadline);
-                            if target > self.now {
-                                self.now = target;
-                                scan_stride = 1;
-                                continue;
-                            }
-                            scan_in = scan_stride;
-                            scan_stride = (scan_stride * 2).min(MAX_SCAN_STRIDE);
-                        }
+            match cal.next_wake() {
+                // A busy component needs this very cycle.
+                Wake::Now => {}
+                Wake::At(at) => {
+                    // Jump straight to the next scheduled wake-up
+                    // (never past the deadline; `at <= now` means "due
+                    // this cycle"). Cycles in between are provably
+                    // no-ops for every component.
+                    if at >= deadline {
+                        self.now = deadline;
+                        break;
+                    }
+                    if at > self.now {
+                        self.now = at;
                     }
                 }
+                // Nothing will ever wake by itself: the remaining naive
+                // ticks are all no-ops, so burn them at once and time
+                // out at the deadline exactly as the naive loop would.
+                Wake::Never => {
+                    self.now = deadline;
+                    break;
+                }
             }
-            self.tick();
+            self.tick_gated(&mut cal);
         }
         if self.is_idle() {
             RunOutcome::Idle { at: self.now }

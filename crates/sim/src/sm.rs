@@ -76,6 +76,19 @@ pub struct Sm {
     max_outstanding: usize,
     map: AddressMap,
     blocks: Vec<BlockSlot>,
+    /// Warps currently in [`WarpState::Ready`]. Maintained at every
+    /// state transition so [`next_event`](Self::next_event) answers Busy
+    /// without scanning warps — it runs after every SM tick.
+    ready_warps: usize,
+    /// Warps in a timed wait ([`WarpState::Sleeping`] /
+    /// [`WarpState::WaitClock`]); zero means no warp has a future wake
+    /// cycle, so an un-Ready SM is Idle without a scan.
+    timed_warps: usize,
+    /// Set when a warp finished or a finished warp's last outstanding
+    /// reply returned — the only transitions that can complete a block.
+    /// [`take_finished_blocks`](Self::take_finished_blocks) skips its
+    /// sweep (the per-cycle common case) while this is clear.
+    maybe_finished: bool,
     lsu_queue: VecDeque<Packet>,
     in_flight: FastHashMap<PacketId, (KernelId, BlockId, usize)>,
     next_packet_seq: u64,
@@ -104,6 +117,9 @@ impl Sm {
             max_outstanding: cfg.max_outstanding_per_warp,
             map: AddressMap::new(cfg),
             blocks: Vec::new(),
+            ready_warps: 0,
+            timed_warps: 0,
+            maybe_finished: false,
             lsu_queue: VecDeque::new(),
             in_flight: FastHashMap::default(),
             next_packet_seq: 0,
@@ -152,7 +168,8 @@ impl Sm {
                 last_latency: 0,
                 blocked_at: 0,
             })
-            .collect();
+            .collect::<Vec<_>>();
+        self.ready_warps += warps.len();
         self.blocks.push(BlockSlot {
             kernel,
             block,
@@ -163,6 +180,10 @@ impl Sm {
     /// Removes and returns blocks whose warps have all finished and
     /// drained; the engine uses this to free capacity and time kernels.
     pub fn take_finished_blocks(&mut self) -> Vec<(KernelId, BlockId)> {
+        if !self.maybe_finished {
+            return Vec::new();
+        }
+        self.maybe_finished = false;
         let mut finished = Vec::new();
         self.blocks.retain(|b| {
             if b.is_done() {
@@ -198,8 +219,41 @@ impl Sm {
     /// `WaitMem`/`Throttled` wake from replies, which the fabric's own
     /// events account for.
     pub fn next_event(&self, now: Cycle, clock: &ClockDomain) -> NextEvent {
-        if !self.lsu_queue.is_empty() {
+        debug_assert_eq!(
+            self.ready_warps,
+            self.blocks
+                .iter()
+                .flat_map(|b| &b.warps)
+                .filter(|w| w.state == WarpState::Ready)
+                .count(),
+            "sm{} ready-warp counter out of sync",
+            self.id.index()
+        );
+        debug_assert_eq!(
+            self.timed_warps,
+            self.blocks
+                .iter()
+                .flat_map(|b| &b.warps)
+                .filter(|w| {
+                    matches!(
+                        w.state,
+                        WarpState::Sleeping { .. } | WarpState::WaitClock { .. }
+                    )
+                })
+                .count(),
+            "sm{} timed-warp counter out of sync",
+            self.id.index()
+        );
+        if !self.lsu_queue.is_empty() || self.ready_warps > 0 {
             return NextEvent::Busy;
+        }
+        if self.timed_warps == 0 {
+            // Every warp is in `WaitMem`/`Throttled`/`Done`: nothing here
+            // can act until a reply arrives, and the reply delivery wakes
+            // the SM. This O(1) exit is the common case for memory-bound
+            // kernels — the warp scan below runs only when a timed wait
+            // actually exists.
+            return NextEvent::Idle;
         }
         let mut ev = NextEvent::Idle;
         for block in &self.blocks {
@@ -237,8 +291,18 @@ impl Sm {
     /// `WaitMem`/`Throttled` report how long they were blocked.
     pub fn on_reply_probed<P: Probe>(&mut self, packet: &Packet, now: Cycle, probe: &mut P) {
         let Some((kernel, block, warp_idx)) = self.in_flight.remove(&packet.id) else {
-            debug_assert!(false, "reply {} for unknown packet", packet.id);
-            return;
+            // A reply no warp is waiting for means the fabric duplicated
+            // or misrouted a packet: the machine state is corrupt, and a
+            // benchmarked release binary must not silently drop it (this
+            // was a release-stripped debug_assert! once). Unwind with the
+            // structured error so supervised sweeps record a failed trial.
+            panic!(
+                "{}",
+                gnc_common::error::SimError::ProtocolViolation {
+                    component: format!("sm{}", self.id.index()),
+                    detail: format!("reply {} does not match any outstanding request", packet.id),
+                }
+            );
         };
         let Some(slot) = self
             .blocks
@@ -249,16 +313,21 @@ impl Sm {
         };
         let warp = &mut slot.warps[warp_idx];
         warp.outstanding = warp.outstanding.saturating_sub(1);
+        if warp.outstanding == 0 && warp.state == WarpState::Done {
+            self.maybe_finished = true;
+        }
         match warp.state {
             WarpState::WaitMem if warp.outstanding == 0 => {
                 warp.last_latency = now - warp.issue_cycle;
                 warp.state = WarpState::Ready;
+                self.ready_warps += 1;
                 if P::ENABLED {
                     probe.sm_stall(self.id.index(), StallReason::WaitMem, now - warp.blocked_at);
                 }
             }
             WarpState::Throttled if warp.outstanding <= warp.cap / 2 => {
                 warp.state = WarpState::Ready;
+                self.ready_warps += 1;
                 if P::ENABLED {
                     probe.sm_stall(
                         self.id.index(),
@@ -294,34 +363,49 @@ impl Sm {
         probe: &mut P,
     ) {
         let clock32 = clock.read32(self.id, now);
-        // Wake phase.
+        // Wake phase. Skipped outright when no warp holds a timed wait —
+        // the common case for memory-bound kernels, whose warps park in
+        // `WaitMem`/`Throttled` and wake from replies instead.
         let sm_idx = self.id.index();
-        for block in &mut self.blocks {
-            for warp in &mut block.warps {
-                match warp.state {
-                    WarpState::Sleeping { until } if now >= until => {
-                        warp.state = WarpState::Ready;
-                        if P::ENABLED {
-                            probe.sm_stall(sm_idx, StallReason::Sleep, now - warp.blocked_at);
+        if self.timed_warps > 0 {
+            let mut woke = 0usize;
+            for block in &mut self.blocks {
+                for warp in &mut block.warps {
+                    match warp.state {
+                        WarpState::Sleeping { until } if now >= until => {
+                            warp.state = WarpState::Ready;
+                            woke += 1;
+                            if P::ENABLED {
+                                probe.sm_stall(sm_idx, StallReason::Sleep, now - warp.blocked_at);
+                            }
                         }
-                    }
-                    WarpState::WaitClock { mask, target } if clock32 & mask == target => {
-                        warp.state = WarpState::Ready;
-                        if P::ENABLED {
-                            probe.sm_stall(sm_idx, StallReason::WaitClock, now - warp.blocked_at);
+                        WarpState::WaitClock { mask, target } if clock32 & mask == target => {
+                            warp.state = WarpState::Ready;
+                            woke += 1;
+                            if P::ENABLED {
+                                probe.sm_stall(
+                                    sm_idx,
+                                    StallReason::WaitClock,
+                                    now - warp.blocked_at,
+                                );
+                            }
                         }
+                        _ => {}
                     }
-                    _ => {}
                 }
             }
+            self.timed_warps -= woke;
+            self.ready_warps += woke;
         }
         // Issue phase: every ready warp takes (at most) one costed step.
-        for bi in 0..self.blocks.len() {
-            for wi in 0..self.blocks[bi].warps.len() {
-                if self.blocks[bi].warps[wi].state != WarpState::Ready {
-                    continue;
+        if self.ready_warps > 0 {
+            for bi in 0..self.blocks.len() {
+                for wi in 0..self.blocks[bi].warps.len() {
+                    if self.blocks[bi].warps[wi].state != WarpState::Ready {
+                        continue;
+                    }
+                    self.step_warp(bi, wi, now, clock32, recorder);
                 }
-                self.step_warp(bi, wi, now, clock32, recorder);
             }
         }
         // LSU phase: one packet per cycle into the fabric.
@@ -383,6 +467,8 @@ impl Sm {
                     }
                     warp.state = WarpState::WaitClock { mask, target };
                     warp.blocked_at = now;
+                    self.ready_warps -= 1;
+                    self.timed_warps += 1;
                     return;
                 }
                 WarpStep::Sleep(cycles) => {
@@ -390,10 +476,14 @@ impl Sm {
                         until: now + Cycle::from(cycles.max(1)),
                     };
                     warp.blocked_at = now;
+                    self.ready_warps -= 1;
+                    self.timed_warps += 1;
                     return;
                 }
                 WarpStep::Finish => {
                     warp.state = WarpState::Done;
+                    self.ready_warps -= 1;
+                    self.maybe_finished = true;
                     return;
                 }
                 WarpStep::Memory { kind, addrs, wait } => {
@@ -447,6 +537,8 @@ impl Sm {
         if txns.is_empty() {
             warp.state = WarpState::Sleeping { until: now + 1 };
             warp.blocked_at = now;
+            self.ready_warps -= 1;
+            self.timed_warps += 1;
             return;
         }
         let pkt_kind = match kind {
@@ -469,6 +561,9 @@ impl Sm {
         } else {
             WarpState::Ready
         };
+        if warp.state != WarpState::Ready {
+            self.ready_warps -= 1;
+        }
         for (i, txn) in txns.into_iter().enumerate() {
             let id = PacketId(self.packet_id_base | self.next_packet_seq);
             self.next_packet_seq += 1;

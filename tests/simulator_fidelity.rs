@@ -233,6 +233,65 @@ fn fast_forward_is_bit_identical_under_faults() {
     assert_eq!(naive_report.errors, fast_report.errors);
 }
 
+/// The event-calendar engine must agree with the naive loop for *every*
+/// seed, not just the one the fixed-seed tests pin: clock seeds shift
+/// every SM's local clock phase, and fault seeds move which packets the
+/// injected faults hit, so each seed exercises a different interleaving
+/// of calendar wake-ups. Runs the full stack — faults on, telemetry
+/// collector attached — and demands bit-identical recorder contents,
+/// final cycle counts, decoded payloads, and telemetry reports.
+#[test]
+fn calendar_matches_naive_across_seeds_with_faults_and_telemetry() {
+    use gpu_noc_covert::common::bits::BitVec;
+    use gpu_noc_covert::common::fault::{FaultConfig, FaultPlan};
+    use gpu_noc_covert::common::telemetry::Collector;
+    use gpu_noc_covert::covert::channel::ChannelPlan;
+    use gpu_noc_covert::covert::protocol::ProtocolConfig;
+    use gpu_noc_covert::sim::LoopMode;
+
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(2), &[0]);
+    let payload = BitVec::from_bytes(b"ok");
+
+    for seed in [1u64, 5, 9] {
+        let run = |mode: LoopMode| {
+            let faults = FaultPlan::new(FaultConfig::moderate().with_seed(seed ^ 0xA5));
+            let mut gpu = Gpu::with_faults(cfg.clone(), seed, faults)
+                .unwrap()
+                .with_probe(Collector::for_config(&cfg));
+            gpu.set_loop_mode(mode);
+            let report = plan.transmit_on(&mut gpu, &payload, seed);
+            let records: Vec<_> = gpu.recorder().records().to_vec();
+            let now = gpu.now();
+            let telemetry = serde_json::to_string(&gpu.into_probe().report())
+                .expect("telemetry report serializes");
+            (report, records, now, telemetry)
+        };
+
+        let (n_report, n_records, n_now, n_telemetry) = run(LoopMode::Naive);
+        let (f_report, f_records, f_now, f_telemetry) = run(LoopMode::FastForward);
+
+        assert_eq!(n_now, f_now, "seed {seed}: final cycle counts diverge");
+        assert_eq!(
+            n_records, f_records,
+            "seed {seed}: recorder contents diverge"
+        );
+        assert_eq!(
+            n_report.received, f_report.received,
+            "seed {seed}: decoded payloads diverge"
+        );
+        assert_eq!(
+            n_report.elapsed_cycles, f_report.elapsed_cycles,
+            "seed {seed}: latency traces diverge"
+        );
+        assert_eq!(n_report.errors, f_report.errors, "seed {seed}");
+        assert_eq!(
+            n_telemetry, f_telemetry,
+            "seed {seed}: telemetry reports diverge"
+        );
+    }
+}
+
 /// The parallel trial pool must not change results: the same sweeps run
 /// with 1 worker and 8 workers serialize to byte-identical JSON.
 #[test]

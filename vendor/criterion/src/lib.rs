@@ -129,6 +129,11 @@ impl Criterion {
         self
     }
 
+    /// Configures the warm-up time (accepted and ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
     /// Prints the summary footer (kept for API parity).
     pub fn final_summary(&mut self) {}
 }
@@ -147,6 +152,11 @@ impl BenchmarkGroup<'_> {
 
     /// Configures the measurement time (accepted and ignored).
     pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Configures the warm-up time (accepted and ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
         self
     }
 
