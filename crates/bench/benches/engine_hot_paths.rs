@@ -14,6 +14,7 @@ use gnc_mem::l2::L2Slice;
 use gnc_noc::crossbar::Crossbar;
 use gnc_noc::mux::ConcentratorMux;
 use gnc_noc::packet::{Packet, PacketId, PacketKind};
+use gnc_sim::gpu::Gpu;
 
 fn packet(id: u64, input: usize, slice: usize, kind: PacketKind, now: u64) -> Packet {
     Packet {
@@ -108,6 +109,33 @@ fn l2_miss_stream(cycles: u64) -> u64 {
     replies
 }
 
+/// Per-trial machine bring-up, both ways: constructing a full 80-SM
+/// Volta from scratch versus restoring a pooled machine with
+/// `Gpu::reset`. The gap between these two is exactly what the
+/// build-once/reset-many sweep engine saves on every trial after the
+/// first.
+fn construction_vs_reset(c: &mut Criterion) {
+    let cfg = GpuConfig::volta_v100();
+    let mut group = c.benchmark_group("construction_vs_reset");
+    group.sample_size(20);
+    group.bench_function("construct_volta", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config")
+        });
+    });
+    group.bench_function("reset_volta", |b| {
+        let mut gpu = Gpu::with_clock_seed(cfg.clone(), 0).expect("valid config");
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            gpu.reset(seed);
+        });
+    });
+    group.finish();
+}
+
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_hot_paths");
     group.sample_size(20);
@@ -125,5 +153,5 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench);
+criterion_group!(benches, bench, construction_vs_reset);
 criterion_main!(benches);

@@ -45,8 +45,13 @@ struct BenchReport {
     scale: String,
     jobs: usize,
     wall_clock_s: f64,
-    /// GPU instances simulated during the run (one per trial).
+    /// Trials simulated during the run: one GPU instance each, whether
+    /// built fresh or reset in place from the worker's pool.
     trials: u64,
+    /// Trials that constructed a machine from scratch.
+    gpus_built: u64,
+    /// Trials served by `Gpu::reset` on a pooled machine.
+    gpus_reset: u64,
     trials_per_s: f64,
     /// Reference wall-clock passed via `--bench-baseline`, if any.
     #[serde(skip_serializing_if = "Option::is_none")]
@@ -236,7 +241,8 @@ fn emit<T: Serialize>(args: &Args, name: &str, value: &T) {
 fn main() {
     let args = parse_args();
     let started = Instant::now();
-    let trials_at_start = gnc_sim::gpus_built();
+    let builds_at_start = gnc_sim::gpus_built();
+    let resets_at_start = gnc_sim::gpus_reset();
     let cfg = platform();
     println!(
         "platform: {} ({} SMs / {} TPCs / {} GPCs), scale: {:?}\n",
@@ -604,12 +610,16 @@ fn main() {
 
     if let Some(path) = &args.bench {
         let wall_clock_s = started.elapsed().as_secs_f64();
-        let trials = gnc_sim::gpus_built() - trials_at_start;
+        let gpus_built = gnc_sim::gpus_built() - builds_at_start;
+        let gpus_reset = gnc_sim::gpus_reset() - resets_at_start;
+        let trials = gpus_built + gpus_reset;
         let report = BenchReport {
             scale: format!("{:?}", args.scale),
             jobs: gnc_common::par::jobs(),
             wall_clock_s,
             trials,
+            gpus_built,
+            gpus_reset,
             trials_per_s: trials as f64 / wall_clock_s,
             baseline_wall_clock_s: args.bench_baseline_s,
             speedup: args.bench_baseline_s.map(|b| b / wall_clock_s),

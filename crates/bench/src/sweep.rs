@@ -185,6 +185,14 @@ pub struct ErrorManifest {
     pub recovered: u64,
     /// Extra attempts spent across all units (retries).
     pub retries_spent: u64,
+    /// GPU machines constructed from scratch during this run. With the
+    /// build-once/reset-many pool, this converges to one per (worker,
+    /// config-shape); a full-cache replay builds none.
+    pub gpus_built: u64,
+    /// Trials served by resetting a pooled machine in place instead of
+    /// constructing one. `gpus_built + gpus_reset` is the number of
+    /// attempts actually simulated.
+    pub gpus_reset: u64,
     /// Per-unit failure details for every unit without a result.
     pub failures: Vec<TrialFailure>,
 }
@@ -284,6 +292,8 @@ pub fn resilient_noise_sweep(
         .collect();
     let cached = (units.len() - pending.len()) as u64;
 
+    let builds_before = gnc_sim::gpus_built();
+    let resets_before = gnc_sim::gpus_reset();
     let outcomes = run_supervised(
         &pending,
         &sweep.supervise,
@@ -293,6 +303,8 @@ pub fn resilient_noise_sweep(
             run_noise_unit(cfg, &plan, &robust, NOISE_PRESETS[p], trial, sweep.bits)
         },
     );
+    let gpus_built = gnc_sim::gpus_built() - builds_before;
+    let gpus_reset = gnc_sim::gpus_reset() - resets_before;
 
     // Journal every settled outcome (flushed record-by-record) and fold
     // the accounting. Cancelled units are deliberately *not* journaled:
@@ -307,6 +319,8 @@ pub fn resilient_noise_sweep(
         cancelled: 0,
         recovered: 0,
         retries_spent: 0,
+        gpus_built,
+        gpus_reset,
         failures: Vec::new(),
     };
     for (slot, outcome) in pending.iter().zip(&outcomes) {

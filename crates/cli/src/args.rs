@@ -295,6 +295,7 @@ fn parse_arbitration(value: &str) -> Result<Arbitration, ParseError> {
 /// # Errors
 ///
 /// Returns a [`ParseError`] describing the first offending argument.
+#[cfg_attr(not(test), allow(dead_code))]
 pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     parse_invocation(args).map(|inv| inv.command)
 }

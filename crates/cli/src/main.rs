@@ -218,6 +218,16 @@ fn sweep(arch: Arch, opts: &SweepOpts) -> ExitCode {
         m.retries_spent,
         if m.retries_spent == 1 { "y" } else { "ies" },
     );
+    println!(
+        "machines: {} built, {} reset in place (pool hit rate {:.0}%)",
+        m.gpus_built,
+        m.gpus_reset,
+        if m.gpus_built + m.gpus_reset == 0 {
+            0.0
+        } else {
+            100.0 * m.gpus_reset as f64 / (m.gpus_built + m.gpus_reset) as f64
+        },
+    );
     if let Some(out) = &opts.out {
         if let Err(e) = write_json(out, &report.points) {
             eprintln!("error: {e}");

@@ -1,0 +1,174 @@
+//! Counting global allocator for allocation audits.
+//!
+//! The engine's steady-state contract is *zero heap traffic per cycle*:
+//! every queue, arena, and calendar is sized at construction (or grows
+//! to a high-water mark during warm-up) and is reused thereafter, and
+//! [`Gpu::reset`]-style trial reuse keeps even per-trial allocations to
+//! a small bounded set. Asserting that contract needs ground truth the
+//! borrow checker cannot give — so this module wraps the system
+//! allocator in allocation counters and installs it as the global
+//! allocator **only** under the `alloc-audit` cargo feature.
+//!
+//! Without the feature nothing is installed and every query returns
+//! zeros with [`is_active`] false, so audit assertions can be written
+//! unconditionally and guarded by one `if`:
+//!
+//! ```
+//! use gnc_common::alloc_audit;
+//!
+//! let (len, delta) = alloc_audit::allocation_delta(|| vec![1u8; 64].len());
+//! assert_eq!(len, 64);
+//! if alloc_audit::is_active() {
+//!     assert!(delta.allocs >= 1, "the vec must show up in the audit");
+//! }
+//! ```
+//!
+//! The counters are process-wide relaxed atomics: cheap enough to leave
+//! on for a whole test binary, but shared across threads. Audit tests
+//! therefore measure deltas around single-threaded regions (CI runs
+//! them with `--test-threads=1`).
+//!
+//! [`Gpu::reset`]: https://docs.rs/gnc-sim
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static REALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide allocation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocCounts {
+    /// `alloc` / `alloc_zeroed` calls.
+    pub allocs: u64,
+    /// `dealloc` calls.
+    pub deallocs: u64,
+    /// `realloc` calls (counted separately, not as alloc+dealloc).
+    pub reallocs: u64,
+    /// Bytes requested across allocs and growing reallocs.
+    pub bytes: u64,
+}
+
+impl AllocCounts {
+    /// Heap operations that could take a lock or page fault: the number
+    /// a zero-alloc steady-state gate asserts on.
+    pub fn total_ops(&self) -> u64 {
+        self.allocs + self.reallocs
+    }
+
+    /// Counterwise difference `self - earlier` (saturating, so a torn
+    /// read across threads never underflows).
+    #[must_use]
+    pub fn since(&self, earlier: &AllocCounts) -> AllocCounts {
+        AllocCounts {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            deallocs: self.deallocs.saturating_sub(earlier.deallocs),
+            reallocs: self.reallocs.saturating_sub(earlier.reallocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Whether the counting allocator is installed (the `alloc-audit`
+/// feature is on). When false, [`counts`] is permanently zero and audit
+/// assertions should be skipped.
+pub fn is_active() -> bool {
+    cfg!(feature = "alloc-audit")
+}
+
+/// The current process-wide counter snapshot.
+pub fn counts() -> AllocCounts {
+    AllocCounts {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        reallocs: REALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES_ALLOCATED.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs `f` and returns its result together with the allocation counts
+/// it incurred (process-wide; run audited regions single-threaded).
+pub fn allocation_delta<T>(f: impl FnOnce() -> T) -> (T, AllocCounts) {
+    let before = counts();
+    let out = f();
+    (out, counts().since(&before))
+}
+
+/// The counting allocator: [`std::alloc::System`] plus relaxed-atomic
+/// tallies. Installed as `#[global_allocator]` by the `alloc-audit`
+/// feature; constructible regardless so downstream binaries can opt in
+/// themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// updates are lock-free atomics and cannot recurse into the allocator.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        REALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(
+            (new_size as u64).saturating_sub(layout.size() as u64),
+            Ordering::Relaxed,
+        );
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[cfg(feature = "alloc-audit")]
+#[global_allocator]
+static AUDIT_ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_zero_when_inactive_and_positive_when_active() {
+        let (v, delta) = allocation_delta(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        if is_active() {
+            assert!(delta.allocs >= 1, "audit must see the vec: {delta:?}");
+            assert!(delta.bytes >= 4096, "audit must count bytes: {delta:?}");
+        } else {
+            assert_eq!(delta, AllocCounts::default());
+        }
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = AllocCounts {
+            allocs: 1,
+            deallocs: 2,
+            reallocs: 3,
+            bytes: 4,
+        };
+        let b = AllocCounts {
+            allocs: 5,
+            deallocs: 5,
+            reallocs: 5,
+            bytes: 5,
+        };
+        assert_eq!(a.since(&b), AllocCounts::default());
+        let d = b.since(&a);
+        assert_eq!((d.allocs, d.deallocs, d.reallocs, d.bytes), (4, 3, 2, 1));
+        assert_eq!(d.total_ops(), 6);
+    }
+}

@@ -40,6 +40,7 @@
 //! assert_eq!(cfg.tpc_of_sm(sm).index(), 1);
 //! ```
 
+pub mod alloc_audit;
 pub mod bits;
 pub mod config;
 pub mod error;

@@ -28,7 +28,6 @@ use gnc_common::bits::BitVec;
 use gnc_common::ids::{BlockId, SliceId, StreamId, WarpId};
 use gnc_common::{Cycle, GpuConfig};
 use gnc_mem::address::AddressMap;
-use gnc_sim::gpu::Gpu;
 use gnc_sim::kernel::{AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -119,7 +118,7 @@ impl PrimeProbeChannel {
     ///     report.error_rate * 100.0);
     /// ```
     pub fn transmit(&self, cfg: &GpuConfig, payload: &BitVec, seed: u64) -> PrimeProbeReport {
-        let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+        let mut gpu = gnc_sim::pooled_gpu(cfg, seed, None).expect("valid config");
         let map = AddressMap::new(cfg);
         let mut stream: Vec<bool> = (0..self.preamble_bits).map(|i| i % 2 == 1).collect();
         stream.extend(payload.iter());

@@ -258,8 +258,10 @@ impl ChannelPlan {
     /// println!("{:.1} Mbps", report.bandwidth_bps / 1e6);
     /// ```
     pub fn transmit(&self, gpu_cfg: &GpuConfig, payload: &BitVec, seed: u64) -> TransmissionReport {
-        let mut gpu = Gpu::with_clock_seed(gpu_cfg.clone(), seed).expect("valid GPU config");
-        self.transmit_on(&mut gpu, payload, seed)
+        gnc_sim::with_pooled_gpu(gpu_cfg, seed, None, |gpu| {
+            self.transmit_on(gpu, payload, seed)
+        })
+        .expect("valid GPU config")
     }
 
     /// [`transmit`](Self::transmit) on a GPU with a fault-injection plan
@@ -274,9 +276,10 @@ impl ChannelPlan {
         seed: u64,
         plan: &std::sync::Arc<gnc_common::fault::FaultPlan>,
     ) -> (TransmissionReport, Vec<ChannelTrace>) {
-        let mut gpu = Gpu::with_faults(gpu_cfg.clone(), seed, std::sync::Arc::clone(plan))
-            .expect("valid GPU config");
-        self.transmit_inner(&mut gpu, payload, seed, 0)
+        gnc_sim::with_pooled_gpu(gpu_cfg, seed, Some(plan), |gpu| {
+            self.transmit_inner(gpu, payload, seed, 0)
+        })
+        .expect("valid GPU config")
     }
 
     /// MPS-style multiprogramming (§2.1): the trojan and spy come from
@@ -291,8 +294,10 @@ impl ChannelPlan {
         seed: u64,
         skew_cycles: Cycle,
     ) -> TransmissionReport {
-        let mut gpu = Gpu::with_clock_seed(gpu_cfg.clone(), seed).expect("valid GPU config");
-        self.transmit_inner(&mut gpu, payload, seed, skew_cycles).0
+        gnc_sim::with_pooled_gpu(gpu_cfg, seed, None, |gpu| {
+            self.transmit_inner(gpu, payload, seed, skew_cycles).0
+        })
+        .expect("valid GPU config")
     }
 
     /// Runs one full transmission on an existing GPU (lets callers

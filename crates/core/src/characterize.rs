@@ -14,7 +14,6 @@ use gnc_common::bits::BitVec;
 use gnc_common::ids::{StreamId, TpcId};
 use gnc_common::rng::experiment_rng;
 use gnc_common::{Cycle, GpuConfig};
-use gnc_sim::gpu::Gpu;
 use gnc_sim::kernel::AccessKind;
 use gnc_sim::workloads::{StreamConfig, StreamKernel};
 use serde::{Deserialize, Serialize};
@@ -101,7 +100,7 @@ pub fn probe_with_interferer(
     interferer_batches: u32,
     seed: u64,
 ) -> Cycle {
-    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let mut gpu = gnc_sim::pooled_gpu(cfg, seed, None).expect("valid config");
     let warps = 4;
     let mut probe_cfg = StreamConfig::writer(cfg.num_sms(), warps, probe_batches);
     probe_cfg.kind = probe_kind;
@@ -265,7 +264,7 @@ pub fn third_kernel_noise(cfg: &GpuConfig, payload_bits: usize, seed: u64) -> No
 
     let clean_error = plan.transmit(cfg, &payload, seed).error_rate;
 
-    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let mut gpu = gnc_sim::pooled_gpu(cfg, seed, None).expect("valid config");
     // The third kernel: every SM except the covert pair streams reads
     // over a working set far larger than its L2 share, evicting the
     // covert channel's preloaded lines throughout the transmission.

@@ -23,7 +23,6 @@ use gnc_common::config::{Arbitration, SchedulerPolicy};
 use gnc_common::ids::StreamId;
 use gnc_common::rng::experiment_rng;
 use gnc_common::GpuConfig;
-use gnc_sim::gpu::Gpu;
 use gnc_sim::kernel::AccessKind;
 use gnc_sim::workloads::ComputeKernel;
 use serde::{Deserialize, Serialize};
@@ -127,7 +126,7 @@ pub fn srr_overhead(cfg: &GpuConfig, batches: u32, seed: u64) -> OverheadReport 
     let compute_time = |policy: Arbitration| -> f64 {
         let mut cfg = cfg.clone();
         cfg.noc.arbitration = policy;
-        let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+        let mut gpu = gnc_sim::pooled_gpu(&cfg, seed, None).expect("valid config");
         let k = gpu.launch(Box::new(ComputeKernel::new(2, 4, 5_000)), StreamId::new(0));
         let outcome = gpu.run_until_idle(100_000);
         assert!(outcome.is_idle(), "compute kernel did not finish");

@@ -14,7 +14,6 @@ use crate::protocol::{
 use gnc_common::bits::SymbolVec;
 use gnc_common::ids::StreamId;
 use gnc_common::{Cycle, GpuConfig};
-use gnc_sim::gpu::Gpu;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -89,7 +88,7 @@ impl MultiLevelChannel {
         symbols: &SymbolVec,
         seed: u64,
     ) -> MultiLevelReport {
-        let mut gpu = Gpu::with_clock_seed(gpu_cfg.clone(), seed).expect("valid GPU config");
+        let mut gpu = gnc_sim::pooled_gpu(gpu_cfg, seed, None).expect("valid GPU config");
         let line_bytes = u64::from(gpu_cfg.mem.line_bytes);
 
         // Stream: calibration staircase (0,1,2,3 repeated) ++ payload.

@@ -47,7 +47,7 @@ pub fn run_active_sms(
     batches: u32,
     seed: u64,
 ) -> Vec<(usize, Cycle)> {
-    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let mut gpu = gnc_sim::pooled_gpu(cfg, seed, None).expect("valid config");
     run_active_sms_on(&mut gpu, active_sms, kind, warps, batches)
 }
 

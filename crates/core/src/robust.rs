@@ -28,7 +28,6 @@ use gnc_common::bits::BitVec;
 use gnc_common::fault::{FaultConfig, FaultPlan, FaultStats};
 use gnc_common::fec::{fec_decode, fec_decode_symbols, fec_encode, FecSymbol};
 use gnc_common::{Cycle, GpuConfig, SimError};
-use gnc_sim::gpu::Gpu;
 
 /// Tuning knobs of the hardened receiver and the retry loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -369,11 +368,10 @@ pub fn transmit_reliable(
                 });
                 out
             }
-            None => {
-                let mut gpu =
-                    Gpu::with_clock_seed(gpu_cfg.clone(), attempt_seed).expect("valid GPU config");
-                plan.transmit_traced_on(&mut gpu, &coded, attempt_seed)
-            }
+            None => gnc_sim::with_pooled_gpu(gpu_cfg, attempt_seed, None, |gpu| {
+                plan.transmit_traced_on(gpu, &coded, attempt_seed)
+            })
+            .expect("valid GPU config"),
         };
         elapsed += report.elapsed_cycles;
 

@@ -15,7 +15,6 @@ use crate::protocol::RECEIVER_BASE;
 use gnc_common::ids::{BlockId, StreamId, WarpId};
 use gnc_common::stats::OnlineStats;
 use gnc_common::GpuConfig;
-use gnc_sim::gpu::Gpu;
 use gnc_sim::kernel::{
     warp_addresses, AccessKind, KernelProgram, WarpContext, WarpProgram, WarpStep,
 };
@@ -320,7 +319,7 @@ impl KernelProgram for SpyKernel {
 /// assert!(report.correlation > 0.9);
 /// ```
 pub fn spy_on_victim(cfg: &GpuConfig, intensities: &[u32], seed: u64) -> SpyReport {
-    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let mut gpu = gnc_sim::pooled_gpu(cfg, seed, None).expect("valid config");
     let victim = VictimKernel::new(cfg, 0, intensities.to_vec());
     let (vbase, vlines) = victim.working_set();
     gpu.preload_range(vbase, vlines);
@@ -442,7 +441,7 @@ mod tests {
         // trace — the side channel is strictly local, like the covert
         // channel (Fig 8's SM12 line).
         let cfg = GpuConfig::volta_v100();
-        let mut gpu = Gpu::with_clock_seed(cfg.clone(), 2).expect("valid");
+        let mut gpu = gnc_sim::gpu::Gpu::with_clock_seed(cfg.clone(), 2).expect("valid");
         let intensities = vec![0u32, 32, 0, 32];
         let victim = VictimKernel::new(&cfg, 0, intensities.clone());
         let (vb, vl) = victim.working_set();

@@ -10,7 +10,6 @@
 use gnc_common::ids::{SmId, StreamId};
 use gnc_common::stats::OnlineStats;
 use gnc_common::GpuConfig;
-use gnc_sim::gpu::Gpu;
 use gnc_sim::workloads::{ClockReadKernel, TAG_CLOCK};
 use serde::{Deserialize, Serialize};
 
@@ -24,7 +23,7 @@ pub struct ClockSnapshot {
 /// Launches the clock-read kernel across every SM and collects the
 /// per-SM readings — exactly Fig 6's experiment.
 pub fn clock_snapshot(cfg: &GpuConfig, seed: u64) -> ClockSnapshot {
-    let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed).expect("valid config");
+    let mut gpu = gnc_sim::pooled_gpu(cfg, seed, None).expect("valid config");
     let k = gpu.launch(
         Box::new(ClockReadKernel::new(cfg.num_sms())),
         StreamId::new(0),

@@ -132,6 +132,19 @@ impl DramController {
         }
     }
 
+    /// Restores the controller to its just-constructed state in place:
+    /// all rows close, every bank and the shared bus become ready at
+    /// cycle zero, and counters clear. The bank vector is retained.
+    pub fn reset(&mut self) {
+        for bank in &mut self.banks {
+            *bank = BankState::default();
+        }
+        self.bus_free_at = 0;
+        self.next_activate_at = 0;
+        self.accesses = 0;
+        self.row_hits = 0;
+    }
+
     /// Total accesses serviced.
     pub fn accesses(&self) -> u64 {
         self.accesses

@@ -45,6 +45,17 @@ pub struct L2Stats {
     pub mshr_stalls: u64,
 }
 
+/// The waiters of one in-flight MSHR: the request that allocated the
+/// miss inline, plus any later same-line merges. The dominant case —
+/// a miss with no merges — allocates nothing (`Vec::new` is
+/// allocation-free); merge overflow vectors are recycled through the
+/// slice's waiter pool so steady-state merging is allocation-free too.
+#[derive(Debug, Clone)]
+struct WaiterList {
+    first: Packet,
+    rest: Vec<Packet>,
+}
+
 /// A single banked L2 slice backed by (a share of) one DRAM controller.
 #[derive(Debug)]
 pub struct L2Slice {
@@ -56,8 +67,11 @@ pub struct L2Slice {
     pipeline: DelayLine<Packet>,
     /// Lookup that could not allocate an MSHR, retried before the pipeline.
     stalled: Option<Packet>,
-    mshrs: FastHashMap<u64, Vec<Packet>>,
+    mshrs: FastHashMap<u64, WaiterList>,
     mshr_capacity: usize,
+    /// Recycled `WaiterList::rest` vectors (capacity > 0 only), so
+    /// same-line merges reuse buffers instead of allocating per miss.
+    waiter_pool: Vec<Vec<Packet>>,
     pending_fills: BinaryHeap<Reverse<(Cycle, u64)>>,
     replies: VecDeque<Packet>,
     stats: L2Stats,
@@ -81,6 +95,7 @@ impl L2Slice {
             stalled: None,
             mshrs: FastHashMap::default(),
             mshr_capacity: cfg.mem.l2_mshrs,
+            waiter_pool: Vec::new(),
             pending_fills: BinaryHeap::new(),
             replies: VecDeque::new(),
             stats: L2Stats::default(),
@@ -240,11 +255,19 @@ impl L2Slice {
             }
             self.pending_fills.pop();
             self.install_fill(line, dram, now, mc, probe);
-            if let Some(waiters) = self.mshrs.remove(&line) {
-                for req in waiters {
+            if let Some(mut waiters) = self.mshrs.remove(&line) {
+                // Reply order matches the old Vec walk: the allocating
+                // request first, then merges in arrival order.
+                let write = waiters.first.kind == PacketKind::WriteRequest;
+                self.touch_hit(waiters.first.addr, write);
+                self.replies.push_back(waiters.first.to_reply(now));
+                for req in waiters.rest.drain(..) {
                     let write = req.kind == PacketKind::WriteRequest;
                     self.touch_hit(req.addr, write);
                     self.replies.push_back(req.to_reply(now));
+                }
+                if waiters.rest.capacity() > 0 {
+                    self.waiter_pool.push(waiters.rest);
                 }
             }
         }
@@ -278,7 +301,12 @@ impl L2Slice {
         if let Some(waiters) = self.mshrs.get_mut(&line) {
             // Merge into the in-flight miss; reply when the fill lands.
             self.stats.mshr_merges += 1;
-            waiters.push(req);
+            if waiters.rest.capacity() == 0 {
+                if let Some(pooled) = self.waiter_pool.pop() {
+                    waiters.rest = pooled;
+                }
+            }
+            waiters.rest.push(req);
             return;
         }
         self.stats.accesses += 1;
@@ -300,7 +328,13 @@ impl L2Slice {
         let row = self.map.row_of(req.addr);
         let acc = dram.access_traced(bank, row, now);
         probe.dram_access(now, mc, bank, acc.start, acc.done, acc.row_hit);
-        self.mshrs.insert(line, vec![req]);
+        self.mshrs.insert(
+            line,
+            WaiterList {
+                first: req,
+                rest: Vec::new(),
+            },
+        );
         probe.mshr_occupancy(self.id.index(), self.mshrs.len());
         self.pending_fills.push(Reverse((acc.done, line)));
     }
@@ -331,6 +365,24 @@ impl L2Slice {
     /// Counter snapshot.
     pub fn stats(&self) -> L2Stats {
         self.stats
+    }
+
+    /// Restores the slice to its just-constructed state in place: cache
+    /// contents, pipeline, MSHRs, pending fills, replies, and stats all
+    /// clear; any fault plan detaches. Allocations (sets, hash-map
+    /// capacity, the waiter pool) are retained for reuse.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.lru_clock = 0;
+        self.pipeline.clear();
+        self.stalled = None;
+        self.mshrs.clear();
+        self.pending_fills.clear();
+        self.replies.clear();
+        self.stats = L2Stats::default();
+        self.fault = None;
     }
 
     /// True when no request is in flight anywhere in the slice.

@@ -246,6 +246,23 @@ impl MemorySubsystem {
         }
     }
 
+    /// Restores the subsystem to its just-constructed state in place:
+    /// every slice and controller resets (fault plans detach), the wake
+    /// calendar empties, and the reply mirrors zero. Allocations are
+    /// retained for reuse.
+    pub fn reset(&mut self) {
+        for slice in &mut self.slices {
+            slice.reset();
+        }
+        for dram in &mut self.drams {
+            dram.reset();
+        }
+        self.cal.reset();
+        self.reply_counts.fill(0);
+        self.reply_mask.clear_all();
+        self.total_replies = 0;
+    }
+
     /// Counter snapshot for `slice`.
     pub fn slice_stats(&self, slice: SliceId) -> L2Stats {
         self.slices[slice.index()].stats()

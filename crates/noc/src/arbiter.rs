@@ -224,6 +224,14 @@ impl OccupancyMask {
         self.words[i / 64] >> (i % 64) & 1 != 0
     }
 
+    /// Clears every bit without reallocating — the in-place reset used
+    /// by [`Gpu::reset`]-style machine reuse (word count and `len` are
+    /// config-derived, so they survive the reset).
+    #[inline]
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
     /// The raw words, low bit = slot 0. Drain loops that clear bits as
     /// they visit copy one word at a time from this slice: the copy is a
     /// snapshot, so clearing an already-visited bit cannot perturb the
@@ -311,6 +319,20 @@ impl InlineArbiter {
             },
             Arbitration::StrictRoundRobin => InlineArbiter::StrictRoundRobin,
             Arbitration::AgeBased => InlineArbiter::AgeBased,
+        }
+    }
+
+    /// Restores the arbiter to its just-constructed state in place
+    /// (pointer at input 0, no group in progress). The policy variant is
+    /// config-derived and retained.
+    pub(crate) fn reset(&mut self) {
+        match self {
+            InlineArbiter::RoundRobin { next } => *next = 0,
+            InlineArbiter::CoarseRoundRobin { next, current } => {
+                *next = 0;
+                *current = None;
+            }
+            InlineArbiter::StrictRoundRobin | InlineArbiter::AgeBased => {}
         }
     }
 

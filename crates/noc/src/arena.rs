@@ -68,6 +68,32 @@ impl PacketArena {
         self.free.push(slot);
         packet
     }
+
+    /// Removes every packet in `slots` (in order), handing each to
+    /// `sink`, then recycles all the slots with a single free-list
+    /// extend — the batched retire path for drain loops that pop a run
+    /// of completed packets in one call.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a vacant slot (double free), like [`take`](Self::take).
+    pub(crate) fn take_batch(&mut self, slots: &[u32], mut sink: impl FnMut(Packet)) {
+        for &slot in slots {
+            let packet = self.slots[slot as usize]
+                .take()
+                .expect("arena slot vacated while still referenced");
+            sink(packet);
+        }
+        self.free.extend_from_slice(slots);
+    }
+
+    /// Empties the arena in place, keeping the slab and free-list
+    /// allocations — the in-place reset used by machine reuse.
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
+        self.flits.clear();
+        self.free.clear();
+    }
 }
 
 #[cfg(test)]

@@ -140,7 +140,8 @@ impl Crossbar {
 
     /// Pops every packet already delivered at any output (in output
     /// order) into `sink`. Equivalent to a full `pop_delivered` sweep
-    /// over all outputs, but walks only busy ones.
+    /// over all outputs, but walks only busy ones and retires each
+    /// output's delivered slots through the arena in one batch.
     pub fn drain_delivered<F: FnMut(Packet)>(&mut self, now: Cycle, mut sink: F) {
         for w in 0..self.mask.words().len() {
             // Snapshot one word: pops may clear bits of already-visited
@@ -149,11 +150,25 @@ impl Crossbar {
             while bits != 0 {
                 let o = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                while let Some(p) = self.pop_delivered(o, now) {
-                    sink(p);
+                let drained = self.outputs[o].drain_delivered(now, &mut sink);
+                if drained > 0 {
+                    self.busy[o] -= u32::try_from(drained).expect("queue depths fit u32");
+                    if self.busy[o] == 0 {
+                        self.mask.clear(o);
+                    }
                 }
             }
         }
+    }
+
+    /// Restores the crossbar to its just-constructed state in place
+    /// (see [`ConcentratorMux::reset`]).
+    pub fn reset(&mut self) {
+        for mux in &mut self.outputs {
+            mux.reset();
+        }
+        self.busy.fill(0);
+        self.mask.clear_all();
     }
 
     /// True when nothing is queued or in flight anywhere.

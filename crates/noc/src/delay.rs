@@ -92,6 +92,12 @@ impl<T> DelayLine<T> {
     pub fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
+
+    /// Drops every in-flight item, keeping the allocation and latency —
+    /// the in-place reset used by machine reuse.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
 }
 
 #[cfg(test)]

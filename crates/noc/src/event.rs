@@ -120,6 +120,24 @@ impl EventCalendar {
         }
     }
 
+    /// Restores the calendar to its just-constructed state in place:
+    /// drops every heap entry, scheduled wake-up, and busy bit, keeping
+    /// all allocations. The component count is config-derived and
+    /// retained.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.scheduled.fill(Cycle::MAX);
+        self.busy.clear_all();
+        self.num_busy = 0;
+        self.live_scheduled = 0;
+    }
+
+    /// Number of schedulable components this calendar was sized for.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.scheduled.len()
+    }
+
     /// True when nothing is busy and nothing holds a live wake-up: every
     /// remaining cycle is a no-op until external work arrives. Exact —
     /// lazily deleted heap entries do not count.

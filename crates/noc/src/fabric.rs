@@ -360,6 +360,24 @@ impl RequestFabric {
     pub fn corrupt_in_flight_counter_for_test(&mut self) {
         self.in_flight = 0;
     }
+
+    /// Restores the subnet to its just-constructed state in place: every
+    /// mux resets (dropping packets and fault plans, keeping
+    /// allocations), counters zero, masks clear. The config-derived
+    /// wiring tables (`gpc_port_of_tpc`, `sms_per_tpc`) are retained.
+    pub fn reset(&mut self) {
+        for mux in &mut self.tpc_muxes {
+            mux.reset();
+        }
+        for mux in &mut self.gpc_muxes {
+            mux.reset();
+        }
+        self.xbar.reset();
+        self.in_flight = 0;
+        self.tpc_busy.fill(0);
+        self.tpc_mask.clear_all();
+        self.gpc_busy.fill(0);
+    }
 }
 
 /// The L2 → SM reply network.
@@ -504,19 +522,24 @@ impl ReplyFabric {
             self.sm_ejectors[sm].tick_probed(now, Component::sm_ejector(sm), probe);
         }
         // GPC reply channel → per-SM staging (fan-out, no HOL blocking).
+        // The batched drain delivers the same FIFO sequence as repeated
+        // pops, retiring the mux's arena slots in one batch.
+        let sm_staging = &mut self.sm_staging;
+        let sm_busy = &mut self.sm_busy;
+        let sm_mask = &mut self.sm_mask;
         for (g, mux) in self.gpc_muxes.iter_mut().enumerate() {
             if self.gpc_busy[g] == 0 {
                 continue;
             }
-            while let Some(packet) = mux.pop_delivered(now) {
-                self.gpc_busy[g] -= 1;
+            let drained = mux.drain_delivered(now, |packet| {
                 let sm = packet.sm.index();
-                if self.sm_busy[sm] == 0 {
-                    self.sm_mask.set(sm);
+                if sm_busy[sm] == 0 {
+                    sm_mask.set(sm);
                 }
-                self.sm_busy[sm] += 1;
-                self.sm_staging[sm].push_back(packet);
-            }
+                sm_busy[sm] += 1;
+                sm_staging[sm].push_back(packet);
+            });
+            self.gpc_busy[g] -= u32::try_from(drained).expect("queue depths fit u32");
         }
         // Staging → ejection ports, per busy SM (a set bit with an empty
         // staging buffer just means the reply already sits in the
@@ -643,6 +666,25 @@ impl ReplyFabric {
     #[doc(hidden)]
     pub fn corrupt_in_flight_counter_for_test(&mut self) {
         self.in_flight = 0;
+    }
+
+    /// Restores the subnet to its just-constructed state in place (same
+    /// contract as [`RequestFabric::reset`]); the `gpc_of_sm` routing
+    /// table is config-derived and retained.
+    pub fn reset(&mut self) {
+        for mux in &mut self.gpc_muxes {
+            mux.reset();
+        }
+        for staging in &mut self.sm_staging {
+            staging.clear();
+        }
+        for ejector in &mut self.sm_ejectors {
+            ejector.reset();
+        }
+        self.in_flight = 0;
+        self.gpc_busy.fill(0);
+        self.sm_busy.fill(0);
+        self.sm_mask.clear_all();
     }
 }
 

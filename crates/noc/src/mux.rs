@@ -72,6 +72,11 @@ pub struct ConcentratorMux {
     output: DelayLine<u32>,
     noc: NocConfig,
     granted_flits: Vec<u64>,
+    /// Reusable slot-id buffer for [`drain_delivered`]
+    /// (Self::drain_delivered): delivered slots are collected here, then
+    /// retired through the arena in one batch. Always empty between
+    /// calls.
+    retire_scratch: Vec<u32>,
     forwarded_packets: u64,
     /// Total packets across all input queues (fast idle check).
     queued: usize,
@@ -118,6 +123,7 @@ impl ConcentratorMux {
             output: DelayLine::new(latency),
             noc: noc.clone(),
             granted_flits: vec![0; n_inputs],
+            retire_scratch: Vec::new(),
             forwarded_packets: 0,
             queued: 0,
             fault: None,
@@ -286,6 +292,43 @@ impl ConcentratorMux {
     pub fn pop_delivered(&mut self, now: Cycle) -> Option<Packet> {
         let slot = self.output.pop_ready(now)?;
         Some(self.arena.take(slot))
+    }
+
+    /// Pops every delivered packet ready at `now` into `sink` (FIFO
+    /// order — identical to repeated [`pop_delivered`]
+    /// (Self::pop_delivered) calls), retiring their arena slots in one
+    /// batch instead of one free-list push per packet. Returns the
+    /// number of packets delivered.
+    pub fn drain_delivered<F: FnMut(Packet)>(&mut self, now: Cycle, sink: F) -> usize {
+        debug_assert!(self.retire_scratch.is_empty());
+        while let Some(slot) = self.output.pop_ready(now) {
+            self.retire_scratch.push(slot);
+        }
+        let drained = self.retire_scratch.len();
+        self.arena.take_batch(&self.retire_scratch, sink);
+        self.retire_scratch.clear();
+        drained
+    }
+
+    /// Restores the mux to its just-constructed state in place: drops
+    /// every queued and in-flight packet, rewinds arbitration, zeroes
+    /// counters, and detaches any fault plan — keeping every allocation.
+    pub fn reset(&mut self) {
+        for q in &mut self.inputs {
+            q.clear();
+        }
+        self.arbiter.reset();
+        self.arena.clear();
+        self.occ.clear_all();
+        self.head_remaining.fill(0);
+        self.head_age.fill(0);
+        self.head_group.fill(0);
+        self.output.clear();
+        self.granted_flits.fill(0);
+        self.retire_scratch.clear();
+        self.forwarded_packets = 0;
+        self.queued = 0;
+        self.fault = None;
     }
 
     /// Flits granted to each input since construction (fairness metric).

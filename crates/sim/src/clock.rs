@@ -35,6 +35,25 @@ impl ClockDomain {
     /// `max_gpc_skew`, and a tiny per-SM jitter bounded so TPC siblings
     /// stay within `max_tpc_skew`.
     pub fn new(cfg: &GpuConfig, seed: u64) -> Self {
+        let mut offsets = Vec::new();
+        Self::draw_offsets(cfg, seed, &mut offsets);
+        Self {
+            offsets,
+            fault: None,
+        }
+    }
+
+    /// Redraws the epoch structure for a (possibly different) `seed` in
+    /// place and detaches any fault plan — the counterpart of
+    /// [`new`](Self::new) for a machine being reset between trials. The
+    /// RNG draw order is shared with the constructor, so a reset domain
+    /// is indistinguishable from a freshly built one.
+    pub fn reset(&mut self, cfg: &GpuConfig, seed: u64) {
+        Self::draw_offsets(cfg, seed, &mut self.offsets);
+        self.fault = None;
+    }
+
+    fn draw_offsets(cfg: &GpuConfig, seed: u64, offsets: &mut Vec<u64>) {
         let mut rng = experiment_rng("clock-domain", seed);
         use rand::Rng;
         let gpc_epochs: Vec<u64> = (0..cfg.num_gpcs)
@@ -50,19 +69,14 @@ impl ClockDomain {
         let tpc_jitters: Vec<i64> = (0..cfg.num_tpcs())
             .map(|_| symmetric_skew(&mut rng, tpc_jitter_max))
             .collect();
-        let offsets = (0..cfg.num_sms())
-            .map(|s| {
-                let sm = SmId::new(s);
-                let gpc = cfg.gpc_of_sm(sm);
-                let tpc = cfg.tpc_of_sm(sm);
-                let jitter = tpc_jitters[tpc.index()] + symmetric_skew(&mut rng, sm_jitter_max);
-                gpc_epochs[gpc.index()].saturating_add_signed(jitter)
-            })
-            .collect();
-        Self {
-            offsets,
-            fault: None,
-        }
+        offsets.clear();
+        offsets.extend((0..cfg.num_sms()).map(|s| {
+            let sm = SmId::new(s);
+            let gpc = cfg.gpc_of_sm(sm);
+            let tpc = cfg.tpc_of_sm(sm);
+            let jitter = tpc_jitters[tpc.index()] + symmetric_skew(&mut rng, sm_jitter_max);
+            gpc_epochs[gpc.index()].saturating_add_signed(jitter)
+        }));
     }
 
     /// Attaches a fault plan: subsequent reads see per-SM drift (the

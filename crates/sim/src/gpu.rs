@@ -25,11 +25,22 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 /// GPUs constructed process-wide (the bench harness's trial counter).
 static GPUS_BUILT: AtomicU64 = AtomicU64::new(0);
 
+/// In-place [`Gpu::reset`]s performed process-wide. Together with
+/// [`GPUS_BUILT`] this accounts for every trial: pooled trials reset,
+/// unpooled (or shape-mismatched) trials build.
+static GPUS_RESET: AtomicU64 = AtomicU64::new(0);
+
 /// Total GPU instances constructed by this process so far. Each
-/// experiment trial builds its own [`Gpu`], so this doubles as a trial
-/// counter for throughput reporting.
+/// experiment trial needs a post-construction machine, so builds plus
+/// [`gpus_reset`] resets form a trial counter for throughput reporting.
 pub fn gpus_built() -> u64 {
     GPUS_BUILT.load(Ordering::Relaxed)
+}
+
+/// Total in-place [`Gpu::reset`] calls so far (trials that reused a
+/// pooled machine instead of constructing one).
+pub fn gpus_reset() -> u64 {
+    GPUS_RESET.load(Ordering::Relaxed)
 }
 
 /// Process-wide default for [`LoopMode`]; `true` selects `Naive`.
@@ -150,6 +161,10 @@ pub struct Gpu<P: Probe = NullProbe> {
     /// across cycles to avoid per-cycle allocation); only these SMs can
     /// hold newly finished blocks, so retirement scans just them.
     ticked_sms: Vec<usize>,
+    /// The fast-forward run loop's event calendar, owned by the machine
+    /// so repeated [`run_until_idle`](Self::run_until_idle) calls reuse
+    /// one allocation instead of rebuilding it per run.
+    run_cal: EventCalendar,
     probe: P,
 }
 
@@ -183,9 +198,10 @@ impl Gpu {
         cfg.validate()?;
         GPUS_BUILT.fetch_add(1, Ordering::Relaxed);
         let clock = ClockDomain::new(&cfg, clock_seed);
-        let sms = (0..cfg.num_sms())
+        let sms: Vec<Sm> = (0..cfg.num_sms())
             .map(|s| Sm::new(SmId::new(s), &cfg))
             .collect();
+        let run_cal = EventCalendar::new(SM_BASE as usize + sms.len());
         let request_fabric = RequestFabric::new(&cfg);
         let reply_fabric = ReplyFabric::new(&cfg);
         let mem = MemorySubsystem::new(&cfg);
@@ -209,6 +225,7 @@ impl Gpu {
             },
             active_sms: Vec::new(),
             ticked_sms: Vec::new(),
+            run_cal,
             probe: NullProbe,
         })
     }
@@ -261,6 +278,7 @@ impl<P: Probe> Gpu<P> {
             loop_mode: self.loop_mode,
             active_sms: self.active_sms,
             ticked_sms: self.ticked_sms,
+            run_cal: self.run_cal,
             probe,
         }
     }
@@ -285,6 +303,58 @@ impl<P: Probe> Gpu<P> {
     /// The fault plan wired into this GPU, if any.
     pub fn fault_plan(&self) -> Option<&std::sync::Arc<gnc_common::fault::FaultPlan>> {
         self.fault.as_ref()
+    }
+
+    /// Restores this machine to the state [`Gpu::with_clock_seed`] would
+    /// have produced for `(same config, clock_seed)` — in place, reusing
+    /// every allocation (SM queues, fabric arenas, L2 sets, MSHR maps,
+    /// calendars). Clears kernels, records, and all in-flight state;
+    /// redraws the clock epochs from `clock_seed`; detaches any fault
+    /// plan; and re-reads the process-wide default [`LoopMode`], exactly
+    /// as a fresh build does. The telemetry probe is **not** touched —
+    /// callers pooling probed machines reset or harvest it themselves.
+    ///
+    /// A reset machine is observationally identical to a fresh one: the
+    /// `reset_reuse_is_bit_identical_to_fresh_build` fidelity test pins
+    /// byte-identical traces, records, and stats.
+    pub fn reset(&mut self, clock_seed: u64) {
+        GPUS_RESET.fetch_add(1, Ordering::Relaxed);
+        self.clock.reset(&self.cfg, clock_seed);
+        for sm in &mut self.sms {
+            sm.reset();
+        }
+        self.request_fabric.reset();
+        self.reply_fabric.reset();
+        self.mem.reset();
+        self.kernels.clear();
+        self.recorder.reset();
+        self.now = 0;
+        self.fault = None;
+        self.loop_mode = if DEFAULT_NAIVE_LOOP.load(Ordering::Relaxed) {
+            LoopMode::Naive
+        } else {
+            LoopMode::FastForward
+        };
+        self.active_sms.clear();
+        self.ticked_sms.clear();
+        self.run_cal.reset();
+    }
+
+    /// [`reset`](Self::reset) followed by wiring `plan` into every
+    /// fault-capable subsystem — the in-place counterpart of
+    /// [`Gpu::with_faults`].
+    pub fn reset_with_faults(
+        &mut self,
+        clock_seed: u64,
+        plan: std::sync::Arc<gnc_common::fault::FaultPlan>,
+    ) {
+        self.reset(clock_seed);
+        self.clock.set_fault_plan(std::sync::Arc::clone(&plan));
+        self.request_fabric.set_fault_plan(&plan);
+        self.reply_fabric.set_fault_plan(&plan);
+        self.mem.set_fault_plan(&plan);
+        self.recorder.set_fault_plan(std::sync::Arc::clone(&plan));
+        self.fault = Some(plan);
     }
 
     /// The configuration this GPU was built from.
@@ -818,12 +888,20 @@ impl<P: Probe> Gpu<P> {
                 RunOutcome::Timeout { at: self.now }
             };
         }
-        // The calendar is rebuilt per run (cheap: one allocation and a
-        // handful of busy bits), which keeps it correct across manual
+        // The owned calendar is re-seeded per run (a handful of busy
+        // bits, no allocation), which keeps it correct across manual
         // `tick()` calls and kernel launches between runs. Everything
         // that currently holds state starts busy; quiescent components
-        // park themselves with their first reschedule.
-        let mut cal = EventCalendar::new(SM_BASE as usize + self.sms.len());
+        // park themselves with their first reschedule. It is moved out
+        // for the duration because `tick_gated` needs it alongside
+        // `&mut self` (the sentinel left behind is allocation-free).
+        let mut cal = std::mem::replace(&mut self.run_cal, EventCalendar::new(0));
+        if cal.num_components() != SM_BASE as usize + self.sms.len() {
+            // A panic unwound past a previous run and the sentinel stuck
+            // around; rebuild once rather than index out of bounds.
+            cal = EventCalendar::new(SM_BASE as usize + self.sms.len());
+        }
+        cal.reset();
         cal.make_busy(LIFECYCLE);
         if self.request_fabric.in_flight() > 0 {
             cal.make_busy(REQ_FABRIC);
@@ -835,13 +913,16 @@ impl<P: Probe> Gpu<P> {
         for &sm_idx in &self.active_sms {
             cal.make_busy(SM_BASE + sm_idx as ComponentId);
         }
-        while self.now < deadline {
+        let early = loop {
+            if self.now >= deadline {
+                break None;
+            }
             iterations += 1;
             if iterations & CHECKPOINT_MASK == 0 {
                 gnc_common::supervise::checkpoint();
             }
             if self.is_idle() {
-                return RunOutcome::Idle { at: self.now };
+                break Some(RunOutcome::Idle { at: self.now });
             }
             match cal.next_wake() {
                 // A busy component needs this very cycle.
@@ -853,7 +934,7 @@ impl<P: Probe> Gpu<P> {
                     // no-ops for every component.
                     if at >= deadline {
                         self.now = deadline;
-                        break;
+                        break None;
                     }
                     if at > self.now {
                         self.now = at;
@@ -864,16 +945,17 @@ impl<P: Probe> Gpu<P> {
                 // out at the deadline exactly as the naive loop would.
                 Wake::Never => {
                     self.now = deadline;
-                    break;
+                    break None;
                 }
             }
             self.tick_gated(&mut cal);
-        }
-        if self.is_idle() {
+        };
+        self.run_cal = cal;
+        early.unwrap_or(if self.is_idle() {
             RunOutcome::Idle { at: self.now }
         } else {
             RunOutcome::Timeout { at: self.now }
-        }
+        })
     }
 
     /// True when all kernels finished and no packet is in flight.

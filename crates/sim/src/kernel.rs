@@ -217,6 +217,14 @@ impl Recorder {
         self.records.clear();
     }
 
+    /// Restores the recorder to its just-constructed state: records drop
+    /// (capacity retained) and any fault plan detaches — unlike
+    /// [`clear`](Self::clear), which keeps the plan for the next run.
+    pub fn reset(&mut self) {
+        self.records.clear();
+        self.fault = None;
+    }
+
     /// Number of records held.
     pub fn len(&self) -> usize {
         self.records.len()

@@ -1,0 +1,206 @@
+//! Build-once/reset-many [`Gpu`] reuse.
+//!
+//! Constructing a [`Gpu`] allocates every queue, arena, cache set, and
+//! calendar of an 80-SM machine; a sweep that builds one per trial spends
+//! a large share of its wall clock in the allocator. [`Gpu::reset`]
+//! restores a constructed machine to its post-`new()` state in place, so
+//! a worker thread only ever pays construction once per configuration
+//! shape. This module provides the per-thread cache that makes that
+//! pattern ergonomic: [`with_pooled_gpu`] hands the closure a machine
+//! that is indistinguishable from a freshly built one (pinned by the
+//! `reset_reuse_is_bit_identical_to_fresh_build` fidelity test), reusing
+//! the thread's cached instance whenever the configuration matches.
+//!
+//! Sweep workers are scoped threads (one per job), so the thread-local
+//! pool gives exactly the intended per-(worker, config-shape) reuse: the
+//! first trial on a worker builds, every later trial with the same
+//! configuration resets. A panicking trial leaves its machine inside the
+//! closure, so it is dropped rather than returned to the pool — the next
+//! trial on that worker simply builds fresh.
+
+use crate::gpu::Gpu;
+use gnc_common::fault::FaultPlan;
+use gnc_common::{ConfigError, GpuConfig};
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A cache of at most one constructed [`Gpu`], reused across trials
+/// whose configuration compares equal.
+#[derive(Debug, Default)]
+pub struct GpuPool {
+    slot: Option<Gpu>,
+}
+
+impl GpuPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a machine equivalent to `Gpu::with_clock_seed(cfg, seed)` —
+    /// or, with `fault` set, `Gpu::with_faults` — resetting the cached
+    /// instance in place when its configuration equals `cfg`, building
+    /// fresh otherwise. Return it with [`release`](Self::release) once
+    /// the trial is done.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error when a fresh build is needed and
+    /// `cfg` is inconsistent.
+    pub fn acquire(
+        &mut self,
+        cfg: &GpuConfig,
+        clock_seed: u64,
+        fault: Option<&Arc<FaultPlan>>,
+    ) -> Result<Gpu, ConfigError> {
+        match self.slot.take() {
+            Some(mut gpu) if gpu.config() == cfg => {
+                match fault {
+                    Some(plan) => gpu.reset_with_faults(clock_seed, Arc::clone(plan)),
+                    None => gpu.reset(clock_seed),
+                }
+                Ok(gpu)
+            }
+            _ => match fault {
+                Some(plan) => Gpu::with_faults(cfg.clone(), clock_seed, Arc::clone(plan)),
+                None => Gpu::with_clock_seed(cfg.clone(), clock_seed),
+            },
+        }
+    }
+
+    /// Returns a machine to the pool for the next trial. The previous
+    /// occupant, if any, is dropped.
+    pub fn release(&mut self, gpu: Gpu) {
+        self.slot = Some(gpu);
+    }
+
+    /// Whether a machine is currently cached.
+    pub fn is_warm(&self) -> bool {
+        self.slot.is_some()
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<GpuPool> = RefCell::new(GpuPool::new());
+}
+
+/// An RAII handle on this thread's pooled machine: derefs to [`Gpu`]
+/// and returns the machine to the pool on drop, so call sites read like
+/// plain construction. During a panic unwind the machine is dropped
+/// instead — a half-run trial must not seed the next one.
+#[derive(Debug)]
+pub struct PooledGpu {
+    gpu: Option<Gpu>,
+}
+
+impl std::ops::Deref for PooledGpu {
+    type Target = Gpu;
+    fn deref(&self) -> &Gpu {
+        self.gpu.as_ref().expect("present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledGpu {
+    fn deref_mut(&mut self) -> &mut Gpu {
+        self.gpu.as_mut().expect("present until drop")
+    }
+}
+
+impl Drop for PooledGpu {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(gpu) = self.gpu.take() {
+            POOL.with(|pool| pool.borrow_mut().release(gpu));
+        }
+    }
+}
+
+/// Acquires this thread's pooled machine for `cfg` as an RAII handle:
+/// reset in place when the cached configuration matches, built fresh
+/// otherwise. Drop-in replacement for `Gpu::with_clock_seed` /
+/// `Gpu::with_faults` at call sites that use the machine locally.
+///
+/// # Errors
+///
+/// Returns the validation error when a fresh build is needed and `cfg`
+/// is inconsistent.
+pub fn pooled_gpu(
+    cfg: &GpuConfig,
+    clock_seed: u64,
+    fault: Option<&Arc<FaultPlan>>,
+) -> Result<PooledGpu, ConfigError> {
+    let gpu = POOL.with(|pool| pool.borrow_mut().acquire(cfg, clock_seed, fault))?;
+    Ok(PooledGpu { gpu: Some(gpu) })
+}
+
+/// Runs `f` on this thread's pooled machine for `cfg`: reset in place
+/// when the cached configuration matches, built fresh otherwise, and
+/// returned to the pool afterwards. The machine `f` sees is
+/// indistinguishable from `Gpu::with_clock_seed(cfg.clone(), seed)`
+/// (respectively `Gpu::with_faults`).
+///
+/// # Errors
+///
+/// Returns the validation error when a fresh build is needed and `cfg`
+/// is inconsistent.
+pub fn with_pooled_gpu<T>(
+    cfg: &GpuConfig,
+    clock_seed: u64,
+    fault: Option<&Arc<FaultPlan>>,
+    f: impl FnOnce(&mut Gpu) -> T,
+) -> Result<T, ConfigError> {
+    POOL.with(|pool| {
+        let mut gpu = pool.borrow_mut().acquire(cfg, clock_seed, fault)?;
+        let out = f(&mut gpu);
+        // Not reached when `f` panics: the machine drops with the unwind
+        // instead of re-entering the pool in a half-run state.
+        pool.borrow_mut().release(gpu);
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::gpus_reset;
+
+    #[test]
+    fn pool_resets_on_match_and_rebuilds_on_mismatch() {
+        let volta = GpuConfig::volta_v100();
+        let tiny = GpuConfig::tiny();
+        let mut pool = GpuPool::new();
+        assert!(!pool.is_warm());
+
+        let gpu = pool.acquire(&volta, 1, None).expect("valid config");
+        pool.release(gpu);
+        assert!(pool.is_warm());
+
+        let before = gpus_reset();
+        let gpu = pool.acquire(&volta, 2, None).expect("valid config");
+        assert_eq!(gpus_reset(), before + 1, "matching shape must reset");
+        pool.release(gpu);
+
+        let gpu = pool.acquire(&tiny, 2, None).expect("valid config");
+        assert_eq!(gpus_reset(), before + 1, "shape change must rebuild");
+        assert_eq!(gpu.config(), &tiny);
+        pool.release(gpu);
+    }
+
+    #[test]
+    fn with_pooled_gpu_reuses_the_thread_local_machine() {
+        let cfg = GpuConfig::tiny();
+        let first = with_pooled_gpu(&cfg, 7, None, |gpu| {
+            gpu.clock().read64(gnc_common::ids::SmId::new(0), 0)
+        })
+        .expect("valid config");
+        let before = gpus_reset();
+        let second = with_pooled_gpu(&cfg, 7, None, |gpu| {
+            gpu.clock().read64(gnc_common::ids::SmId::new(0), 0)
+        })
+        .expect("valid config");
+        assert_eq!(first, second, "same seed must redraw the same clocks");
+        assert!(gpus_reset() > before, "second call must reset, not build");
+    }
+}

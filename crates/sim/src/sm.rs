@@ -133,6 +133,22 @@ impl Sm {
         self.id
     }
 
+    /// Restores the SM to its just-constructed state in place: resident
+    /// blocks, warp bookkeeping, LSU queue, in-flight window, and the
+    /// packet-id sequence all clear (so a reset machine reissues the
+    /// exact packet ids a fresh one would). Queue and map capacity are
+    /// retained for reuse.
+    pub fn reset(&mut self) {
+        self.blocks.clear();
+        self.ready_warps = 0;
+        self.timed_warps = 0;
+        self.maybe_finished = false;
+        self.lsu_queue.clear();
+        self.in_flight.clear();
+        self.next_packet_seq = 0;
+        self.injected_packets = 0;
+    }
+
     /// Number of resident blocks.
     pub fn resident_blocks(&self) -> usize {
         self.blocks.len()

@@ -96,14 +96,22 @@ fn killed_sweep_resumes_byte_identical_across_job_counts() {
         assert_eq!(resumed.manifest.cached, survivors, "jobs={jobs} cut={cut}");
         assert_eq!(resumed.manifest.executed, UNITS - survivors);
         assert!(
-            gnc_sim::gpus_built() > built_before,
-            "lost units must re-simulate"
+            gnc_sim::gpus_built() > built_before || resumed.manifest.gpus_reset > 0,
+            "lost units must re-simulate (built fresh or on a pooled machine)"
+        );
+        // The manifest's own machine accounting must cover exactly the
+        // attempts this resume simulated (retries included).
+        assert!(
+            resumed.manifest.gpus_built + resumed.manifest.gpus_reset >= resumed.manifest.executed,
+            "every executed unit needs a machine (jobs={jobs} cut={cut})"
         );
     }
 
     // The journal is complete again after the last resume: one more
-    // resume is a pure cache replay — zero GPUs built.
+    // resume is a pure cache replay — zero GPUs built AND zero resets;
+    // the pool must not even be consulted for a cached unit.
     let built_before = gnc_sim::gpus_built();
+    let reset_before = gnc_sim::gpus_reset();
     let replay = resilient_noise_sweep(&cfg, &resume_cfg).expect("cache replay");
     assert!(replay.complete);
     assert_eq!(points_json(&replay), reference);
@@ -113,6 +121,15 @@ fn killed_sweep_resumes_byte_identical_across_job_counts() {
         gnc_sim::gpus_built(),
         built_before,
         "a fully cached resume must not build a single GPU"
+    );
+    assert_eq!(
+        gnc_sim::gpus_reset(),
+        reset_before,
+        "a fully cached resume must not reset a single GPU either"
+    );
+    assert_eq!(
+        (replay.manifest.gpus_built, replay.manifest.gpus_reset),
+        (0, 0)
     );
     std::fs::remove_file(&path).ok();
 }

@@ -292,6 +292,80 @@ fn calendar_matches_naive_across_seeds_with_faults_and_telemetry() {
     }
 }
 
+/// The build-once/reset-many contract: a machine restored by
+/// [`Gpu::reset`] must be indistinguishable from a freshly constructed
+/// one for *every* seed — same recorder contents, final cycle counts,
+/// decoded payloads, and telemetry reports. Runs the full stack (faults
+/// on, telemetry collector attached) and reuses ONE machine across all
+/// seeds and both fault polarities, so each trial also proves the
+/// previous trial left no residue. `Gpu::reset` deliberately does not
+/// touch the probe (telemetry windows outlive trials in production), so
+/// the reused machine gets a fresh collector per trial via `probe_mut`.
+#[test]
+fn reset_reuse_is_bit_identical_to_fresh_build() {
+    use gpu_noc_covert::common::bits::BitVec;
+    use gpu_noc_covert::common::fault::{FaultConfig, FaultPlan};
+    use gpu_noc_covert::common::telemetry::Collector;
+    use gpu_noc_covert::covert::channel::ChannelPlan;
+    use gpu_noc_covert::covert::protocol::ProtocolConfig;
+
+    let cfg = GpuConfig::volta_v100();
+    let plan = ChannelPlan::tpc(&cfg, ProtocolConfig::tpc(2), &[0]);
+    let payload = BitVec::from_bytes(b"ok");
+
+    // The reused machine, built once (with telemetry attached).
+    let mut reused = Gpu::with_clock_seed(cfg.clone(), 0)
+        .unwrap()
+        .with_probe(Collector::for_config(&cfg));
+
+    for seed in [1u64, 5, 9, 42] {
+        for with_faults in [false, true] {
+            // Each machine gets its own plan from the same config: fault
+            // decisions are pure in (seed, site, window), so the two
+            // plans behave identically while keeping stats separate.
+            let mk_plan = || FaultPlan::new(FaultConfig::moderate().with_seed(seed ^ 0xA5));
+
+            // Reference: a machine constructed from scratch.
+            let mut fresh = match with_faults {
+                true => Gpu::with_faults(cfg.clone(), seed, mk_plan()).unwrap(),
+                false => Gpu::with_clock_seed(cfg.clone(), seed).unwrap(),
+            }
+            .with_probe(Collector::for_config(&cfg));
+            let f_report = plan.transmit_on(&mut fresh, &payload, seed);
+            let f_records: Vec<_> = fresh.recorder().records().to_vec();
+            let f_now = fresh.now();
+            let f_telemetry =
+                serde_json::to_string(&fresh.into_probe().report()).expect("report serializes");
+
+            // Candidate: the one machine, reset in place.
+            match with_faults {
+                true => reused.reset_with_faults(seed, mk_plan()),
+                false => reused.reset(seed),
+            }
+            *reused.probe_mut() = Collector::for_config(&cfg);
+            let r_report = plan.transmit_on(&mut reused, &payload, seed);
+            let r_records: Vec<_> = reused.recorder().records().to_vec();
+            let r_now = reused.now();
+            let r_telemetry =
+                serde_json::to_string(&reused.probe().report()).expect("report serializes");
+
+            let ctx = format!("seed {seed}, faults {with_faults}");
+            assert_eq!(f_now, r_now, "{ctx}: final cycle counts diverge");
+            assert_eq!(f_records, r_records, "{ctx}: recorder contents diverge");
+            assert_eq!(
+                f_report.received, r_report.received,
+                "{ctx}: decoded payloads diverge"
+            );
+            assert_eq!(
+                f_report.elapsed_cycles, r_report.elapsed_cycles,
+                "{ctx}: latency traces diverge"
+            );
+            assert_eq!(f_report.errors, r_report.errors, "{ctx}");
+            assert_eq!(f_telemetry, r_telemetry, "{ctx}: telemetry reports diverge");
+        }
+    }
+}
+
 /// The parallel trial pool must not change results: the same sweeps run
 /// with 1 worker and 8 workers serialize to byte-identical JSON.
 #[test]
