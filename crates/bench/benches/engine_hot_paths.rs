@@ -1,113 +1,19 @@
-//! Microbench: the per-cycle cost of the engine's three hottest
-//! component ticks — a saturated concentrator mux, a saturated
-//! crossbar, and an L2 slice streaming misses through its DRAM
-//! controller. These are the paths the event-calendar engine pays on
-//! every *processed* cycle, so their cost bounds the simulator's
-//! throughput once fast-forwarding has removed the dead cycles.
+//! Microbench: the per-cycle cost of the engine's hottest component
+//! ticks — a saturated concentrator mux, a lone saturated sender (the
+//! fig 3/8 covert-channel shape), a saturated crossbar, and an L2 slice
+//! streaming misses through its DRAM controller. These are the paths
+//! the event-calendar engine pays on every *processed* cycle, so their
+//! cost bounds the simulator's throughput once fast-forwarding has
+//! removed the dead cycles.
+//!
+//! The loop bodies live in [`gnc_bench::micro`] so the Criterion
+//! benches, the CLI's bench reports, and CI's perf-smoke gate all
+//! measure the exact same workloads.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gnc_common::config::{Arbitration, NocConfig};
-use gnc_common::ids::{SliceId, SmId, WarpId};
+use gnc_bench::micro::{crossbar_spread, l2_miss_stream, mux_lone_sender, mux_saturated};
 use gnc_common::GpuConfig;
-use gnc_mem::dram::DramController;
-use gnc_mem::l2::L2Slice;
-use gnc_noc::crossbar::Crossbar;
-use gnc_noc::mux::ConcentratorMux;
-use gnc_noc::packet::{Packet, PacketId, PacketKind};
 use gnc_sim::gpu::Gpu;
-
-fn packet(id: u64, input: usize, slice: usize, kind: PacketKind, now: u64) -> Packet {
-    Packet {
-        id: PacketId(id),
-        kind,
-        sm: SmId::new(input),
-        warp: WarpId::new(0),
-        slice: SliceId::new(slice),
-        addr: id * 128,
-        data_bytes: 32,
-        injected_at: now,
-        group: id,
-    }
-}
-
-/// A 2:1 TPC-style mux kept saturated: every cycle pays arbitration,
-/// a flit drain, and a delay-line hop — the request fabric ticks 46 of
-/// these per cycle.
-fn mux_saturated(cycles: u64) -> u64 {
-    let noc = NocConfig::default();
-    let mut mux = ConcentratorMux::new(2, 1, 2, 8, Arbitration::RoundRobin, &noc);
-    let mut next = 0u64;
-    let mut delivered = 0u64;
-    for now in 0..cycles {
-        for input in 0..2 {
-            if mux.can_accept(input) {
-                let p = packet(next, input, 0, PacketKind::WriteRequest, now);
-                if mux.try_push(input, p).is_ok() {
-                    next += 1;
-                }
-            }
-        }
-        mux.tick(now);
-        while mux.pop_delivered(now).is_some() {
-            delivered += 1;
-        }
-    }
-    delivered
-}
-
-/// A 6-input crossbar with traffic spread over 8 outputs — the shape of
-/// the request fabric's GPC → slice stage under an all-SMs streaming
-/// workload (occupied outputs tick, empty ones are mask-skipped).
-fn crossbar_spread(cycles: u64) -> u64 {
-    let noc = NocConfig::default();
-    let mut xbar = Crossbar::new(6, 8, 1, 2, 8, Arbitration::RoundRobin, &noc);
-    let mut next = 0u64;
-    let mut delivered = 0u64;
-    for now in 0..cycles {
-        for input in 0..6 {
-            let output = (next % 8) as usize;
-            if xbar.can_accept(input, output) {
-                let p = packet(next, input, output, PacketKind::ReadRequest, now);
-                if xbar.try_push(input, output, p).is_ok() {
-                    next += 1;
-                }
-            }
-        }
-        xbar.tick(now);
-        for output in 0..8 {
-            while xbar.pop_delivered(output, now).is_some() {
-                delivered += 1;
-            }
-        }
-    }
-    delivered
-}
-
-/// One L2 slice streaming misses: every request walks the lookup
-/// pipeline, allocates an MSHR, round-trips the DRAM controller, and
-/// retires through the batched fill path.
-fn l2_miss_stream(cycles: u64) -> u64 {
-    let cfg = GpuConfig::volta_v100();
-    let mut slice = L2Slice::new(SliceId::new(0), &cfg);
-    let mut dram = DramController::new(&cfg.mem);
-    let mut next = 0u64;
-    let mut replies = 0u64;
-    for now in 0..cycles {
-        // One fresh line per cycle (addresses stride a whole slice set
-        // apart so every access misses).
-        let p = Packet {
-            addr: next * 128 * 48,
-            ..packet(next, 0, 0, PacketKind::ReadRequest, now)
-        };
-        slice.push_request(p, now);
-        next += 1;
-        slice.tick(now, &mut dram);
-        while slice.pop_reply().is_some() {
-            replies += 1;
-        }
-    }
-    replies
-}
 
 /// Per-trial machine bring-up, both ways: constructing a full 80-SM
 /// Volta from scratch versus restoring a pooled machine with
@@ -143,6 +49,9 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(2));
     group.bench_function("mux_saturated_10k_cycles", |b| {
         b.iter(|| mux_saturated(10_000));
+    });
+    group.bench_function("mux_lone_sender_10k_cycles", |b| {
+        b.iter(|| mux_lone_sender(10_000));
     });
     group.bench_function("crossbar_spread_10k_cycles", |b| {
         b.iter(|| crossbar_spread(10_000));

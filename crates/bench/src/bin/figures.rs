@@ -58,6 +58,10 @@ struct BenchReport {
     baseline_wall_clock_s: Option<f64>,
     #[serde(skip_serializing_if = "Option::is_none")]
     speedup: Option<f64>,
+    /// Per-cycle cost of the engine's hot loops, measured after the
+    /// workload finishes (excluded from `wall_clock_s`) so every bench
+    /// report is self-describing about the engine it ran on.
+    microbench_ns_per_cycle: micro::MicroTrio,
 }
 
 fn parse_args() -> Args {
@@ -613,6 +617,9 @@ fn main() {
         let gpus_built = gnc_sim::gpus_built() - builds_at_start;
         let gpus_reset = gnc_sim::gpus_reset() - resets_at_start;
         let trials = gpus_built + gpus_reset;
+        // Measured after `wall_clock_s` is captured, so the trio never
+        // perturbs the gated number.
+        let trio = micro::measure_trio(3, 50_000);
         let report = BenchReport {
             scale: format!("{:?}", args.scale),
             jobs: gnc_common::par::jobs(),
@@ -623,6 +630,7 @@ fn main() {
             trials_per_s: trials as f64 / wall_clock_s,
             baseline_wall_clock_s: args.bench_baseline_s,
             speedup: args.bench_baseline_s.map(|b| b / wall_clock_s),
+            microbench_ns_per_cycle: trio,
         };
         let json = serde_json::to_string_pretty(&report)
             .map_err(|e| SimError::Journal {
@@ -634,10 +642,11 @@ fn main() {
             .map_err(|e| SimError::io("write bench report", path.display(), &e))
             .unwrap_or_else(|e| bail(&e));
         println!(
-            "[bench] {:.3} s wall clock, {} trials ({:.1}/s), report -> {}",
+            "[bench] {:.3} s wall clock, {} trials ({:.1}/s) | {} | report -> {}",
             wall_clock_s,
             trials,
             report.trials_per_s,
+            report.microbench_ns_per_cycle.summary(),
             path.display()
         );
     }

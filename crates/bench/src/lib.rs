@@ -33,6 +33,7 @@ use gnc_covert::sync::{clock_snapshot, skew_stats, ClockSnapshot, SkewStats};
 use gnc_sim::kernel::AccessKind;
 use serde::Serialize;
 
+pub mod micro;
 pub mod sweep;
 pub mod telemetry;
 

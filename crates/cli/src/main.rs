@@ -126,6 +126,13 @@ fn install_sigint(token: CancelToken) {
 #[cfg(not(unix))]
 fn install_sigint(_token: CancelToken) {}
 
+/// One-line per-cycle cost of the engine's hot loops, printed next to
+/// wall-clock numbers so recorded runs are self-describing about the
+/// engine they ran on.
+fn micro_trio() -> String {
+    gnc_bench::micro::measure_trio(3, 50_000).summary()
+}
+
 /// Serializes `value` as pretty JSON into `path`, mapping failures into
 /// the [`SimError`] taxonomy.
 fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), SimError> {
@@ -185,6 +192,7 @@ fn sweep(arch: Arch, opts: &SweepOpts) -> ExitCode {
             String::new()
         },
     );
+    let started = std::time::Instant::now();
     let report = match resilient_noise_sweep(&cfg, &sweep_cfg) {
         Ok(report) => report,
         Err(e) => {
@@ -192,6 +200,7 @@ fn sweep(arch: Arch, opts: &SweepOpts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let wall_clock_s = started.elapsed().as_secs_f64();
     println!(
         "{:<10} {:>11} {:>14} {:>9} delivery",
         "preset", "naive BER", "hardened BER", "attempts"
@@ -228,6 +237,7 @@ fn sweep(arch: Arch, opts: &SweepOpts) -> ExitCode {
             100.0 * m.gpus_reset as f64 / (m.gpus_built + m.gpus_reset) as f64
         },
     );
+    println!("bench: {:.3} s wall clock | {}", wall_clock_s, micro_trio());
     if let Some(out) = &opts.out {
         if let Err(e) = write_json(out, &report.points) {
             eprintln!("error: {e}");
@@ -502,17 +512,24 @@ fn report(
         plan.channels().len(),
         arbitration.label(),
     );
+    let started = std::time::Instant::now();
     let mut gpu = Gpu::with_clock_seed(cfg.clone(), seed)
         .expect("valid GPU config")
         .with_probe(Collector::for_config(&cfg));
     let tx = plan.transmit_on(&mut gpu, &payload, seed);
+    let wall_clock_s = started.elapsed().as_secs_f64();
     let collector = gpu.into_probe();
     println!(
-        "channel: {:.2} kbps over {} cycles, {} bit errors ({:.2} %)\n",
+        "channel: {:.2} kbps over {} cycles, {} bit errors ({:.2} %)",
         tx.bandwidth_bps / 1e3,
         tx.elapsed_cycles,
         tx.errors,
         tx.error_rate * 100.0
+    );
+    println!(
+        "bench: {:.3} s wall clock | {}\n",
+        wall_clock_s,
+        micro_trio()
     );
     print_telemetry_summary(&collector);
     if let Some(dir) = out {

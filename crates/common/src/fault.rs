@@ -465,6 +465,40 @@ impl FaultPlan {
         }
     }
 
+    /// First cycle strictly after `now` at which [`burst_flits`] for
+    /// `site` *may* return a different value, or `None` when it is
+    /// constant forever (bursts can never fire under this config).
+    ///
+    /// Within `[now, boundary)` the burst decision is a pure constant:
+    /// it is keyed on `now / noc_burst_cycles`, so it can only change at
+    /// the next window boundary. This is the bound that lets a mux
+    /// grant whole cross-cycle runs without re-probing the plan every
+    /// cycle — the same contract as [`clock_offset_stable_until`].
+    ///
+    /// [`burst_flits`]: Self::burst_flits
+    /// [`clock_offset_stable_until`]: Self::clock_offset_stable_until
+    pub fn burst_stable_until(&self, site: u64, now: u64) -> Option<u64> {
+        let _ = site;
+        if self.cfg.noc_burst_rate <= 0.0 || self.cfg.noc_burst_flits == 0 {
+            return None;
+        }
+        let period = u64::from(self.cfg.noc_burst_cycles.max(1));
+        Some((now / period + 1).saturating_mul(period))
+    }
+
+    /// Records one mux cycle that lost flit slots to an already-decided
+    /// burst window. A mux that caches the [`burst_flits`] value across
+    /// a window (see [`burst_stable_until`]) calls this for each
+    /// subsequent busy cycle the cached steal applies to, keeping
+    /// [`FaultStats::noc_burst_cycles`] identical to probing the plan
+    /// every cycle.
+    ///
+    /// [`burst_flits`]: Self::burst_flits
+    /// [`burst_stable_until`]: Self::burst_stable_until
+    pub fn note_burst_cycle(&self) {
+        self.noc_burst_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Whether the latency sample identified by `(site, sample)` is lost.
     pub fn drop_sample(&self, site: u64, sample: u64) -> bool {
         let hit = self.chance(domain::DROP, site, sample, self.cfg.sample_drop_rate);
@@ -648,6 +682,50 @@ mod tests {
                 assert_eq!(plan.burst_flits(7, t), first);
             }
         }
+    }
+
+    #[test]
+    fn burst_stable_until_bounds_the_window() {
+        let cfg = FaultConfig {
+            noc_burst_rate: 0.5,
+            noc_burst_cycles: 64,
+            noc_burst_flits: 2,
+            ..FaultConfig::off()
+        };
+        let plan = FaultPlan::new(cfg);
+        for now in [0u64, 1, 63, 64, 100, 12_345] {
+            let until = plan
+                .burst_stable_until(7, now)
+                .expect("bursting plan has boundaries");
+            assert!(until > now, "bound must be strictly after now");
+            assert_eq!(until % 64, 0, "bound lies on a window boundary");
+            assert_eq!(until, (now / 64 + 1) * 64);
+            // The decision really is constant on [now, until).
+            let first = plan.burst_flits(7, now);
+            for t in now..until {
+                assert_eq!(plan.burst_flits(7, t), first);
+            }
+        }
+        // A plan that can never burst is constant forever.
+        assert_eq!(
+            FaultPlan::new(FaultConfig::off()).burst_stable_until(7, 0),
+            None
+        );
+        let zero_flits = FaultConfig {
+            noc_burst_rate: 0.9,
+            noc_burst_flits: 0,
+            ..FaultConfig::off()
+        };
+        assert_eq!(FaultPlan::new(zero_flits).burst_stable_until(7, 0), None);
+    }
+
+    #[test]
+    fn note_burst_cycle_feeds_the_stats_counter() {
+        let plan = FaultPlan::new(FaultConfig::off());
+        assert_eq!(plan.stats().noc_burst_cycles, 0);
+        plan.note_burst_cycle();
+        plan.note_burst_cycle();
+        assert_eq!(plan.stats().noc_burst_cycles, 2);
     }
 
     #[test]

@@ -287,6 +287,30 @@ impl OccupancyMask {
         self.first_at_or_after(from)
             .or_else(|| self.first_at_or_after(0))
     }
+
+    /// Whether bit `i` is set and is the *only* set bit — the lone-
+    /// occupant test behind the closed-form grant runs.
+    #[inline]
+    #[must_use]
+    pub fn is_lone(&self, i: usize) -> bool {
+        let bit_word = i / 64;
+        let bit = 1u64 << (i % 64);
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(w, &word)| word == if w == bit_word { bit } else { 0 })
+    }
+}
+
+/// A batched arbitration decision from [`InlineArbiter::grant_run`]:
+/// `winner` transmits `flits` of the next `slots` consecutive flit
+/// slots (under strict RR, `slots` also covers the idle-owner slots
+/// wasted before and between the winner's turns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct GrantRun {
+    pub winner: usize,
+    pub flits: u32,
+    pub slots: u32,
 }
 
 /// Unboxed arbitration state driving the mask-based grant path.
@@ -339,7 +363,12 @@ impl InlineArbiter {
     /// Chooses the input transmitting in this flit slot (see
     /// [`Arbiter::grant`] for the contract). `head_age` / `head_group`
     /// are only read at indices whose occupancy bit is set.
+    ///
+    /// The hot path no longer calls this — [`grant_run`](Self::grant_run)
+    /// batches whole runs of slots — but it stays as the per-flit
+    /// reference the equivalence tests replay against.
     #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn grant(
         &mut self,
         global_slot: u64,
@@ -382,6 +411,159 @@ impl InlineArbiter {
                 }
                 best
             }
+        }
+    }
+
+    /// Batched grant: decides the winner of the flit slot `global_slot`
+    /// and how many of the next `avail` slots it keeps winning, assuming
+    /// the occupancy and head columns stay fixed for the whole run. The
+    /// caller guarantees that by capping the run at the winner's
+    /// remaining head flits (`flits <= head_remaining[winner]`), so no
+    /// head can change before the run's last slot.
+    ///
+    /// Calling [`grant`](Self::grant) `slots` times instead would grant
+    /// `winner` in exactly `flits` of those slots (wasting the rest,
+    /// which only strict RR ever does) and leave the arbiter in the same
+    /// state this call leaves it in — the decision-identity contract the
+    /// `batched_grants_match_per_flit_loop` property test pins.
+    ///
+    /// Returns `None` when none of the next `avail` slots can grant
+    /// (idle mask, or no strict-RR owner is occupied in range); the
+    /// caller treats that as the rest of the cycle going unused.
+    ///
+    /// `avail` must be at least 1.
+    #[inline(always)]
+    pub(crate) fn grant_run(
+        &mut self,
+        global_slot: u64,
+        avail: u32,
+        occ: &OccupancyMask,
+        head_remaining: &[u32],
+        head_age: &[Cycle],
+        head_group: &[u64],
+    ) -> Option<GrantRun> {
+        match self {
+            InlineArbiter::RoundRobin { next } => {
+                let w = occ.first_cyclic(*next)?;
+                *next = if w + 1 == occ.len() { 0 } else { w + 1 };
+                // A lone occupant keeps winning every slot (the paper's
+                // §2.3 full-bandwidth property); under competition the
+                // pointer moves on after one flit. Only pay for the
+                // loneliness scan when a longer run is even possible.
+                let flits = if avail > 1 && head_remaining[w] > 1 && occ.is_lone(w) {
+                    avail.min(head_remaining[w])
+                } else {
+                    1
+                };
+                Some(GrantRun {
+                    winner: w,
+                    flits,
+                    slots: flits,
+                })
+            }
+            InlineArbiter::CoarseRoundRobin { next, current } => {
+                // CRR holds the grant while the winner's head group is
+                // unchanged, so a whole head batches even under
+                // competition. Re-granting per flit would take the
+                // `current` fast path every time and never touch `next`.
+                if let Some((input, group)) = *current {
+                    if occ.get(input) && head_group[input] == group {
+                        let flits = avail.min(head_remaining[input]);
+                        return Some(GrantRun {
+                            winner: input,
+                            flits,
+                            slots: flits,
+                        });
+                    }
+                    *current = None;
+                }
+                let w = occ.first_cyclic(*next)?;
+                *next = if w + 1 == occ.len() { 0 } else { w + 1 };
+                *current = Some((w, head_group[w]));
+                let flits = avail.min(head_remaining[w]);
+                Some(GrantRun {
+                    winner: w,
+                    flits,
+                    slots: flits,
+                })
+            }
+            InlineArbiter::StrictRoundRobin => {
+                // Slot ownership is pure modular arithmetic: slot `s`
+                // belongs to input `s % n`. Find the first occupied
+                // owner at or after this slot's owner in cyclic order.
+                let n = occ.len();
+                let owner = (global_slot % n as u64) as usize;
+                let w = occ.first_cyclic(owner)?;
+                let dist = u32::try_from(if w >= owner { w - owner } else { w + n - owner })
+                    .expect("mux input counts fit u32");
+                if dist >= avail {
+                    return None;
+                }
+                let n32 = u32::try_from(n).expect("mux input counts fit u32");
+                // The scan is only worth it when the winner could own a
+                // second in-range slot and has a second flit to send.
+                if head_remaining[w] > 1 && avail - dist > n32 && occ.is_lone(w) {
+                    // The winner owns every n-th slot; idle owners'
+                    // slots between them are wasted, never re-granted.
+                    let possible = 1 + (avail - dist - 1) / n32;
+                    let flits = possible.min(head_remaining[w]);
+                    Some(GrantRun {
+                        winner: w,
+                        flits,
+                        slots: dist + (flits - 1) * n32 + 1,
+                    })
+                } else {
+                    Some(GrantRun {
+                        winner: w,
+                        flits: 1,
+                        slots: dist + 1,
+                    })
+                }
+            }
+            InlineArbiter::AgeBased => {
+                // The (age, index) argmin over fixed heads is the same
+                // every slot — ties included — so the winner's whole
+                // head batches.
+                let mut best: Option<usize> = None;
+                let mut probe = occ.first_at_or_after(0);
+                while let Some(i) = probe {
+                    if best.is_none_or(|b| head_age[i] < head_age[b]) {
+                        best = Some(i);
+                    }
+                    probe = occ.first_at_or_after(i + 1);
+                }
+                let w = best?;
+                let flits = avail.min(head_remaining[w]);
+                Some(GrantRun {
+                    winner: w,
+                    flits,
+                    slots: flits,
+                })
+            }
+        }
+    }
+
+    /// Applies the state transition of granting `winner` while it is the
+    /// only occupied input with head group `group` — what a cross-cycle
+    /// grant run replays each cycle instead of calling
+    /// [`grant_run`](Self::grant_run): RR re-arms its scan pointer past
+    /// the winner; CRR locks onto the winner's current group (re-arming
+    /// the pointer only on a group change, exactly like the per-flit
+    /// scan). Strict RR never sustains a cross-cycle run and age-based
+    /// arbitration is stateless.
+    #[inline]
+    pub(crate) fn note_uncontested_grant(&mut self, winner: usize, group: u64, n: usize) {
+        match self {
+            InlineArbiter::RoundRobin { next } => {
+                *next = if winner + 1 == n { 0 } else { winner + 1 };
+            }
+            InlineArbiter::CoarseRoundRobin { next, current } => {
+                if *current != Some((winner, group)) {
+                    *next = if winner + 1 == n { 0 } else { winner + 1 };
+                    *current = Some((winner, group));
+                }
+            }
+            InlineArbiter::StrictRoundRobin | InlineArbiter::AgeBased => {}
         }
     }
 }
@@ -555,6 +737,162 @@ mod tests {
             let heads = [head(0, 0), None];
             let granted = (0..2).any(|s| arb.grant(s, &heads) == Some(0));
             assert!(granted, "{policy:?} never granted the busy input");
+        }
+    }
+
+    /// Mux-shaped state for driving the two grant engines side by side:
+    /// occupancy + head columns, with randomized head installs and a
+    /// random chance of a queued successor on completion.
+    struct Muxlet {
+        arb: InlineArbiter,
+        occ: OccupancyMask,
+        head_remaining: Vec<u32>,
+        head_age: Vec<Cycle>,
+        head_group: Vec<u64>,
+        rng: u64,
+    }
+
+    impl Muxlet {
+        fn new(policy: Arbitration, n: usize, seed: u64) -> Self {
+            Self {
+                arb: InlineArbiter::new(policy),
+                occ: OccupancyMask::new(n),
+                head_remaining: vec![0; n],
+                head_age: vec![0; n],
+                head_group: vec![0; n],
+                rng: seed,
+            }
+        }
+
+        fn install_head(&mut self, i: usize) {
+            let r = xorshift(&mut self.rng);
+            self.occ.set(i);
+            self.head_remaining[i] = 1 + (r % 7) as u32;
+            self.head_age[i] = (r >> 8) % 16;
+            self.head_group[i] = (r >> 16) % 4;
+        }
+
+        /// New arrivals at idle inputs, drawn once per cycle.
+        fn refill(&mut self) {
+            for i in 0..self.head_remaining.len() {
+                if !self.occ.get(i) && xorshift(&mut self.rng) % 4 == 0 {
+                    self.install_head(i);
+                }
+            }
+        }
+
+        /// The head just drained: half the time another packet was queued
+        /// behind it (mid-cycle head change), otherwise the input idles.
+        fn on_complete(&mut self, i: usize) {
+            if xorshift(&mut self.rng) % 2 == 0 {
+                self.install_head(i);
+            } else {
+                self.occ.clear(i);
+            }
+        }
+
+        fn is_idle(&self) -> bool {
+            self.occ.first_at_or_after(0).is_none()
+        }
+
+        /// The reference engine: one `grant` call per flit slot.
+        fn tick_per_flit(
+            &mut self,
+            now: u64,
+            bandwidth: u32,
+            budget: u32,
+            grants: &mut Vec<usize>,
+        ) {
+            for flit_slot in 0..budget {
+                if self.is_idle() {
+                    break;
+                }
+                let gs = now * u64::from(bandwidth) + u64::from(flit_slot);
+                let Some(w) = self
+                    .arb
+                    .grant(gs, &self.occ, &self.head_age, &self.head_group)
+                else {
+                    continue;
+                };
+                grants.push(w);
+                self.head_remaining[w] -= 1;
+                if self.head_remaining[w] == 0 {
+                    self.on_complete(w);
+                }
+            }
+        }
+
+        /// The batched engine: closed-form runs via `grant_run`.
+        fn tick_batched(&mut self, now: u64, bandwidth: u32, budget: u32, grants: &mut Vec<usize>) {
+            let slot_base = now * u64::from(bandwidth);
+            let mut used = 0u32;
+            while used < budget {
+                if self.is_idle() {
+                    break;
+                }
+                let Some(run) = self.arb.grant_run(
+                    slot_base + u64::from(used),
+                    budget - used,
+                    &self.occ,
+                    &self.head_remaining,
+                    &self.head_age,
+                    &self.head_group,
+                ) else {
+                    break;
+                };
+                for _ in 0..run.flits {
+                    grants.push(run.winner);
+                }
+                self.head_remaining[run.winner] -= run.flits;
+                used += run.slots;
+                if self.head_remaining[run.winner] == 0 {
+                    self.on_complete(run.winner);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grant_run_matches_per_flit_grant() {
+        // The batched engine's contract: identical granted-flit sequence
+        // and identical end state to calling `grant` once per slot, under
+        // every policy, input count, bandwidth, random head churn,
+        // mid-cycle head exhaustion, and fault-stolen slots (budget <
+        // bandwidth). The muxlets share RNG seeds, so their random draws
+        // stay aligned exactly as long as the grant sequences agree.
+        for policy in Arbitration::ALL {
+            for n in [1usize, 2, 7, 48, 70] {
+                for bandwidth in [1u32, 3, 6] {
+                    let seed = 0xDEAD_BEEF ^ ((n as u64) << 8) ^ u64::from(bandwidth);
+                    let mut a = Muxlet::new(policy, n, seed);
+                    let mut b = Muxlet::new(policy, n, seed);
+                    let mut rng_budget = seed.rotate_left(17);
+                    for now in 0..600u64 {
+                        a.refill();
+                        b.refill();
+                        // Fault bursts steal slots off the top of a cycle.
+                        let steal = (xorshift(&mut rng_budget) % u64::from(bandwidth + 1)) as u32;
+                        let budget = bandwidth - steal;
+                        if budget == 0 {
+                            continue;
+                        }
+                        let mut grants_a = Vec::new();
+                        let mut grants_b = Vec::new();
+                        a.tick_per_flit(now, bandwidth, budget, &mut grants_a);
+                        b.tick_batched(now, bandwidth, budget, &mut grants_b);
+                        assert_eq!(
+                            grants_a, grants_b,
+                            "{policy:?}/{n} inputs/bw {bandwidth} diverged at cycle {now}"
+                        );
+                        assert_eq!(a.head_remaining, b.head_remaining);
+                        assert_eq!(
+                            format!("{:?}", a.arb),
+                            format!("{:?}", b.arb),
+                            "{policy:?}/{n}/bw {bandwidth}: arbiter state diverged at {now}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

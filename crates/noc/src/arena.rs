@@ -27,6 +27,7 @@ impl PacketArena {
 
     /// Stores `packet` (with its precomputed flit length) and returns
     /// its slot id, reusing a freed slot when one exists.
+    #[inline]
     pub(crate) fn insert(&mut self, packet: Packet, flits: u32) -> u32 {
         if let Some(slot) = self.free.pop() {
             self.slots[slot as usize] = Some(packet);
@@ -45,6 +46,7 @@ impl PacketArena {
     ///
     /// Panics on a vacant slot: slot ids are only ever held by exactly
     /// one queue or delay line, so a vacant lookup is a use-after-free.
+    #[inline]
     pub(crate) fn get(&self, slot: u32) -> &Packet {
         self.slots[slot as usize]
             .as_ref()
@@ -52,6 +54,7 @@ impl PacketArena {
     }
 
     /// Flit length of the packet in `slot`.
+    #[inline]
     pub(crate) fn flits(&self, slot: u32) -> u32 {
         self.flits[slot as usize]
     }
@@ -61,6 +64,7 @@ impl PacketArena {
     /// # Panics
     ///
     /// Panics on a vacant slot (double free).
+    #[inline]
     pub(crate) fn take(&mut self, slot: u32) -> Packet {
         let packet = self.slots[slot as usize]
             .take()

@@ -26,6 +26,10 @@ pub struct Crossbar {
     /// Bit `o` set iff `busy[o] > 0`: the per-cycle loops walk set bits
     /// in index order instead of scanning every counter.
     mask: OccupancyMask,
+    /// Total packets resident anywhere in the crossbar (the sum of
+    /// `busy`), so [`is_drained`](Self::is_drained) is one compare
+    /// instead of a sweep over every output mux.
+    resident: u32,
 }
 
 impl Crossbar {
@@ -51,11 +55,17 @@ impl Crossbar {
         assert!(n_outputs > 0, "crossbar needs at least one output");
         Self {
             outputs: (0..n_outputs)
-                .map(|_| ConcentratorMux::new(n_inputs, bandwidth, latency, depth, policy, noc))
+                .map(|o| {
+                    let mut mux =
+                        ConcentratorMux::new(n_inputs, bandwidth, latency, depth, policy, noc);
+                    mux.set_label(Component::xbar_out(o));
+                    mux
+                })
                 .collect(),
             n_inputs,
             busy: vec![0; n_outputs],
             mask: OccupancyMask::new(n_outputs),
+            resident: 0,
         }
     }
 
@@ -70,6 +80,7 @@ impl Crossbar {
     }
 
     /// Whether `(input, output)` can take another packet.
+    #[inline]
     pub fn can_accept(&self, input: usize, output: usize) -> bool {
         self.outputs[output].can_accept(input)
     }
@@ -79,6 +90,7 @@ impl Crossbar {
     /// # Errors
     ///
     /// Returns the packet when the virtual queue is full (backpressure).
+    #[inline]
     pub fn try_push(&mut self, input: usize, output: usize, packet: Packet) -> Result<(), Packet> {
         self.try_push_probed(input, output, packet, &mut NullProbe)
     }
@@ -103,12 +115,14 @@ impl Crossbar {
                 self.mask.set(output);
             }
             self.busy[output] += 1;
+            self.resident += 1;
         }
         pushed
     }
 
     /// Advances every output arbiter that holds a packet by one cycle
     /// (empty outputs tick to a no-op and are skipped).
+    #[inline]
     pub fn tick(&mut self, now: Cycle) {
         self.tick_probed(now, &mut NullProbe);
     }
@@ -127,6 +141,7 @@ impl Crossbar {
     }
 
     /// Removes the next packet delivered at `output`, if ready at `now`.
+    #[inline]
     pub fn pop_delivered(&mut self, output: usize, now: Cycle) -> Option<Packet> {
         let popped = self.outputs[output].pop_delivered(now);
         if popped.is_some() {
@@ -134,6 +149,7 @@ impl Crossbar {
             if self.busy[output] == 0 {
                 self.mask.clear(output);
             }
+            self.resident -= 1;
         }
         popped
     }
@@ -152,7 +168,9 @@ impl Crossbar {
                 bits &= bits - 1;
                 let drained = self.outputs[o].drain_delivered(now, &mut sink);
                 if drained > 0 {
-                    self.busy[o] -= u32::try_from(drained).expect("queue depths fit u32");
+                    let drained = u32::try_from(drained).expect("queue depths fit u32");
+                    self.busy[o] -= drained;
+                    self.resident -= drained;
                     if self.busy[o] == 0 {
                         self.mask.clear(o);
                     }
@@ -169,11 +187,13 @@ impl Crossbar {
         }
         self.busy.fill(0);
         self.mask.clear_all();
+        self.resident = 0;
     }
 
-    /// True when nothing is queued or in flight anywhere.
+    /// True when nothing is queued or in flight anywhere. O(1): the
+    /// resident counter tracks every push, pop, and drain.
     pub fn is_drained(&self) -> bool {
-        self.outputs.iter().all(ConcentratorMux::is_drained)
+        self.resident == 0
     }
 
     /// The earliest [`NextEvent`] across every output mux.

@@ -15,6 +15,11 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct DelayLine<T> {
     latency: u32,
+    /// Readiness of the current front item, `Cycle::MAX` when empty.
+    /// Polling consumers probe their delay lines every cycle and mostly
+    /// miss; this keeps the miss path to a single compare instead of a
+    /// deque front load.
+    next_ready: Cycle,
     items: VecDeque<(Cycle, T)>,
 }
 
@@ -23,6 +28,7 @@ impl<T> DelayLine<T> {
     pub fn new(latency: u32) -> Self {
         Self {
             latency,
+            next_ready: Cycle::MAX,
             items: VecDeque::new(),
         }
     }
@@ -35,8 +41,11 @@ impl<T> DelayLine<T> {
     /// Inserts an item at `now`; it becomes poppable at
     /// `now + latency`.
     pub fn push(&mut self, now: Cycle, item: T) {
-        self.items
-            .push_back((now + Cycle::from(self.latency), item));
+        let ready = now + Cycle::from(self.latency);
+        if self.items.is_empty() {
+            self.next_ready = ready;
+        }
+        self.items.push_back((ready, item));
     }
 
     /// Inserts an item that becomes poppable at the explicit cycle
@@ -54,24 +63,28 @@ impl<T> DelayLine<T> {
             self.items.back().is_none_or(|(t, _)| *t <= ready_at),
             "push_ready_at must preserve FIFO readiness order"
         );
+        if self.items.is_empty() {
+            self.next_ready = ready_at;
+        }
         self.items.push_back((ready_at, item));
     }
 
     /// A reference to the front item if it is ready at `now`.
     pub fn peek_ready(&self, now: Cycle) -> Option<&T> {
-        match self.items.front() {
-            Some((ready, item)) if *ready <= now => Some(item),
-            _ => None,
+        if now < self.next_ready {
+            return None;
         }
+        self.items.front().map(|(_, item)| item)
     }
 
     /// Removes and returns the front item if it is ready at `now`.
     pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
-        if self.peek_ready(now).is_some() {
-            self.items.pop_front().map(|(_, item)| item)
-        } else {
-            None
+        if now < self.next_ready {
+            return None;
         }
+        let (_, item) = self.items.pop_front()?;
+        self.next_ready = self.items.front().map_or(Cycle::MAX, |(ready, _)| *ready);
+        Some(item)
     }
 
     /// The cycle at which the front item becomes ready, if any.
@@ -96,6 +109,7 @@ impl<T> DelayLine<T> {
     /// Drops every in-flight item, keeping the allocation and latency —
     /// the in-place reset used by machine reuse.
     pub fn clear(&mut self) {
+        self.next_ready = Cycle::MAX;
         self.items.clear();
     }
 }

@@ -64,15 +64,17 @@ impl RequestFabric {
     pub fn new(cfg: &GpuConfig) -> Self {
         let noc = &cfg.noc;
         let tpc_muxes = (0..cfg.num_tpcs())
-            .map(|_| {
-                ConcentratorMux::new(
+            .map(|t| {
+                let mut mux = ConcentratorMux::new(
                     cfg.sms_per_tpc,
                     noc.tpc_request_bw,
                     noc.sm_to_tpc_latency,
                     noc.input_queue_depth,
                     noc.arbitration,
                     noc,
-                )
+                );
+                mux.set_label(Component::tpc_mux(t));
+                mux
             })
             .collect();
         let mut gpc_port_of_tpc = vec![(GpcId::new(0), 0); cfg.num_tpcs()];
@@ -82,14 +84,16 @@ impl RequestFabric {
             for (port, tpc) in members.iter().enumerate() {
                 gpc_port_of_tpc[tpc.index()] = (GpcId::new(g), port);
             }
-            gpc_muxes.push(ConcentratorMux::new(
+            let mut gpc_mux = ConcentratorMux::new(
                 members.len().max(1),
                 noc.gpc_request_bw,
                 noc.tpc_to_gpc_latency,
                 noc.input_queue_depth,
                 Arbitration::RoundRobin,
                 noc,
-            ));
+            );
+            gpc_mux.set_label(Component::gpc_req_mux(g));
+            gpc_muxes.push(gpc_mux);
         }
         let xbar = Crossbar::new(
             cfg.num_gpcs,
@@ -415,27 +419,31 @@ impl ReplyFabric {
     pub fn new(cfg: &GpuConfig) -> Self {
         let noc = &cfg.noc;
         let gpc_muxes = (0..cfg.num_gpcs)
-            .map(|_| {
-                ConcentratorMux::new(
+            .map(|g| {
+                let mut mux = ConcentratorMux::new(
                     cfg.mem.num_l2_slices,
                     noc.gpc_reply_bw,
                     noc.gpc_to_slice_latency,
                     noc.input_queue_depth,
                     Arbitration::RoundRobin,
                     noc,
-                )
+                );
+                mux.set_label(Component::gpc_reply_mux(g));
+                mux
             })
             .collect();
         let sm_ejectors = (0..cfg.num_sms())
-            .map(|_| {
-                ConcentratorMux::new(
+            .map(|s| {
+                let mut mux = ConcentratorMux::new(
                     1,
                     noc.sm_reply_bw,
                     noc.tpc_to_gpc_latency + noc.sm_to_tpc_latency,
                     noc.input_queue_depth,
                     Arbitration::RoundRobin,
                     noc,
-                )
+                );
+                mux.set_label(Component::sm_ejector(s));
+                mux
             })
             .collect();
         let gpc_of_sm = (0..cfg.num_sms())

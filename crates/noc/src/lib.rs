@@ -38,6 +38,7 @@ pub mod event;
 pub mod fabric;
 pub mod mux;
 pub mod packet;
+mod ring;
 
 pub use arbiter::{ArbHead, Arbiter, OccupancyMask};
 pub use event::NextEvent;

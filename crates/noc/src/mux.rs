@@ -12,11 +12,11 @@ use crate::arena::PacketArena;
 use crate::delay::DelayLine;
 use crate::event::NextEvent;
 use crate::packet::Packet;
+use crate::ring::InputQueues;
 use gnc_common::config::{Arbitration, NocConfig};
 use gnc_common::fault::FaultPlan;
 use gnc_common::telemetry::{Component, NullProbe, Probe};
 use gnc_common::Cycle;
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// An N-input, single-output concentrating mux with bounded input queues,
@@ -53,9 +53,8 @@ use std::sync::Arc;
 /// ```
 #[derive(Debug)]
 pub struct ConcentratorMux {
-    /// Per-input FIFO of arena slot ids.
-    inputs: Vec<VecDeque<u32>>,
-    depth: usize,
+    /// Per-input FIFOs of arena slot ids, flattened into one ring slab.
+    inputs: InputQueues,
     bandwidth: u32,
     arbiter: InlineArbiter,
     /// Packet storage for everything queued or in the output pipeline.
@@ -84,6 +83,26 @@ pub struct ConcentratorMux {
     /// steal output flit slots. The `u64` is this mux's stable site id
     /// within the fault plan's hash space.
     fault: Option<(Arc<FaultPlan>, u64)>,
+    /// Telemetry label reported by the unprobed [`try_push`]
+    /// (Self::try_push) / [`tick`](Self::tick) wrappers; the fabric sets
+    /// it to the slot this mux fills (see [`set_label`](Self::set_label)).
+    label: Component,
+    /// Whether the active policy reads the head age/group columns.
+    /// Coarse-RR and age-based arbitration do; plain and strict RR never
+    /// look at them, so head refreshes skip loading the packet struct.
+    head_meta: bool,
+    /// Cached flit-slot steal for the current fault burst window, valid
+    /// for cycles `< burst_until`. `burst_until == 0` forces a re-probe.
+    burst_value: u32,
+    burst_until: Cycle,
+    /// Cross-cycle grant run: for cycles `< run_until`, input
+    /// `run_winner` is the lone occupant and wins `run_budget` flit
+    /// slots per cycle without re-arbitrating or re-probing the fault
+    /// plan. `run_until == 0` means no active run; any occupancy or
+    /// fault-window change clears it.
+    run_winner: usize,
+    run_budget: u32,
+    run_until: Cycle,
 }
 
 impl ConcentratorMux {
@@ -111,8 +130,7 @@ impl ConcentratorMux {
         assert!(bandwidth > 0, "mux needs nonzero bandwidth");
         assert!(depth > 0, "mux needs nonzero queue depth");
         Self {
-            inputs: (0..n_inputs).map(|_| VecDeque::new()).collect(),
-            depth,
+            inputs: InputQueues::new(n_inputs, depth),
             bandwidth,
             arbiter: InlineArbiter::new(policy),
             arena: PacketArena::new(),
@@ -127,29 +145,55 @@ impl ConcentratorMux {
             forwarded_packets: 0,
             queued: 0,
             fault: None,
+            label: Component::tpc_mux(0),
+            head_meta: matches!(
+                policy,
+                Arbitration::CoarseRoundRobin | Arbitration::AgeBased
+            ),
+            burst_value: 0,
+            burst_until: 0,
+            run_winner: 0,
+            run_budget: 0,
+            run_until: 0,
         }
     }
 
+    /// Sets the component label the unprobed [`try_push`](Self::try_push)
+    /// and [`tick`](Self::tick) wrappers report telemetry under. The
+    /// fabric calls this once per mux at construction so probe events can
+    /// never misattribute a GPC mux or crossbar output to `tpc_mux(0)`.
+    pub fn set_label(&mut self, label: Component) {
+        self.label = label;
+    }
+
     /// Refreshes the SoA head columns of `input` from the packet in
-    /// `slot`, which just became the queue head.
+    /// `slot`, which just became the queue head. The age/group columns
+    /// are only maintained for policies that read them (coarse-RR,
+    /// age-based); under plain/strict RR they go stale and are never
+    /// consulted.
     #[inline]
     fn set_head(&mut self, input: usize, slot: u32) {
         self.occ.set(input);
         self.head_remaining[input] = self.arena.flits(slot);
-        let packet = self.arena.get(slot);
-        self.head_age[input] = packet.injected_at;
-        self.head_group[input] = packet.group;
+        if self.head_meta {
+            let packet = self.arena.get(slot);
+            self.head_age[input] = packet.injected_at;
+            self.head_group[input] = packet.group;
+        }
     }
 
     /// Attaches a fault plan; background-traffic bursts decided by the
     /// plan for `site` will steal output flit slots from this mux.
     pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>, site: u64) {
         self.fault = Some((plan, site));
+        self.burst_value = 0;
+        self.burst_until = 0;
+        self.run_until = 0;
     }
 
     /// Number of input ports.
     pub fn num_inputs(&self) -> usize {
-        self.inputs.len()
+        self.inputs.num_queues()
     }
 
     /// Output bandwidth in flits per cycle.
@@ -158,8 +202,9 @@ impl ConcentratorMux {
     }
 
     /// Whether input `input` has room for another packet.
+    #[inline]
     pub fn can_accept(&self, input: usize) -> bool {
-        self.inputs[input].len() < self.depth
+        self.inputs.can_accept(input)
     }
 
     /// Queues `packet` at `input`.
@@ -172,8 +217,10 @@ impl ConcentratorMux {
     /// # Panics
     ///
     /// Panics if `input` is out of range.
+    #[inline]
     pub fn try_push(&mut self, input: usize, packet: Packet) -> Result<(), Packet> {
-        self.try_push_probed(input, packet, Component::tpc_mux(0), &mut NullProbe)
+        let label = self.label;
+        self.try_push_probed(input, packet, label, &mut NullProbe)
     }
 
     /// [`try_push`](Self::try_push) with telemetry: reports the refused
@@ -187,6 +234,7 @@ impl ConcentratorMux {
     /// # Panics
     ///
     /// Panics if `input` is out of range.
+    #[inline]
     pub fn try_push_probed<P: Probe>(
         &mut self,
         input: usize,
@@ -199,14 +247,26 @@ impl ConcentratorMux {
             return Err(packet);
         }
         let flits = packet.flits(&self.noc).max(1);
-        let was_empty = self.inputs[input].is_empty();
-        let slot = self.arena.insert(packet, flits);
-        if was_empty {
-            self.set_head(input, slot);
+        if self.inputs.is_empty(input) {
+            // The packet becomes the queue head; fill the SoA head
+            // columns from the value in hand rather than reloading it
+            // from the arena.
+            self.occ.set(input);
+            self.head_remaining[input] = flits;
+            if self.head_meta {
+                self.head_age[input] = packet.injected_at;
+                self.head_group[input] = packet.group;
+            }
+            // Occupancy changed: a cross-cycle grant run assumed its
+            // winner was the lone occupant, so it must re-arbitrate.
+            // (A push onto an already-occupied queue can't change any
+            // grant decision — arbitration only sees queue heads.)
+            self.run_until = 0;
         }
-        self.inputs[input].push_back(slot);
+        let slot = self.arena.insert(packet, flits);
+        self.inputs.push_back(input, slot);
         self.queued += 1;
-        probe.queue_depth(comp, input, self.inputs[input].len());
+        probe.queue_depth(comp, input, self.inputs.len(input));
         Ok(())
     }
 
@@ -217,67 +277,219 @@ impl ConcentratorMux {
     /// some (or all) of this cycle's flit slots before the queued
     /// traffic gets to arbitrate — exactly the contention a co-tenant
     /// kernel sharing the mux would create.
+    #[inline]
     pub fn tick(&mut self, now: Cycle) {
-        self.tick_probed(now, Component::tpc_mux(0), &mut NullProbe);
+        let label = self.label;
+        self.tick_probed(now, label, &mut NullProbe);
     }
 
     /// [`tick`](Self::tick) with telemetry: reports each granted flit
     /// slot and each fully forwarded packet to `probe` under the
     /// caller-supplied `comp` label. With [`NullProbe`] this
     /// monomorphises to exactly the probe-free tick.
+    ///
+    /// Internally this is the batched grant engine: within a cycle,
+    /// [`InlineArbiter::grant_run`] grants whole runs of consecutive flit
+    /// slots in closed form instead of re-arbitrating per slot; across
+    /// cycles, a stable lone-occupant mux replays a validated run
+    /// ([`run_tick`](Self::run_tick)) without touching the arbiter's scan
+    /// or the fault plan's hash. Grant decisions, probe event sequences,
+    /// and fault statistics are bit-identical to the per-flit loop —
+    /// the decision is batched, the events are replayed per flit.
+    #[inline]
     pub fn tick_probed<P: Probe>(&mut self, now: Cycle, comp: Component, probe: &mut P) {
         if self.queued == 0 {
             return;
         }
-        let mut budget = self.bandwidth;
-        if let Some((plan, site)) = &self.fault {
-            budget = budget.saturating_sub(plan.burst_flits(*site, now));
-            if budget == 0 {
-                return;
-            }
+        if now < self.run_until {
+            self.run_tick(now, comp, probe);
+        } else {
+            self.tick_full(now, comp, probe);
         }
-        for flit_slot in 0..budget {
+    }
+
+    /// The general per-cycle path: probes the fault plan (through the
+    /// per-window cache), then grants this cycle's flit slots in closed-
+    /// form runs. Afterwards, tries to arm a cross-cycle run for the
+    /// cycles ahead.
+    fn tick_full<P: Probe>(&mut self, now: Cycle, comp: Component, probe: &mut P) {
+        let budget = self.bandwidth.saturating_sub(self.burst_steal(now));
+        if budget == 0 {
+            return;
+        }
+        // Hoisted out of the grant loop: slots within the cycle are
+        // `slot_base + used`, no per-slot multiply.
+        let slot_base = now * u64::from(self.bandwidth);
+        let mut used = 0u32;
+        let mut last_winner = usize::MAX;
+        while used < budget {
             if self.queued == 0 {
                 // No arbiter can grant an idle mux; strict RR would waste
                 // the remaining slots anyway.
                 break;
             }
-            let global_slot = now * u64::from(self.bandwidth) + u64::from(flit_slot);
-            let Some(winner) =
-                self.arbiter
-                    .grant(global_slot, &self.occ, &self.head_age, &self.head_group)
-            else {
-                continue;
+            let Some(run) = self.arbiter.grant_run(
+                slot_base + u64::from(used),
+                budget - used,
+                &self.occ,
+                &self.head_remaining,
+                &self.head_age,
+                &self.head_group,
+            ) else {
+                // Nothing grantable in the remaining slots (strict RR
+                // wasting the tail of the cycle).
+                break;
             };
-            self.head_remaining[winner] -= 1;
-            self.granted_flits[winner] += 1;
-            probe.flit_granted(now, comp, winner);
-            if self.head_remaining[winner] == 0 {
-                let done = self.inputs[winner]
-                    .pop_front()
-                    .expect("granted input must be nonempty");
-                if P::ENABLED {
-                    let packet = self.arena.get(done);
-                    probe.packet_forwarded(
-                        now,
-                        comp,
-                        winner,
-                        packet.id.0,
-                        packet.sm.index(),
-                        packet.slice.index(),
-                        self.arena.flits(done),
-                    );
-                }
-                self.output.push(now, done);
-                self.forwarded_packets += 1;
-                self.queued -= 1;
-                // Only the winner's queue head changed; refresh just it.
-                match self.inputs[winner].front() {
-                    Some(&next) => self.set_head(winner, next),
-                    None => self.occ.clear(winner),
+            let winner = run.winner;
+            last_winner = winner;
+            self.head_remaining[winner] -= run.flits;
+            self.granted_flits[winner] += u64::from(run.flits);
+            if P::ENABLED {
+                for _ in 0..run.flits {
+                    probe.flit_granted(now, comp, winner);
                 }
             }
+            used += run.slots;
+            if self.head_remaining[winner] == 0 {
+                self.complete_head(winner, now, comp, probe);
+            }
         }
+        // O(1) lone-occupant gate: an input's occupancy bit is set iff
+        // its queue is non-empty, so a lone set bit means the last
+        // winner holds every queued packet. Only then is the (rarely
+        // taken) run-arming worth entering.
+        if last_winner != usize::MAX && self.occ.is_lone(last_winner) {
+            self.maybe_start_run(now, last_winner);
+        }
+    }
+
+    /// Replays a validated cross-cycle run for one cycle: the winner is
+    /// known to be the lone occupant and the burst steal constant, so
+    /// this grants `run_budget` flits with no arbiter scan, no occupancy
+    /// scan, and no fault-plan hash. The arbiter's pointer state is
+    /// normalised lazily per granted head via
+    /// [`InlineArbiter::note_uncontested_grant`], exactly mirroring what
+    /// the per-flit loop would have done — so invalidating the run at any
+    /// cycle boundary leaves state the per-flit loop could have produced.
+    fn run_tick<P: Probe>(&mut self, now: Cycle, comp: Component, probe: &mut P) {
+        if self.burst_value > 0 {
+            if let Some((plan, _)) = &self.fault {
+                // Keep `FaultStats` identical to probing the plan every
+                // busy cycle of the (already decided) burst window.
+                plan.note_burst_cycle();
+            }
+        }
+        let winner = self.run_winner;
+        let n = self.inputs.num_queues();
+        let mut avail = self.run_budget;
+        loop {
+            // Invariants: `avail >= 1` and the winner's occupancy bit is
+            // set, so `head_remaining[winner] >= 1`.
+            let take = avail.min(self.head_remaining[winner]);
+            // The per-flit loop rescans on the first granted flit of each
+            // head; replay that transition (idempotent within a head).
+            self.arbiter
+                .note_uncontested_grant(winner, self.head_group[winner], n);
+            self.head_remaining[winner] -= take;
+            self.granted_flits[winner] += u64::from(take);
+            if P::ENABLED {
+                for _ in 0..take {
+                    probe.flit_granted(now, comp, winner);
+                }
+            }
+            avail -= take;
+            if self.head_remaining[winner] == 0 {
+                self.complete_head(winner, now, comp, probe);
+                if !self.occ.get(winner) {
+                    // Queue drained: the run is over.
+                    self.run_until = 0;
+                    break;
+                }
+            }
+            if avail == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Pops the completed head packet of `winner` into the output
+    /// pipeline and refreshes the head columns.
+    #[inline(always)]
+    fn complete_head<P: Probe>(
+        &mut self,
+        winner: usize,
+        now: Cycle,
+        comp: Component,
+        probe: &mut P,
+    ) {
+        let done = self.inputs.pop_front(winner);
+        if P::ENABLED {
+            let packet = self.arena.get(done);
+            probe.packet_forwarded(
+                now,
+                comp,
+                winner,
+                packet.id.0,
+                packet.sm.index(),
+                packet.slice.index(),
+                self.arena.flits(done),
+            );
+        }
+        self.output.push(now, done);
+        self.forwarded_packets += 1;
+        self.queued -= 1;
+        // Only the winner's queue head changed; refresh just it.
+        match self.inputs.front(winner) {
+            Some(next) => self.set_head(winner, next),
+            None => self.occ.clear(winner),
+        }
+    }
+
+    /// This cycle's burst steal, via a per-window cache: the fault plan's
+    /// decision is constant within a burst window
+    /// ([`FaultPlan::burst_stable_until`]), so the splitmix hash runs
+    /// once per window instead of once per busy cycle. Cache hits on
+    /// firing windows feed [`FaultPlan::note_burst_cycle`] so the plan's
+    /// statistics stay identical to per-cycle probing.
+    #[inline]
+    fn burst_steal(&mut self, now: Cycle) -> u32 {
+        let Some((plan, site)) = &self.fault else {
+            return 0;
+        };
+        if now >= self.burst_until {
+            self.burst_value = plan.burst_flits(*site, now);
+            self.burst_until = plan.burst_stable_until(*site, now).unwrap_or(Cycle::MAX);
+        } else if self.burst_value > 0 {
+            plan.note_burst_cycle();
+        }
+        self.burst_value
+    }
+
+    /// Arms a cross-cycle grant run if the closed form holds from the
+    /// next cycle on: a lone occupant input (established by the caller's
+    /// O(1) gate) under a policy whose grant is then unconditional
+    /// (anything but strict RR, which wastes idle owners' slots), with a
+    /// nonzero budget that stays constant until the next fault burst
+    /// window boundary. The run is invalidated by any [`try_push`]
+    /// (Self::try_push) that changes occupancy, by draining the winner,
+    /// and by the window boundary itself.
+    #[inline(never)]
+    fn maybe_start_run(&mut self, now: Cycle, winner: usize) {
+        if matches!(self.arbiter, InlineArbiter::StrictRoundRobin) {
+            return;
+        }
+        let until = match &self.fault {
+            None => Cycle::MAX,
+            // `None` from the plan means bursts can never fire.
+            Some((plan, site)) => plan.burst_stable_until(*site, now).unwrap_or(Cycle::MAX),
+        };
+        let budget = self.bandwidth.saturating_sub(self.burst_value);
+        if budget == 0 {
+            return;
+        }
+        self.run_winner = winner;
+        self.run_budget = budget;
+        self.run_until = until;
     }
 
     /// A reference to the next delivered packet, if one has cleared the
@@ -289,6 +501,7 @@ impl ConcentratorMux {
     }
 
     /// Removes and returns the next delivered packet, if ready at `now`.
+    #[inline]
     pub fn pop_delivered(&mut self, now: Cycle) -> Option<Packet> {
         let slot = self.output.pop_ready(now)?;
         Some(self.arena.take(slot))
@@ -314,9 +527,7 @@ impl ConcentratorMux {
     /// every queued and in-flight packet, rewinds arbitration, zeroes
     /// counters, and detaches any fault plan — keeping every allocation.
     pub fn reset(&mut self) {
-        for q in &mut self.inputs {
-            q.clear();
-        }
+        self.inputs.clear();
         self.arbiter.reset();
         self.arena.clear();
         self.occ.clear_all();
@@ -329,6 +540,11 @@ impl ConcentratorMux {
         self.forwarded_packets = 0;
         self.queued = 0;
         self.fault = None;
+        self.burst_value = 0;
+        self.burst_until = 0;
+        self.run_winner = 0;
+        self.run_budget = 0;
+        self.run_until = 0;
     }
 
     /// Flits granted to each input since construction (fairness metric).
@@ -343,7 +559,7 @@ impl ConcentratorMux {
 
     /// Number of packets currently queued at `input`.
     pub fn queue_len(&self, input: usize) -> usize {
-        self.inputs[input].len()
+        self.inputs.len(input)
     }
 
     /// True when no packets are queued or in the output pipeline.
@@ -629,6 +845,35 @@ mod tests {
     #[should_panic(expected = "at least one input")]
     fn zero_inputs_rejected() {
         let _ = ConcentratorMux::new(0, 1, 0, 1, Arbitration::RoundRobin, &noc());
+    }
+
+    #[test]
+    fn cross_cycle_run_is_invalidated_by_same_cycle_push() {
+        // Cycle 0 arms a cross-cycle grant run for lone-occupant input 0.
+        // A push onto (previously empty) input 1 must cancel the run in
+        // the same cycle: round-robin's pointer sits past input 0, so the
+        // newcomer wins cycle 1 immediately. A stale run would keep
+        // granting input 0 without re-arbitrating.
+        let mut m = mux(Arbitration::RoundRobin, 1, 0);
+        for id in 0..4 {
+            let mut p = pkt(id, PacketKind::ReadRequest, id, 0);
+            p.sm = SmId::new(0);
+            m.try_push(0, p).unwrap();
+        }
+        m.tick(0); // grants id 0; arms the run for input 0
+        assert_eq!(m.pop_delivered(0).unwrap().id, PacketId(0));
+
+        let mut newcomer = pkt(100, PacketKind::ReadRequest, 100, 1);
+        newcomer.sm = SmId::new(1);
+        m.try_push(1, newcomer).unwrap();
+        m.tick(1);
+        assert_eq!(
+            m.pop_delivered(1).unwrap().id,
+            PacketId(100),
+            "same-cycle push must invalidate the run and win the RR grant"
+        );
+        m.tick(2);
+        assert_eq!(m.pop_delivered(2).unwrap().id, PacketId(1));
     }
 
     #[test]
